@@ -1,0 +1,130 @@
+// Fig. 9 — Crash resilience of the mirroring mechanism.
+//
+// "The experiments consider models with 5 LReLU-convolutional layers,
+// trained with the MNIST dataset for 500 iterations. We study the variation
+// of the loss while doing random crashes during model training."
+//
+//   (a) Plinius with 9 random crash/resume events: the loss curve follows
+//       the no-crash baseline closely (no breaks at crash points);
+//   (b) without crash resilience, every crash restarts training from
+//       scratch: total iterations to finish exceed 1000.
+#include <cstdio>
+#include <vector>
+
+#include "common/error.h"
+#include "ml/config.h"
+#include "ml/synth_digits.h"
+#include "plinius/platform.h"
+#include "plinius/trainer.h"
+
+namespace {
+
+using namespace plinius;
+
+constexpr std::uint64_t kTargetIterations = 500;
+constexpr int kCrashes = 9;
+
+std::vector<float> train_no_crash(const ml::Dataset& data) {
+  Platform platform(MachineProfile::emlsgx_pm(), 160u << 20);
+  Trainer trainer(platform, ml::make_cnn_config(5, 4, 128), TrainerOptions{});
+  trainer.load_dataset(data);
+  (void)trainer.train(kTargetIterations);
+  return trainer.loss_history();
+}
+
+/// Trains with `kCrashes` random kills; resilient == true resumes from the
+/// PM mirror, false restarts from scratch (fresh weights, iteration 0).
+/// Returns the concatenated loss sequence of every executed iteration.
+std::vector<float> train_with_crashes(const ml::Dataset& data, bool resilient,
+                                      std::uint64_t seed) {
+  Platform platform(MachineProfile::emlsgx_pm(), 160u << 20);
+  Rng crash_rng(seed);
+
+  // The paper kills the process "every 10 to 15 minutes"; at its iteration
+  // rate that is roughly one kill per 52-64 executed iterations. Crashes are
+  // scheduled on *executed* iterations so the non-resilient run (which
+  // redoes work) experiences the same time-based kill pattern.
+  std::vector<std::uint64_t> crash_at;
+  std::uint64_t t = 0;
+  for (int i = 0; i < kCrashes; ++i) {
+    t += 52 + crash_rng.below(13);
+    crash_at.push_back(t);
+  }
+
+  TrainerOptions opt;
+  opt.backend = resilient ? CheckpointBackend::kPmMirror : CheckpointBackend::kNone;
+
+  std::vector<float> losses;
+  std::size_t next_crash = 0;
+  int restarts = 0;
+  const int max_restarts = 1000;  // safety for the non-resilient run
+  while (restarts < max_restarts) {
+    Trainer trainer(platform, ml::make_cnn_config(5, 4, 128), opt);
+    trainer.load_dataset(data);
+    const std::uint64_t resume_iter = trainer.resume_or_init();
+    bool crashed = false;
+    try {
+      (void)trainer.train(kTargetIterations, [&](std::uint64_t iter, float loss) {
+        losses.push_back(loss);
+        // Non-resilient runs restart at 0, so compare progress-since-start
+        // against the next scheduled crash in global executed iterations.
+        if (next_crash < crash_at.size() && losses.size() >= crash_at[next_crash]) {
+          ++next_crash;
+          throw SimulatedCrash("random kill");
+        }
+        (void)iter;
+        (void)resume_iter;
+      });
+    } catch (const SimulatedCrash&) {
+      crashed = true;
+      platform.pm().crash();  // the process died; PM keeps persisted state
+    }
+    if (!crashed) break;
+    ++restarts;
+  }
+  return losses;
+}
+
+float smooth_at(const std::vector<float>& losses, std::size_t i) {
+  // 10-point moving average for readable curves.
+  double sum = 0;
+  int n = 0;
+  for (std::size_t j = i >= 9 ? i - 9 : 0; j <= i && j < losses.size(); ++j) {
+    sum += losses[j];
+    ++n;
+  }
+  return static_cast<float>(sum / n);
+}
+
+}  // namespace
+
+int main() {
+  ml::SynthDigitsOptions dopt;
+  dopt.train_count = 8192;
+  dopt.test_count = 1;
+  const auto digits = ml::make_synth_digits(dopt);
+
+  std::printf("# Fig. 9 reproduction: loss curves under random crash/restore\n");
+  std::printf("# (5 LReLU conv layers, 500 iterations, batch 128, %d crashes)\n",
+              kCrashes);
+
+  const auto baseline = train_no_crash(digits.train);
+  const auto resilient = train_with_crashes(digits.train, /*resilient=*/true, 99);
+  const auto broken = train_with_crashes(digits.train, /*resilient=*/false, 99);
+
+  std::printf("\n## (a) loss curves (10-pt moving average)\n");
+  std::printf("%-10s %12s %18s\n", "iteration", "baseline", "plinius+9crashes");
+  for (std::size_t i = 24; i < kTargetIterations; i += 25) {
+    std::printf("%-10zu %12.4f %18.4f\n", i + 1, smooth_at(baseline, i),
+                smooth_at(resilient, i));
+  }
+
+  std::printf("\n## (b) executed iterations to finish %llu logical iterations\n",
+              static_cast<unsigned long long>(kTargetIterations));
+  std::printf("  plinius (resilient):     %zu\n", resilient.size());
+  std::printf("  non-resilient restarts:  %zu\n", broken.size());
+  std::printf("\n# Paper shape: the resilient curve tracks the baseline with no\n");
+  std::printf("# breaks at crash points; the non-resilient run needs >1000\n");
+  std::printf("# iterations in total because every crash restarts from scratch.\n");
+  return 0;
+}

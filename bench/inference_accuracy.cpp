@@ -1,0 +1,53 @@
+// §VI "Secure inference" — train a 12-layer LReLU CNN, then classify the
+// 10,000-image test set inside the enclave.
+//
+// Paper: "The model ... achieved an accuracy of 98.52% with the given
+// hyper-parameters." We train on the synthetic digit dataset (the MNIST
+// stand-in; see DESIGN.md), so the absolute number differs, but the claim
+// under test — secure in-enclave training reaches high accuracy and the
+// restored model classifies correctly — is reproduced.
+#include <cstdio>
+
+#include "ml/config.h"
+#include "ml/metrics.h"
+#include "ml/synth_digits.h"
+#include "plinius/platform.h"
+#include "plinius/trainer.h"
+
+int main() {
+  using namespace plinius;
+
+  std::printf("# Secure inference reproduction (12 LReLU conv layers)\n");
+
+  ml::SynthDigitsOptions dopt;
+  dopt.train_count = 20000;
+  dopt.test_count = 10000;  // the paper's 10k test images
+  const auto digits = ml::make_synth_digits(dopt);
+  const auto config = ml::make_cnn_config(12, 4, 128);
+
+  Platform platform(MachineProfile::emlsgx_pm(), 300u << 20);
+  Trainer trainer(platform, config, TrainerOptions{});
+  trainer.load_dataset(digits.train);
+  const float final_loss = trainer.train(700);
+  std::printf("trained 700 iterations, final batch loss %.4f\n", final_loss);
+
+  // Mirror-in into a fresh enclave model (as a crash-restart would) and
+  // classify with the restored weights: accuracy must carry over.
+  Trainer restored(platform, config, TrainerOptions{});
+  (void)restored.resume_or_init();
+
+  const double train_acc = restored.network().accuracy(
+      digits.train.x.values.data(), digits.train.y.values.data(), 2000);
+  const auto cm = ml::evaluate_confusion(restored.network(), digits.test);
+  const double test_acc = cm.accuracy();
+
+  std::printf("accuracy on 2,000 training samples: %.2f%%\n", 100.0 * train_acc);
+  std::printf("accuracy on 10,000 test samples:    %.2f%%\n", 100.0 * test_acc);
+  std::printf("macro-F1 on test set:               %.4f\n", cm.macro_f1());
+  std::printf("\nper-class precision / recall:\n");
+  for (std::size_t c = 0; c < cm.classes(); ++c) {
+    std::printf("  digit %zu: %.3f / %.3f\n", c, cm.precision(c), cm.recall(c));
+  }
+  std::printf("# Paper: 98.52%% on MNIST test set (synthetic-digit stand-in here).\n");
+  return test_acc > 0.90 ? 0 : 1;
+}

@@ -1,0 +1,128 @@
+// Real wall-clock micro-benchmarks (google-benchmark) for the kernels the
+// simulation's cost models abstract: AES-GCM sealing, SHA-256, GEMM,
+// im2col, PM-device store/flush bookkeeping, and a full Romulus
+// transaction. These measure the *host* machine, not the simulated one —
+// useful for validating that the framework's real compute (which does run)
+// is not a bottleneck for the experiment harnesses.
+#include <benchmark/benchmark.h>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "crypto/envelope.h"
+#include "crypto/gcm.h"
+#include "crypto/sha256.h"
+#include "ml/gemm.h"
+#include "ml/im2col.h"
+#include "pm/device.h"
+#include "romulus/romulus.h"
+
+namespace {
+
+using namespace plinius;
+
+void BM_AesGcmSeal(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Bytes key(16), plain(n);
+  Rng rng(1);
+  rng.fill(key.data(), key.size());
+  rng.fill(plain.data(), plain.size());
+  const crypto::AesGcm gcm(key);
+  Bytes out(crypto::sealed_size(n));
+  Rng iv_rng(2);
+  for (auto _ : state) {
+    crypto::seal_into(gcm, iv_rng, plain, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_AesGcmSeal)->Arg(4096)->Arg(1 << 20);
+
+void BM_AesGcmOpen(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Bytes key(16), plain(n);
+  Rng rng(1);
+  rng.fill(key.data(), key.size());
+  rng.fill(plain.data(), plain.size());
+  const crypto::AesGcm gcm(key);
+  Rng iv_rng(2);
+  const Bytes sealed = crypto::seal(gcm, iv_rng, plain);
+  Bytes out(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::open_into(gcm, sealed, out));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_AesGcmOpen)->Arg(4096)->Arg(1 << 20);
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)));
+  Rng(3).fill(data.data(), data.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_Sha256)->Arg(1 << 16);
+
+void BM_GemmNN(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> a(n * n), b(n * n), c(n * n, 0.0f);
+  Rng rng(4);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  for (auto _ : state) {
+    ml::gemm_nn(n, n, n, 1.0f, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * n * n * n,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmNN)->Arg(64)->Arg(256);
+
+void BM_Im2col(benchmark::State& state) {
+  const std::size_t c = 16, h = 28, w = 28, k = 3;
+  std::vector<float> im(c * h * w), col(c * k * k * h * w);
+  Rng rng(5);
+  for (auto& v : im) v = rng.normal();
+  for (auto _ : state) {
+    ml::im2col(im.data(), c, h, w, k, 1, 1, col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+}
+BENCHMARK(BM_Im2col);
+
+void BM_PmStoreFlushFence(benchmark::State& state) {
+  sim::Clock clock;
+  pm::PmDevice dev(clock, 1 << 20, pm::PmLatencyModel::optane());
+  Bytes data(4096);
+  Rng(6).fill(data.data(), data.size());
+  for (auto _ : state) {
+    dev.store(0, data.data(), data.size());
+    dev.flush(0, data.size(), pm::FlushKind::kClflushOpt);
+    dev.fence(pm::FenceKind::kSfence);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_PmStoreFlushFence);
+
+void BM_RomulusTransaction(benchmark::State& state) {
+  sim::Clock clock;
+  constexpr std::size_t kMain = 1 << 20;
+  pm::PmDevice dev(clock, romulus::Romulus::region_bytes(kMain),
+                   pm::PmLatencyModel::optane());
+  romulus::Romulus rom(dev, 0, kMain, romulus::PwbPolicy::clflushopt_sfence(), true);
+  std::size_t off = 0;
+  rom.run_transaction([&] { off = rom.pmalloc(4096); });
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    rom.run_transaction([&] {
+      for (int i = 0; i < 8; ++i) rom.tx_assign(off + 8 * i, ++v);
+    });
+  }
+}
+BENCHMARK(BM_RomulusTransaction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Small byte-buffer utilities shared across modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace plinius {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+using MutableByteSpan = std::span<std::uint8_t>;
+
+constexpr std::size_t operator""_KiB(unsigned long long v) { return v * 1024ULL; }
+constexpr std::size_t operator""_MiB(unsigned long long v) { return v * 1024ULL * 1024ULL; }
+constexpr std::size_t operator""_GiB(unsigned long long v) {
+  return v * 1024ULL * 1024ULL * 1024ULL;
+}
+
+/// Rounds n up to the next multiple of align (align must be a power of two).
+[[nodiscard]] constexpr std::size_t align_up(std::size_t n, std::size_t align) noexcept {
+  return (n + align - 1) & ~(align - 1);
+}
+
+[[nodiscard]] constexpr std::size_t align_down(std::size_t n, std::size_t align) noexcept {
+  return n & ~(align - 1);
+}
+
+/// Constant-time comparison for MACs and other secrets.
+[[nodiscard]] inline bool secure_equal(ByteSpan a, ByteSpan b) noexcept {
+  if (a.size() != b.size()) return false;
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+/// Best-effort secret scrubbing (volatile writes defeat dead-store
+/// elimination well enough for a simulation framework).
+inline void secure_zero(void* p, std::size_t n) noexcept {
+  auto* vp = static_cast<volatile std::uint8_t*>(p);
+  for (std::size_t i = 0; i < n; ++i) vp[i] = 0;
+}
+
+[[nodiscard]] std::string to_hex(ByteSpan data);
+[[nodiscard]] Bytes from_hex(const std::string& hex);
+
+}  // namespace plinius

@@ -1,0 +1,22 @@
+#include "common/clock.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace plinius::sim {
+
+std::string format_ns(Nanos ns) {
+  char buf[64];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", ns / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace plinius::sim

@@ -1,0 +1,74 @@
+// Simulated time base for the whole framework.
+//
+// Every device and platform model (PM, SSD, SGX transitions, CPU compute)
+// charges its cost to a sim::Clock instead of consuming wall-clock time.
+// Real computation (crypto, CNN training, Romulus transactions) still
+// executes for real; only *time* is modelled. Benchmarks report simulated
+// durations, which is what lets the paper's shapes reproduce deterministically
+// on hardware that has neither SGX nor Optane PM.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace plinius::sim {
+
+/// Simulated nanoseconds. Fractional values are allowed so that cost models
+/// can charge sub-nanosecond per-byte costs without rounding drift.
+using Nanos = double;
+
+constexpr Nanos operator""_ns(long double v) { return static_cast<Nanos>(v); }
+constexpr Nanos operator""_us(long double v) { return static_cast<Nanos>(v) * 1e3; }
+constexpr Nanos operator""_ms(long double v) { return static_cast<Nanos>(v) * 1e6; }
+constexpr Nanos operator""_s(long double v) { return static_cast<Nanos>(v) * 1e9; }
+
+/// A monotonically advancing simulated clock.
+///
+/// The clock is intentionally not a singleton (I.3): each Platform owns one
+/// and threads it through the components it builds.
+class Clock {
+ public:
+  Clock() = default;
+
+  /// Advances simulated time. Negative advances are a logic error.
+  void advance(Nanos d) {
+    if (d < 0) throw std::invalid_argument("Clock::advance: negative duration");
+    now_ += d;
+  }
+
+  [[nodiscard]] Nanos now() const noexcept { return now_; }
+
+  /// Resets time to zero (used between benchmark repetitions).
+  void reset() noexcept { now_ = 0; }
+
+ private:
+  Nanos now_ = 0;
+};
+
+/// Measures a span of simulated time on a clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock) noexcept : clock_(&clock), start_(clock.now()) {}
+
+  [[nodiscard]] Nanos elapsed() const noexcept { return clock_->now() - start_; }
+  void restart() noexcept { start_ = clock_->now(); }
+
+ private:
+  const Clock* clock_;
+  Nanos start_;
+};
+
+/// Converts a CPU-cycle count into simulated nanoseconds at a clock rate.
+[[nodiscard]] constexpr Nanos cycles_to_ns(double cycles, double ghz) {
+  return cycles / ghz;
+}
+
+/// Time to move `bytes` at `gib_per_s` GiB/s.
+[[nodiscard]] constexpr Nanos bandwidth_ns(double bytes, double gib_per_s) {
+  return bytes / (gib_per_s * 1.073741824);  // GiB/s expressed in bytes/ns
+}
+
+[[nodiscard]] std::string format_ns(Nanos ns);
+
+}  // namespace plinius::sim

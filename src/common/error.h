@@ -1,0 +1,69 @@
+// Error taxonomy for the framework (I.10: use exceptions for failures).
+//
+// Every subsystem throws a subclass of plinius::Error so callers can catch at
+// the granularity they care about. Crash injection uses a distinct type that
+// is *not* an Error: a simulated power failure is control flow for the fault
+// injector, not a failure of the library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace plinius {
+
+/// Base class for all library failures.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Cryptographic failure: bad key size, MAC verification failure, etc.
+class CryptoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Persistent-memory subsystem failure (bad pool, exhausted arena, ...).
+class PmError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Storage-device failure (bad path, short read, ...).
+class StorageError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// SGX runtime failure (ecall outside enclave, attestation failure, ...).
+class SgxError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// ML-framework failure (bad config, shape mismatch, ...).
+class MlError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown by the fault injector to unwind out of a transaction / training
+/// step at a simulated power-failure point. Deliberately not an Error:
+/// harness code catches it specifically and must not swallow it via
+/// catch (const Error&).
+class SimulatedCrash {
+ public:
+  explicit SimulatedCrash(std::string where) : where_(std::move(where)) {}
+  [[nodiscard]] const std::string& where() const noexcept { return where_; }
+
+ private:
+  std::string where_;
+};
+
+/// Precondition check (I.6). Kept as a function so the expression reads as a
+/// contract at call sites: expects(n > 0, "batch size must be positive").
+inline void expects(bool cond, const char* msg) {
+  if (!cond) throw Error(std::string("precondition violated: ") + msg);
+}
+
+}  // namespace plinius

@@ -1,0 +1,45 @@
+// Minimal leveled logger.
+//
+// Benchmarks print structured result tables on stdout; diagnostic logging
+// goes to stderr and is off by default so bench output stays machine-parsable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace plinius::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold. Defaults to kWarn; tests/benches may lower it.
+Level threshold() noexcept;
+void set_threshold(Level level) noexcept;
+
+void write(Level level, const std::string& msg);
+
+template <typename... Args>
+void logf(Level level, const char* fmt, Args... args) {
+  if (level < threshold()) return;
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  write(level, buf);
+}
+
+template <typename... Args>
+void debug(const char* fmt, Args... args) {
+  logf(Level::kDebug, fmt, args...);
+}
+template <typename... Args>
+void info(const char* fmt, Args... args) {
+  logf(Level::kInfo, fmt, args...);
+}
+template <typename... Args>
+void warn(const char* fmt, Args... args) {
+  logf(Level::kWarn, fmt, args...);
+}
+template <typename... Args>
+void error(const char* fmt, Args... args) {
+  logf(Level::kError, fmt, args...);
+}
+
+}  // namespace plinius::log

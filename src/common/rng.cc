@@ -1,0 +1,30 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace plinius {
+
+float Rng::normal() noexcept {
+  // Box–Muller; u1 is kept away from 0 so log() is finite.
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  return static_cast<float>(std::sqrt(-2.0 * std::log(u1)) *
+                            std::cos(2.0 * 3.14159265358979323846 * u2));
+}
+
+void Rng::fill(void* dst, std::size_t len) noexcept {
+  auto* p = static_cast<unsigned char*>(dst);
+  while (len >= 8) {
+    const std::uint64_t v = next();
+    std::memcpy(p, &v, 8);
+    p += 8;
+    len -= 8;
+  }
+  if (len > 0) {
+    const std::uint64_t v = next();
+    std::memcpy(p, &v, len);
+  }
+}
+
+}  // namespace plinius

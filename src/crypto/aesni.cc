@@ -1,0 +1,191 @@
+// AES-NI / PCLMULQDQ fast paths. This translation unit is compiled with
+// -maes -mpclmul -msse4.1 when the toolchain supports those flags; every
+// entry point double-checks CPU support at runtime, so calling code can
+// dispatch safely on any machine.
+#include <cstdlib>
+
+#include "crypto/aes.h"
+
+#if defined(__AES__) && defined(__PCLMUL__)
+#define PLINIUS_AESNI_COMPILED 1
+#include <wmmintrin.h>
+#include <emmintrin.h>
+#include <smmintrin.h>
+#else
+#define PLINIUS_AESNI_COMPILED 0
+#endif
+
+namespace plinius::crypto::detail {
+
+bool aesni_supported() noexcept {
+#if PLINIUS_AESNI_COMPILED
+  static const bool ok = __builtin_cpu_supports("aes") && __builtin_cpu_supports("sse4.1");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+bool clmul_supported() noexcept {
+#if PLINIUS_AESNI_COMPILED
+  static const bool ok = __builtin_cpu_supports("pclmul");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+#if PLINIUS_AESNI_COMPILED
+
+namespace {
+
+inline __m128i load_rk(const std::uint8_t* rk, int round) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + 16 * round));
+}
+
+inline __m128i encrypt_one(__m128i block, const __m128i* rks, int rounds) {
+  block = _mm_xor_si128(block, rks[0]);
+  for (int r = 1; r < rounds; ++r) block = _mm_aesenc_si128(block, rks[r]);
+  return _mm_aesenclast_si128(block, rks[rounds]);
+}
+
+// Big-endian increment of the low 32 bits of a counter block held in memory
+// byte order. bswap so the arithmetic is a plain add.
+inline __m128i inc32(__m128i ctr, std::uint32_t delta) {
+  alignas(16) std::uint8_t bytes[16];
+  _mm_store_si128(reinterpret_cast<__m128i*>(bytes), ctr);
+  std::uint32_t c = (std::uint32_t(bytes[12]) << 24) | (std::uint32_t(bytes[13]) << 16) |
+                    (std::uint32_t(bytes[14]) << 8) | std::uint32_t(bytes[15]);
+  c += delta;
+  bytes[12] = static_cast<std::uint8_t>(c >> 24);
+  bytes[13] = static_cast<std::uint8_t>(c >> 16);
+  bytes[14] = static_cast<std::uint8_t>(c >> 8);
+  bytes[15] = static_cast<std::uint8_t>(c);
+  return _mm_load_si128(reinterpret_cast<const __m128i*>(bytes));
+}
+
+}  // namespace
+
+void aesni_encrypt_blocks(const std::uint8_t* round_keys, int rounds,
+                          const std::uint8_t* in, std::uint8_t* out,
+                          std::size_t nblocks) {
+  __m128i rks[15];
+  for (int r = 0; r <= rounds; ++r) rks[r] = load_rk(round_keys, r);
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    const __m128i blk =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * i),
+                     encrypt_one(blk, rks, rounds));
+  }
+}
+
+void aesni_ctr_xcrypt(const std::uint8_t* round_keys, int rounds,
+                      const std::uint8_t counter[16], const std::uint8_t* in,
+                      std::uint8_t* out, std::size_t len) {
+  __m128i rks[15];
+  for (int r = 0; r <= rounds; ++r) rks[r] = load_rk(round_keys, r);
+  const __m128i ctr0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(counter));
+
+  std::size_t block = 0;
+  std::size_t off = 0;
+  // 4-wide pipeline keeps the AES units busy.
+  while (off + 64 <= len) {
+    __m128i b0 = inc32(ctr0, static_cast<std::uint32_t>(block + 0));
+    __m128i b1 = inc32(ctr0, static_cast<std::uint32_t>(block + 1));
+    __m128i b2 = inc32(ctr0, static_cast<std::uint32_t>(block + 2));
+    __m128i b3 = inc32(ctr0, static_cast<std::uint32_t>(block + 3));
+    b0 = _mm_xor_si128(b0, rks[0]);
+    b1 = _mm_xor_si128(b1, rks[0]);
+    b2 = _mm_xor_si128(b2, rks[0]);
+    b3 = _mm_xor_si128(b3, rks[0]);
+    for (int r = 1; r < rounds; ++r) {
+      b0 = _mm_aesenc_si128(b0, rks[r]);
+      b1 = _mm_aesenc_si128(b1, rks[r]);
+      b2 = _mm_aesenc_si128(b2, rks[r]);
+      b3 = _mm_aesenc_si128(b3, rks[r]);
+    }
+    b0 = _mm_aesenclast_si128(b0, rks[rounds]);
+    b1 = _mm_aesenclast_si128(b1, rks[rounds]);
+    b2 = _mm_aesenclast_si128(b2, rks[rounds]);
+    b3 = _mm_aesenclast_si128(b3, rks[rounds]);
+    const __m128i* pin = reinterpret_cast<const __m128i*>(in + off);
+    __m128i* pout = reinterpret_cast<__m128i*>(out + off);
+    _mm_storeu_si128(pout + 0, _mm_xor_si128(_mm_loadu_si128(pin + 0), b0));
+    _mm_storeu_si128(pout + 1, _mm_xor_si128(_mm_loadu_si128(pin + 1), b1));
+    _mm_storeu_si128(pout + 2, _mm_xor_si128(_mm_loadu_si128(pin + 2), b2));
+    _mm_storeu_si128(pout + 3, _mm_xor_si128(_mm_loadu_si128(pin + 3), b3));
+    block += 4;
+    off += 64;
+  }
+  while (off < len) {
+    const __m128i ks =
+        encrypt_one(inc32(ctr0, static_cast<std::uint32_t>(block)), rks, rounds);
+    alignas(16) std::uint8_t ksb[16];
+    _mm_store_si128(reinterpret_cast<__m128i*>(ksb), ks);
+    const std::size_t n = len - off < 16 ? len - off : 16;
+    for (std::size_t i = 0; i < n; ++i) out[off + i] = in[off + i] ^ ksb[i];
+    ++block;
+    off += n;
+  }
+}
+
+void clmul_gf128_mul(const std::uint8_t x[16], const std::uint8_t h[16],
+                     std::uint8_t out[16]) {
+  // GHASH field elements are bit-reflected; reverse the bytes and work with
+  // the reflected-reduction trick (reduce modulo x^128 + x^7 + x^2 + x + 1).
+  const __m128i bswap =
+      _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+  __m128i a = _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(x)), bswap);
+  __m128i b = _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(h)), bswap);
+
+  // Carry-less 128x128 -> 256 multiply (schoolbook with 4 clmuls).
+  __m128i t0 = _mm_clmulepi64_si128(a, b, 0x00);
+  __m128i t1 = _mm_clmulepi64_si128(a, b, 0x10);
+  __m128i t2 = _mm_clmulepi64_si128(a, b, 0x01);
+  __m128i t3 = _mm_clmulepi64_si128(a, b, 0x11);
+  t1 = _mm_xor_si128(t1, t2);
+  t0 = _mm_xor_si128(t0, _mm_slli_si128(t1, 8));
+  t3 = _mm_xor_si128(t3, _mm_srli_si128(t1, 8));
+
+  // Bit-reflect adjustment: shift the 256-bit product left by one.
+  __m128i lo_carry = _mm_srli_epi64(t0, 63);
+  __m128i hi_carry = _mm_srli_epi64(t3, 63);
+  __m128i lo = _mm_or_si128(_mm_slli_epi64(t0, 1), _mm_slli_si128(lo_carry, 8));
+  __m128i cross = _mm_srli_si128(lo_carry, 8);
+  __m128i hi = _mm_or_si128(_mm_slli_epi64(t3, 1), _mm_slli_si128(hi_carry, 8));
+  hi = _mm_or_si128(hi, cross);
+
+  // Reduction modulo x^128 + x^7 + x^2 + x + 1.
+  __m128i v = lo;
+  __m128i r = _mm_xor_si128(_mm_xor_si128(_mm_slli_epi64(v, 63), _mm_slli_epi64(v, 62)),
+                            _mm_slli_epi64(v, 57));
+  v = _mm_xor_si128(v, _mm_slli_si128(r, 8));
+  __m128i w = _mm_xor_si128(
+      _mm_xor_si128(_mm_srli_epi64(v, 1), _mm_srli_epi64(v, 2)), _mm_srli_epi64(v, 7));
+  // Bits shifted across the 64-bit lane boundary.
+  __m128i carry = _mm_xor_si128(
+      _mm_xor_si128(_mm_slli_epi64(v, 63), _mm_slli_epi64(v, 62)), _mm_slli_epi64(v, 57));
+  w = _mm_xor_si128(w, _mm_srli_si128(carry, 8));
+  __m128i result = _mm_xor_si128(hi, _mm_xor_si128(v, w));
+
+  result = _mm_shuffle_epi8(result, bswap);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), result);
+}
+
+#else  // !PLINIUS_AESNI_COMPILED
+
+void aesni_encrypt_blocks(const std::uint8_t*, int, const std::uint8_t*, std::uint8_t*,
+                          std::size_t) {
+  std::abort();  // unreachable: aesni_supported() returned false
+}
+void aesni_ctr_xcrypt(const std::uint8_t*, int, const std::uint8_t*,
+                      const std::uint8_t*, std::uint8_t*, std::size_t) {
+  std::abort();
+}
+void clmul_gf128_mul(const std::uint8_t*, const std::uint8_t*, std::uint8_t*) {
+  std::abort();
+}
+
+#endif
+
+}  // namespace plinius::crypto::detail

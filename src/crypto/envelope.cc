@@ -1,0 +1,47 @@
+#include "crypto/envelope.h"
+
+#include "common/error.h"
+
+namespace plinius::crypto {
+
+std::size_t unsealed_size(std::size_t sealed_len) {
+  if (sealed_len < kSealOverhead) throw CryptoError("unsealed_size: buffer too short");
+  return sealed_len - kSealOverhead;
+}
+
+void seal_into(const AesGcm& gcm, Rng& iv_rng, ByteSpan plain, MutableByteSpan out) {
+  if (out.size() != sealed_size(plain.size())) {
+    throw CryptoError("seal_into: output size mismatch");
+  }
+  std::uint8_t* iv = out.data();
+  std::uint8_t* ct = out.data() + kGcmIvSize;
+  std::uint8_t* tag = out.data() + kGcmIvSize + plain.size();
+
+  iv_rng.fill(iv, kGcmIvSize);
+  gcm.encrypt(ByteSpan(iv, kGcmIvSize), {}, plain, MutableByteSpan(ct, plain.size()), tag);
+}
+
+bool open_into(const AesGcm& gcm, ByteSpan sealed, MutableByteSpan plain) {
+  const std::size_t pt_len = unsealed_size(sealed.size());
+  if (plain.size() != pt_len) throw CryptoError("open_into: output size mismatch");
+  const std::uint8_t* iv = sealed.data();
+  const std::uint8_t* ct = sealed.data() + kGcmIvSize;
+  const std::uint8_t* tag = sealed.data() + kGcmIvSize + pt_len;
+  return gcm.decrypt(ByteSpan(iv, kGcmIvSize), {}, ByteSpan(ct, pt_len), plain, tag);
+}
+
+Bytes seal(const AesGcm& gcm, Rng& iv_rng, ByteSpan plain) {
+  Bytes out(sealed_size(plain.size()));
+  seal_into(gcm, iv_rng, plain, MutableByteSpan(out.data(), out.size()));
+  return out;
+}
+
+Bytes open(const AesGcm& gcm, ByteSpan sealed) {
+  Bytes out(unsealed_size(sealed.size()));
+  if (!open_into(gcm, sealed, MutableByteSpan(out.data(), out.size()))) {
+    throw CryptoError("open: authentication failed (corrupted or tampered buffer)");
+  }
+  return out;
+}
+
+}  // namespace plinius::crypto

@@ -1,0 +1,33 @@
+// Sealed-buffer byte format used for every encrypted object Plinius places
+// in PM or on disk: IV (12 B) || ciphertext || MAC (16 B). 28 bytes of
+// overhead per buffer, matching the paper's per-buffer accounting.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/gcm.h"
+
+namespace plinius::crypto {
+
+/// Size of the sealed form of a `plain_size`-byte buffer.
+[[nodiscard]] constexpr std::size_t sealed_size(std::size_t plain_size) noexcept {
+  return plain_size + kSealOverhead;
+}
+
+/// Plaintext size recoverable from a sealed buffer; throws if the buffer is
+/// shorter than the fixed overhead.
+[[nodiscard]] std::size_t unsealed_size(std::size_t sealed_len);
+
+/// Encrypts `plain` into `out` (IV || CT || MAC). `iv_rng` supplies the fresh
+/// 12-byte IV (the enclave runtime passes its sgx_read_rand-backed generator).
+void seal_into(const AesGcm& gcm, Rng& iv_rng, ByteSpan plain, MutableByteSpan out);
+
+/// Decrypts `sealed` into `plain`. Returns false (and zeroes `plain`) when
+/// the MAC does not verify — i.e. the PM/disk copy was corrupted or tampered.
+[[nodiscard]] bool open_into(const AesGcm& gcm, ByteSpan sealed, MutableByteSpan plain);
+
+/// Convenience allocating variants.
+[[nodiscard]] Bytes seal(const AesGcm& gcm, Rng& iv_rng, ByteSpan plain);
+[[nodiscard]] Bytes open(const AesGcm& gcm, ByteSpan sealed);  // throws CryptoError on MAC failure
+
+}  // namespace plinius::crypto

@@ -1,0 +1,213 @@
+#include "crypto/gcm.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace plinius::crypto {
+
+namespace {
+
+void xor_block(std::uint8_t* dst, const std::uint8_t* src) {
+  for (int i = 0; i < 16; ++i) dst[i] ^= src[i];
+}
+
+void put_be64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    p[i] = static_cast<std::uint8_t>(v);
+    v >>= 8;
+  }
+}
+
+void big_endian_inc32(std::uint8_t counter[16]) {
+  for (int i = 15; i >= 12; --i) {
+    if (++counter[i] != 0) break;
+  }
+}
+
+/// One-time verification that the PCLMUL path agrees with the portable field
+/// multiply; if it does not (e.g. an exotic compiler miscompiles the
+/// intrinsics), the library silently stays on the portable path.
+bool clmul_verified() {
+  static const bool ok = [] {
+    if (!detail::clmul_supported()) return false;
+    Rng rng(0xC1A0C1A0ULL);
+    for (int trial = 0; trial < 64; ++trial) {
+      std::uint8_t x[16], h[16], a[16], b[16];
+      rng.fill(x, 16);
+      rng.fill(h, 16);
+      gf128_mul(x, h, a);
+      detail::clmul_gf128_mul(x, h, b);
+      if (std::memcmp(a, b, 16) != 0) return false;
+    }
+    return true;
+  }();
+  return ok;
+}
+
+}  // namespace
+
+void gf128_mul(const std::uint8_t x[16], const std::uint8_t h[16], std::uint8_t out[16]) {
+  // Bit-serial multiply in the reflected GCM field (SP 800-38D §6.3).
+  std::uint64_t z_hi = 0, z_lo = 0;
+  std::uint64_t v_hi = (std::uint64_t(h[0]) << 56) | (std::uint64_t(h[1]) << 48) |
+                       (std::uint64_t(h[2]) << 40) | (std::uint64_t(h[3]) << 32) |
+                       (std::uint64_t(h[4]) << 24) | (std::uint64_t(h[5]) << 16) |
+                       (std::uint64_t(h[6]) << 8) | std::uint64_t(h[7]);
+  std::uint64_t v_lo = (std::uint64_t(h[8]) << 56) | (std::uint64_t(h[9]) << 48) |
+                       (std::uint64_t(h[10]) << 40) | (std::uint64_t(h[11]) << 32) |
+                       (std::uint64_t(h[12]) << 24) | (std::uint64_t(h[13]) << 16) |
+                       (std::uint64_t(h[14]) << 8) | std::uint64_t(h[15]);
+
+  for (int i = 0; i < 128; ++i) {
+    const std::uint8_t bit = (x[i / 8] >> (7 - (i % 8))) & 1;
+    if (bit) {
+      z_hi ^= v_hi;
+      z_lo ^= v_lo;
+    }
+    const bool lsb = (v_lo & 1) != 0;
+    v_lo = (v_lo >> 1) | (v_hi << 63);
+    v_hi >>= 1;
+    if (lsb) v_hi ^= 0xe100000000000000ULL;  // R = 11100001 || 0^120
+  }
+
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(z_hi >> (56 - 8 * i));
+  for (int i = 0; i < 8; ++i) out[8 + i] = static_cast<std::uint8_t>(z_lo >> (56 - 8 * i));
+}
+
+Ghash::Ghash(const std::uint8_t h[16]) {
+  std::memcpy(h_.data(), h, 16);
+  use_clmul_ = clmul_verified();
+}
+
+void Ghash::absorb_block(const std::uint8_t block[16]) {
+  xor_block(y_.data(), block);
+  std::uint8_t out[16];
+  if (use_clmul_) {
+    detail::clmul_gf128_mul(y_.data(), h_.data(), out);
+  } else {
+    gf128_mul(y_.data(), h_.data(), out);
+  }
+  std::memcpy(y_.data(), out, 16);
+}
+
+void Ghash::update(ByteSpan data) {
+  std::size_t off = 0;
+  if (partial_len_ > 0) {
+    const std::size_t need = 16 - partial_len_;
+    const std::size_t take = std::min(need, data.size());
+    std::memcpy(partial_.data() + partial_len_, data.data(), take);
+    partial_len_ += take;
+    off += take;
+    if (partial_len_ == 16) {
+      absorb_block(partial_.data());
+      partial_len_ = 0;
+    }
+  }
+  while (off + 16 <= data.size()) {
+    absorb_block(data.data() + off);
+    off += 16;
+  }
+  if (off < data.size()) {
+    std::memcpy(partial_.data(), data.data() + off, data.size() - off);
+    partial_len_ = data.size() - off;
+  }
+}
+
+void Ghash::update_padded(ByteSpan data) {
+  update(data);
+  if (partial_len_ > 0) {
+    std::memset(partial_.data() + partial_len_, 0, 16 - partial_len_);
+    absorb_block(partial_.data());
+    partial_len_ = 0;
+  }
+}
+
+void Ghash::finish_lengths(std::uint64_t aad_bytes, std::uint64_t ct_bytes) {
+  expects(partial_len_ == 0, "Ghash::finish_lengths: unpadded partial block");
+  std::uint8_t block[16];
+  put_be64(block, aad_bytes * 8);
+  put_be64(block + 8, ct_bytes * 8);
+  absorb_block(block);
+}
+
+void Ghash::digest(std::uint8_t out[16]) const { std::memcpy(out, y_.data(), 16); }
+
+AesGcm::AesGcm(ByteSpan key) : aes_(key) {
+  const std::uint8_t zero[16] = {};
+  aes_.encrypt_block(zero, h_.data());
+}
+
+void AesGcm::derive_j0(ByteSpan iv, std::uint8_t j0[16]) const {
+  if (iv.size() == kGcmIvSize) {
+    std::memcpy(j0, iv.data(), 12);
+    j0[12] = j0[13] = j0[14] = 0;
+    j0[15] = 1;
+    return;
+  }
+  // General-length IV: J0 = GHASH(IV || pad || [0]64 || [len(IV) bits]64).
+  Ghash g(h_.data());
+  g.update_padded(iv);
+  std::uint8_t block[16] = {};
+  put_be64(block + 8, static_cast<std::uint64_t>(iv.size()) * 8);
+  g.update(ByteSpan(block, 16));
+  g.digest(j0);
+}
+
+void AesGcm::encrypt(ByteSpan iv, ByteSpan aad, ByteSpan plain, MutableByteSpan cipher,
+                     std::uint8_t tag[kGcmTagSize]) const {
+  if (cipher.size() < plain.size()) throw CryptoError("AesGcm::encrypt: output too small");
+
+  std::uint8_t j0[16];
+  derive_j0(iv, j0);
+
+  std::uint8_t ctr[16];
+  std::memcpy(ctr, j0, 16);
+  big_endian_inc32(ctr);
+  aes_.ctr_xcrypt(ctr, plain, cipher);
+
+  Ghash g(h_.data());
+  g.update_padded(aad);
+  g.update_padded(ByteSpan(cipher.data(), plain.size()));
+  g.finish_lengths(aad.size(), plain.size());
+
+  std::uint8_t s[16];
+  g.digest(s);
+  std::uint8_t ekj0[16];
+  aes_.encrypt_block(j0, ekj0);
+  for (int i = 0; i < 16; ++i) tag[i] = s[i] ^ ekj0[i];
+}
+
+bool AesGcm::decrypt(ByteSpan iv, ByteSpan aad, ByteSpan cipher, MutableByteSpan plain,
+                     const std::uint8_t tag[kGcmTagSize]) const {
+  if (plain.size() < cipher.size()) throw CryptoError("AesGcm::decrypt: output too small");
+
+  std::uint8_t j0[16];
+  derive_j0(iv, j0);
+
+  Ghash g(h_.data());
+  g.update_padded(aad);
+  g.update_padded(cipher);
+  g.finish_lengths(aad.size(), cipher.size());
+
+  std::uint8_t s[16];
+  g.digest(s);
+  std::uint8_t ekj0[16];
+  aes_.encrypt_block(j0, ekj0);
+  std::uint8_t expected[16];
+  for (int i = 0; i < 16; ++i) expected[i] = s[i] ^ ekj0[i];
+
+  if (!secure_equal(ByteSpan(expected, 16), ByteSpan(tag, kGcmTagSize))) {
+    std::memset(plain.data(), 0, cipher.size());
+    return false;
+  }
+
+  std::uint8_t ctr[16];
+  std::memcpy(ctr, j0, 16);
+  big_endian_inc32(ctr);
+  aes_.ctr_xcrypt(ctr, cipher, plain);
+  return true;
+}
+
+}  // namespace plinius::crypto

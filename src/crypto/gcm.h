@@ -1,0 +1,76 @@
+// AES-128-GCM authenticated encryption (NIST SP 800-38D).
+//
+// This is the encryption engine the Plinius mirroring module uses (paper
+// §IV): every buffer mirrored to PM is encrypted with AES-GCM under a
+// 128-bit key, with a fresh random 12-byte IV per operation and a 16-byte
+// MAC appended for integrity — 28 bytes of metadata per encrypted buffer,
+// exactly the paper's accounting (§VI "CPU and memory overhead").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "crypto/aes.h"
+
+namespace plinius::crypto {
+
+inline constexpr std::size_t kGcmIvSize = 12;
+inline constexpr std::size_t kGcmTagSize = 16;
+/// IV + MAC appended to each encrypted buffer (28 B, as in the paper).
+inline constexpr std::size_t kSealOverhead = kGcmIvSize + kGcmTagSize;
+
+/// GHASH accumulator over GF(2^128). Uses PCLMULQDQ when available (verified
+/// against the portable implementation at startup), bit-serial otherwise.
+class Ghash {
+ public:
+  explicit Ghash(const std::uint8_t h[16]);
+
+  /// Absorbs data; callers append zero padding themselves where GCM needs it.
+  void update(ByteSpan data);
+
+  /// Absorbs data then pads with zeros to a 16-byte boundary.
+  void update_padded(ByteSpan data);
+
+  /// Absorbs the final [len(A)]64 || [len(C)]64 length block (lengths in bits).
+  void finish_lengths(std::uint64_t aad_bytes, std::uint64_t ct_bytes);
+
+  void digest(std::uint8_t out[16]) const;
+
+ private:
+  void absorb_block(const std::uint8_t block[16]);
+
+  std::array<std::uint8_t, 16> h_{};
+  std::array<std::uint8_t, 16> y_{};
+  std::array<std::uint8_t, 16> partial_{};
+  std::size_t partial_len_ = 0;
+  bool use_clmul_ = false;
+};
+
+/// Portable carry-less multiply in the GHASH field; exposed for tests.
+void gf128_mul(const std::uint8_t x[16], const std::uint8_t h[16], std::uint8_t out[16]);
+
+class AesGcm {
+ public:
+  explicit AesGcm(ByteSpan key);
+
+  /// Encrypts `plain` with the given 12-byte IV; writes ciphertext (same
+  /// length as plain) and the 16-byte tag.
+  void encrypt(ByteSpan iv, ByteSpan aad, ByteSpan plain, MutableByteSpan cipher,
+               std::uint8_t tag[kGcmTagSize]) const;
+
+  /// Decrypts and authenticates. Returns false on MAC mismatch (output is
+  /// zeroed in that case so corrupt plaintext can never leak out).
+  [[nodiscard]] bool decrypt(ByteSpan iv, ByteSpan aad, ByteSpan cipher,
+                             MutableByteSpan plain,
+                             const std::uint8_t tag[kGcmTagSize]) const;
+
+ private:
+  void derive_j0(ByteSpan iv, std::uint8_t j0[16]) const;
+
+  Aes aes_;
+  std::array<std::uint8_t, 16> h_{};  // hash subkey E_K(0^128)
+};
+
+}  // namespace plinius::crypto

@@ -1,0 +1,45 @@
+// SHA-256 (FIPS 180-4) and HMAC-SHA256 (RFC 2104).
+//
+// Used by the SGX simulation for enclave measurement (MRENCLAVE analogue),
+// sealing-key derivation, and the remote-attestation report MAC.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace plinius::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+
+  void update(ByteSpan data);
+  /// Finalizes and writes the digest; the object must not be updated after.
+  void final(std::uint8_t out[kDigestSize]);
+
+  /// One-shot convenience.
+  static std::array<std::uint8_t, kDigestSize> hash(ByteSpan data);
+
+ private:
+  void process_block(const std::uint8_t block[kBlockSize]);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::uint64_t total_len_ = 0;
+  std::size_t buffer_len_ = 0;
+  bool finalized_ = false;
+};
+
+/// HMAC-SHA256; key of any length.
+std::array<std::uint8_t, Sha256::kDigestSize> hmac_sha256(ByteSpan key, ByteSpan data);
+
+/// HKDF-style single-block key derivation: HMAC(key, info)[0..out.size).
+/// out.size() must be <= 32.
+void derive_key(ByteSpan key, ByteSpan info, MutableByteSpan out);
+
+}  // namespace plinius::crypto

@@ -1,0 +1,76 @@
+#include "ml/activation.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace plinius::ml {
+
+namespace {
+constexpr float kLeakySlope = 0.1f;  // Darknet's leaky coefficient
+}
+
+Activation activation_from_name(const std::string& name) {
+  if (name == "linear") return Activation::kLinear;
+  if (name == "leaky") return Activation::kLeakyRelu;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "logistic") return Activation::kLogistic;
+  if (name == "tanh") return Activation::kTanh;
+  throw MlError("unknown activation: " + name);
+}
+
+const char* activation_name(Activation a) {
+  switch (a) {
+    case Activation::kLinear:
+      return "linear";
+    case Activation::kLeakyRelu:
+      return "leaky";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kLogistic:
+      return "logistic";
+    case Activation::kTanh:
+      return "tanh";
+  }
+  return "?";
+}
+
+void activate(Activation a, float* x, std::size_t n) {
+  switch (a) {
+    case Activation::kLinear:
+      return;
+    case Activation::kLeakyRelu:
+      for (std::size_t i = 0; i < n; ++i) x[i] = x[i] > 0 ? x[i] : kLeakySlope * x[i];
+      return;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < n; ++i) x[i] = x[i] > 0 ? x[i] : 0;
+      return;
+    case Activation::kLogistic:
+      for (std::size_t i = 0; i < n; ++i) x[i] = 1.0f / (1.0f + std::exp(-x[i]));
+      return;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < n; ++i) x[i] = std::tanh(x[i]);
+      return;
+  }
+}
+
+void gradient(Activation a, const float* y, float* delta, std::size_t n) {
+  switch (a) {
+    case Activation::kLinear:
+      return;
+    case Activation::kLeakyRelu:
+      for (std::size_t i = 0; i < n; ++i) delta[i] *= y[i] > 0 ? 1.0f : kLeakySlope;
+      return;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < n; ++i) delta[i] *= y[i] > 0 ? 1.0f : 0.0f;
+      return;
+    case Activation::kLogistic:
+      for (std::size_t i = 0; i < n; ++i) delta[i] *= y[i] * (1.0f - y[i]);
+      return;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < n; ++i) delta[i] *= 1.0f - y[i] * y[i];
+      return;
+  }
+}
+
+}  // namespace plinius::ml

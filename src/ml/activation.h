@@ -1,0 +1,24 @@
+// Activation functions (paper §VI: "The convolutional layers use leaky
+// rectified linear unit (LReLU) as activation, and all output layers are
+// softmax layers").
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace plinius::ml {
+
+enum class Activation { kLinear, kLeakyRelu, kRelu, kLogistic, kTanh };
+
+/// Parses a Darknet config activation name ("leaky", "relu", "linear", ...).
+Activation activation_from_name(const std::string& name);
+const char* activation_name(Activation a);
+
+/// Applies the activation in place.
+void activate(Activation a, float* x, std::size_t n);
+
+/// Multiplies `delta` by the activation gradient, given post-activation
+/// outputs `y` (Darknet convention: gradients are computed from outputs).
+void gradient(Activation a, const float* y, float* delta, std::size_t n);
+
+}  // namespace plinius::ml

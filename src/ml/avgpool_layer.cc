@@ -1,0 +1,88 @@
+#include "ml/avgpool_layer.h"
+
+namespace plinius::ml {
+
+namespace {
+Shape avgpool_output_shape(Shape in, const AvgPoolConfig& c) {
+  if (c.size == 0) return Shape{in.c, 1, 1};  // global
+  if (c.stride == 0 || in.h < c.size || in.w < c.size) {
+    throw MlError("AvgPoolLayer: bad window/stride for input shape");
+  }
+  return Shape{in.c, (in.h - c.size) / c.stride + 1, (in.w - c.size) / c.stride + 1};
+}
+}  // namespace
+
+AvgPoolLayer::AvgPoolLayer(Shape in, const AvgPoolConfig& config)
+    : Layer(in, avgpool_output_shape(in, config)), config_(config) {}
+
+void AvgPoolLayer::forward(const float* input, std::size_t batch, bool /*train*/) {
+  const std::size_t in_hw = in_shape_.h * in_shape_.w;
+  if (global()) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t c = 0; c < in_shape_.c; ++c) {
+        const float* plane = input + (b * in_shape_.c + c) * in_hw;
+        double sum = 0;
+        for (std::size_t i = 0; i < in_hw; ++i) sum += plane[i];
+        output_[b * in_shape_.c + c] = static_cast<float>(sum / in_hw);
+      }
+    }
+    return;
+  }
+  const float inv = 1.0f / static_cast<float>(config_.size * config_.size);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < in_shape_.c; ++c) {
+      const float* plane = input + (b * in_shape_.c + c) * in_hw;
+      float* out =
+          output_.data() + (b * in_shape_.c + c) * out_shape_.h * out_shape_.w;
+      for (std::size_t oh = 0; oh < out_shape_.h; ++oh) {
+        for (std::size_t ow = 0; ow < out_shape_.w; ++ow) {
+          float sum = 0;
+          for (std::size_t kh = 0; kh < config_.size; ++kh) {
+            const std::size_t ih = oh * config_.stride + kh;
+            for (std::size_t kw = 0; kw < config_.size; ++kw) {
+              sum += plane[ih * in_shape_.w + ow * config_.stride + kw];
+            }
+          }
+          out[oh * out_shape_.w + ow] = sum * inv;
+        }
+      }
+    }
+  }
+}
+
+void AvgPoolLayer::backward(const float* /*input*/, float* input_delta,
+                            std::size_t batch) {
+  if (input_delta == nullptr) return;
+  const std::size_t in_hw = in_shape_.h * in_shape_.w;
+  if (global()) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t c = 0; c < in_shape_.c; ++c) {
+        const float g = delta_[b * in_shape_.c + c] / static_cast<float>(in_hw);
+        float* id = input_delta + (b * in_shape_.c + c) * in_hw;
+        for (std::size_t i = 0; i < in_hw; ++i) id[i] += g;
+      }
+    }
+    return;
+  }
+  const float inv = 1.0f / static_cast<float>(config_.size * config_.size);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < in_shape_.c; ++c) {
+      const float* d =
+          delta_.data() + (b * in_shape_.c + c) * out_shape_.h * out_shape_.w;
+      float* id = input_delta + (b * in_shape_.c + c) * in_hw;
+      for (std::size_t oh = 0; oh < out_shape_.h; ++oh) {
+        for (std::size_t ow = 0; ow < out_shape_.w; ++ow) {
+          const float g = d[oh * out_shape_.w + ow] * inv;
+          for (std::size_t kh = 0; kh < config_.size; ++kh) {
+            const std::size_t ih = oh * config_.stride + kh;
+            for (std::size_t kw = 0; kw < config_.size; ++kw) {
+              id[ih * in_shape_.w + ow * config_.stride + kw] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace plinius::ml

@@ -1,0 +1,28 @@
+// Average-pooling layer (Darknet's [avgpool] is global; we also support
+// windowed pooling with size/stride like maxpool).
+#pragma once
+
+#include "ml/layer.h"
+
+namespace plinius::ml {
+
+struct AvgPoolConfig {
+  // size == 0 means global average pooling (one value per channel).
+  std::size_t size = 0;
+  std::size_t stride = 0;
+};
+
+class AvgPoolLayer final : public Layer {
+ public:
+  AvgPoolLayer(Shape in, const AvgPoolConfig& config);
+
+  void forward(const float* input, std::size_t batch, bool train) override;
+  void backward(const float* input, float* input_delta, std::size_t batch) override;
+  [[nodiscard]] const char* type() const override { return "avgpool"; }
+
+ private:
+  [[nodiscard]] bool global() const noexcept { return config_.size == 0; }
+  AvgPoolConfig config_;
+};
+
+}  // namespace plinius::ml

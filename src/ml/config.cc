@@ -1,0 +1,238 @@
+#include "ml/config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "ml/avgpool_layer.h"
+#include "ml/connected_layer.h"
+#include "ml/dropout_layer.h"
+#include "ml/conv_layer.h"
+#include "ml/maxpool_layer.h"
+
+namespace plinius::ml {
+
+namespace {
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+}  // namespace
+
+bool ConfigSection::has(const std::string& key) const { return options.contains(key); }
+
+std::string ConfigSection::get(const std::string& key, const std::string& fallback) const {
+  const auto it = options.find(key);
+  return it == options.end() ? fallback : it->second;
+}
+
+long ConfigSection::get_int(const std::string& key, long fallback) const {
+  const auto it = options.find(key);
+  if (it == options.end()) return fallback;
+  try {
+    return std::stol(it->second);
+  } catch (const std::exception&) {
+    throw MlError("config: option '" + key + "' is not an integer: " + it->second);
+  }
+}
+
+double ConfigSection::get_double(const std::string& key, double fallback) const {
+  const auto it = options.find(key);
+  if (it == options.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw MlError("config: option '" + key + "' is not a number: " + it->second);
+  }
+}
+
+ModelConfig ModelConfig::parse(const std::string& text) {
+  ModelConfig config;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = trim(raw);
+    if (line.empty() || line[0] == '#' || line[0] == ';') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        throw MlError("config: unterminated section at line " + std::to_string(line_no));
+      }
+      config.sections.push_back({line.substr(1, line.size() - 2), {}});
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw MlError("config: expected key=value at line " + std::to_string(line_no));
+    }
+    if (config.sections.empty()) {
+      throw MlError("config: option before any section at line " +
+                    std::to_string(line_no));
+    }
+    config.sections.back().options[trim(line.substr(0, eq))] = trim(line.substr(eq + 1));
+  }
+  if (config.sections.empty() || config.sections.front().name != "net") {
+    throw MlError("config: first section must be [net]");
+  }
+  return config;
+}
+
+ModelConfig ModelConfig::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw MlError("config: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+std::string ModelConfig::to_string() const {
+  std::ostringstream out;
+  for (const auto& section : sections) {
+    out << '[' << section.name << "]\n";
+    for (const auto& [k, v] : section.options) out << k << '=' << v << '\n';
+    out << '\n';
+  }
+  return out.str();
+}
+
+const ConfigSection& ModelConfig::net() const {
+  expects(!sections.empty() && sections.front().name == "net",
+          "ModelConfig: missing [net] section");
+  return sections.front();
+}
+
+std::size_t ModelConfig::batch() const {
+  const long b = net().get_int("batch", 128);
+  expects(b > 0, "ModelConfig: batch must be positive");
+  return static_cast<std::size_t>(b);
+}
+
+SgdParams ModelConfig::sgd_params() const {
+  SgdParams p;
+  p.learning_rate = static_cast<float>(net().get_double("learning_rate", 0.1));
+  p.momentum = static_cast<float>(net().get_double("momentum", 0.9));
+  p.decay = static_cast<float>(net().get_double("decay", 0.0005));
+  return p;
+}
+
+namespace {
+// Parses "100,200,300" into a vector using stod/stol semantics.
+template <typename T, typename Conv>
+std::vector<T> parse_list(const std::string& text, Conv conv) {
+  std::vector<T> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto comma = text.find(',', pos);
+    const std::string item =
+        text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    try {
+      out.push_back(conv(item));
+    } catch (const std::exception&) {
+      throw MlError("config: malformed list item: " + item);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+}  // namespace
+
+LrSchedule ModelConfig::lr_schedule() const {
+  const auto& n = net();
+  LrSchedule s;
+  s.policy = LrSchedule::policy_from_name(n.get("policy", "constant"));
+  s.base_lr = static_cast<float>(n.get_double("learning_rate", 0.1));
+  if (n.has("steps")) {
+    s.steps = parse_list<std::uint64_t>(
+        n.get("steps", ""), [](const std::string& x) { return std::stoull(x); });
+  }
+  if (n.has("scales")) {
+    s.scales = parse_list<float>(n.get("scales", ""),
+                                 [](const std::string& x) { return std::stof(x); });
+  }
+  s.gamma = static_cast<float>(n.get_double("gamma", 0.99));
+  s.power = static_cast<float>(n.get_double("power", 4.0));
+  s.max_iterations = static_cast<std::uint64_t>(n.get_int("max_batches", 500));
+  s.burn_in = static_cast<std::uint64_t>(n.get_int("burn_in", 0));
+  return s;
+}
+
+Shape ModelConfig::input_shape() const {
+  const auto& n = net();
+  Shape s{static_cast<std::size_t>(n.get_int("channels", 1)),
+          static_cast<std::size_t>(n.get_int("height", 28)),
+          static_cast<std::size_t>(n.get_int("width", 28))};
+  expects(s.size() > 0, "ModelConfig: zero input shape");
+  return s;
+}
+
+Network build_network(const ModelConfig& config, Rng& init_rng) {
+  Network net(config.input_shape(), config.sgd_params());
+  net.set_lr_schedule(config.lr_schedule());
+
+  for (std::size_t i = 1; i < config.sections.size(); ++i) {
+    const ConfigSection& s = config.sections[i];
+    const Shape in = net.next_input_shape();
+    if (s.name == "convolutional") {
+      ConvConfig c;
+      c.filters = static_cast<std::size_t>(s.get_int("filters", 16));
+      c.ksize = static_cast<std::size_t>(s.get_int("size", 3));
+      c.stride = static_cast<std::size_t>(s.get_int("stride", 1));
+      c.pad = static_cast<std::size_t>(s.get_int("pad", 1));
+      c.batch_normalize = s.get_int("batch_normalize", 1) != 0;
+      c.activation = activation_from_name(s.get("activation", "leaky"));
+      net.add(std::make_unique<ConvLayer>(in, c, init_rng));
+    } else if (s.name == "maxpool") {
+      MaxPoolConfig c;
+      c.size = static_cast<std::size_t>(s.get_int("size", 2));
+      c.stride = static_cast<std::size_t>(s.get_int("stride", 2));
+      net.add(std::make_unique<MaxPoolLayer>(in, c));
+    } else if (s.name == "avgpool") {
+      AvgPoolConfig c;
+      c.size = static_cast<std::size_t>(s.get_int("size", 0));
+      c.stride = static_cast<std::size_t>(s.get_int("stride", c.size));
+      net.add(std::make_unique<AvgPoolLayer>(in, c));
+    } else if (s.name == "dropout") {
+      const float p = static_cast<float>(s.get_double("probability", 0.5));
+      net.add(std::make_unique<DropoutLayer>(in, p, init_rng.next()));
+    } else if (s.name == "connected") {
+      ConnectedConfig c;
+      c.outputs = static_cast<std::size_t>(s.get_int("output", 10));
+      c.activation = activation_from_name(s.get("activation", "linear"));
+      net.add(std::make_unique<ConnectedLayer>(in, c, init_rng));
+    } else if (s.name == "softmax") {
+      net.add(std::make_unique<SoftmaxLayer>(in));
+    } else {
+      throw MlError("config: unknown layer type [" + s.name + "]");
+    }
+  }
+  expects(net.num_layers() > 0, "build_network: config has no layers");
+  return net;
+}
+
+ModelConfig make_cnn_config(std::size_t conv_layers, std::size_t base_filters,
+                            std::size_t batch) {
+  expects(conv_layers >= 1, "make_cnn_config: need at least one conv layer");
+  std::ostringstream cfg;
+  cfg << "[net]\nbatch=" << batch
+      << "\nlearning_rate=0.1\nmomentum=0.9\ndecay=0.0005\n"
+         "height=28\nwidth=28\nchannels=1\n\n";
+
+  // Downsample with stride-2 convolutions at layers 1, 2 and 4 (28->14->7->4)
+  // and grow the filter count, mirroring the compact CNNs of the paper's
+  // evaluation; remaining layers are stride-1 LReLU convolutions.
+  std::size_t filters = base_filters;
+  for (std::size_t i = 0; i < conv_layers; ++i) {
+    const bool downsample = i == 0 || i == 1 || i == 3;
+    if (downsample && i > 0) filters *= 2;
+    cfg << "[convolutional]\nbatch_normalize=1\nfilters=" << filters
+        << "\nsize=3\nstride=" << (downsample ? 2 : 1)
+        << "\npad=1\nactivation=leaky\n\n";
+  }
+  cfg << "[connected]\noutput=10\nactivation=linear\n\n[softmax]\n";
+  return ModelConfig::parse(cfg.str());
+}
+
+}  // namespace plinius::ml

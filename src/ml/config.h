@@ -1,0 +1,72 @@
+// Darknet-style model configuration (paper §V: "The architecture of the
+// model and its hyper-parameters (e.g., layer types, batch size, learning
+// rate, etc.) are defined in a config file which is parsed into a config
+// data structure by sgx-darknet-helper in the untrusted runtime").
+//
+// Format:
+//   [net]
+//   batch=128
+//   learning_rate=0.1
+//   ...
+//   [convolutional]
+//   filters=16
+//   size=3
+//   ...
+//
+// Parsing happens outside the enclave (it is public hyper-parameter data,
+// see the threat model §III); the parsed structure is passed in via ecall.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/network.h"
+#include "ml/schedule.h"
+
+namespace plinius::ml {
+
+struct ConfigSection {
+  std::string name;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+};
+
+struct ModelConfig {
+  std::vector<ConfigSection> sections;
+
+  /// Parses the textual config format; throws MlError on malformed input.
+  static ModelConfig parse(const std::string& text);
+  static ModelConfig from_file(const std::string& path);
+
+  /// Serializes back to the textual format.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Convenience accessors on the [net] section.
+  [[nodiscard]] const ConfigSection& net() const;
+  [[nodiscard]] std::size_t batch() const;
+  [[nodiscard]] SgdParams sgd_params() const;
+  /// Learning-rate schedule from [net] policy=/steps=/scales=/gamma=/power=/
+  /// burn_in= options (Darknet semantics).
+  [[nodiscard]] LrSchedule lr_schedule() const;
+  [[nodiscard]] Shape input_shape() const;
+};
+
+/// Builds a ready-to-train Network from a parsed config. `init_rng` drives
+/// deterministic weight initialization.
+[[nodiscard]] Network build_network(const ModelConfig& config, Rng& init_rng);
+
+/// Generates a config like the paper's evaluation models: `conv_layers`
+/// LReLU convolutional layers (stride-2 downsampling interleaved to keep
+/// compute bounded) followed by a connected + softmax classifier head.
+[[nodiscard]] ModelConfig make_cnn_config(std::size_t conv_layers,
+                                          std::size_t base_filters = 8,
+                                          std::size_t batch = 128);
+
+}  // namespace plinius::ml

@@ -1,0 +1,29 @@
+// Dropout layer (Darknet's [dropout]).
+//
+// Training: each activation is zeroed with probability p and survivors are
+// scaled by 1/(1-p) (inverted dropout), so inference is a plain pass-through.
+#pragma once
+
+#include "common/rng.h"
+#include "ml/layer.h"
+
+namespace plinius::ml {
+
+class DropoutLayer final : public Layer {
+ public:
+  DropoutLayer(Shape in, float probability, std::uint64_t seed);
+
+  void forward(const float* input, std::size_t batch, bool train) override;
+  void backward(const float* input, float* input_delta, std::size_t batch) override;
+  [[nodiscard]] const char* type() const override { return "dropout"; }
+
+  [[nodiscard]] float probability() const noexcept { return probability_; }
+
+ private:
+  float probability_;
+  Rng rng_;
+  std::vector<float> mask_;  // 0 or 1/(1-p) per activation
+  bool last_forward_trained_ = false;
+};
+
+}  // namespace plinius::ml

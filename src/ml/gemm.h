@@ -1,0 +1,30 @@
+// Small dense GEMM kernels, in the style Darknet uses for its convolutional
+// and connected layers (im2col + gemm). Row-major storage throughout.
+//
+// C[M x N] = alpha * op(A) * op(B) + C, where op is optional transposition.
+// The kernels are written for the compiler's auto-vectorizer (unit-stride
+// inner loops over C/B rows), which is plenty for the MNIST-scale models in
+// the paper's evaluation.
+#pragma once
+
+#include <cstddef>
+
+namespace plinius::ml {
+
+/// C += alpha * A * B      (A: M x K, B: K x N)
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+             const float* b, float* c);
+
+/// C += alpha * A * B^T    (A: M x K, B: N x K)
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+             const float* b, float* c);
+
+/// C += alpha * A^T * B    (A: K x M, B: K x N)
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+             const float* b, float* c);
+
+/// General entry point mirroring Darknet's gemm(TA, TB, ...).
+void gemm(bool ta, bool tb, std::size_t m, std::size_t n, std::size_t k, float alpha,
+          const float* a, const float* b, float* c);
+
+}  // namespace plinius::ml

@@ -1,0 +1,65 @@
+#include "ml/im2col.h"
+
+namespace plinius::ml {
+
+void im2col(const float* data_im, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t ksize, std::size_t stride, std::size_t pad,
+            float* data_col) {
+  const std::size_t out_h = conv_out_dim(height, ksize, stride, pad);
+  const std::size_t out_w = conv_out_dim(width, ksize, stride, pad);
+  const std::size_t channels_col = channels * ksize * ksize;
+
+  for (std::size_t c = 0; c < channels_col; ++c) {
+    const std::size_t w_offset = c % ksize;
+    const std::size_t h_offset = (c / ksize) % ksize;
+    const std::size_t c_im = c / ksize / ksize;
+    for (std::size_t h = 0; h < out_h; ++h) {
+      // im_row = h*stride + h_offset - pad, computed in signed space.
+      const long im_row =
+          static_cast<long>(h * stride + h_offset) - static_cast<long>(pad);
+      float* out_row = data_col + (c * out_h + h) * out_w;
+      if (im_row < 0 || im_row >= static_cast<long>(height)) {
+        for (std::size_t w = 0; w < out_w; ++w) out_row[w] = 0;
+        continue;
+      }
+      const float* im_base = data_im + (c_im * height + im_row) * width;
+      for (std::size_t w = 0; w < out_w; ++w) {
+        const long im_col =
+            static_cast<long>(w * stride + w_offset) - static_cast<long>(pad);
+        out_row[w] = (im_col < 0 || im_col >= static_cast<long>(width))
+                         ? 0
+                         : im_base[im_col];
+      }
+    }
+  }
+}
+
+void col2im(const float* data_col, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t ksize, std::size_t stride, std::size_t pad,
+            float* data_im) {
+  const std::size_t out_h = conv_out_dim(height, ksize, stride, pad);
+  const std::size_t out_w = conv_out_dim(width, ksize, stride, pad);
+  const std::size_t channels_col = channels * ksize * ksize;
+
+  for (std::size_t c = 0; c < channels_col; ++c) {
+    const std::size_t w_offset = c % ksize;
+    const std::size_t h_offset = (c / ksize) % ksize;
+    const std::size_t c_im = c / ksize / ksize;
+    for (std::size_t h = 0; h < out_h; ++h) {
+      const long im_row =
+          static_cast<long>(h * stride + h_offset) - static_cast<long>(pad);
+      if (im_row < 0 || im_row >= static_cast<long>(height)) continue;
+      const float* col_row = data_col + (c * out_h + h) * out_w;
+      float* im_base = data_im + (c_im * height + im_row) * width;
+      for (std::size_t w = 0; w < out_w; ++w) {
+        const long im_col =
+            static_cast<long>(w * stride + w_offset) - static_cast<long>(pad);
+        if (im_col >= 0 && im_col < static_cast<long>(width)) {
+          im_base[im_col] += col_row[w];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace plinius::ml

@@ -1,0 +1,26 @@
+// im2col / col2im transforms (Darknet's convolution lowering).
+#pragma once
+
+#include <cstddef>
+
+namespace plinius::ml {
+
+/// Unrolls an image [channels x height x width] into a column matrix
+/// [channels*ksize*ksize x out_h*out_w] for GEMM-based convolution.
+void im2col(const float* data_im, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t ksize, std::size_t stride, std::size_t pad,
+            float* data_col);
+
+/// Inverse accumulation: scatters a column matrix back into the image,
+/// adding overlapping contributions (used for input gradients).
+void col2im(const float* data_col, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t ksize, std::size_t stride, std::size_t pad,
+            float* data_im);
+
+/// Output spatial extent of a convolution/pooling dimension.
+[[nodiscard]] constexpr std::size_t conv_out_dim(std::size_t in, std::size_t ksize,
+                                                 std::size_t stride, std::size_t pad) {
+  return (in + 2 * pad - ksize) / stride + 1;
+}
+
+}  // namespace plinius::ml

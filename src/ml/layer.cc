@@ -1,0 +1,17 @@
+#include "ml/layer.h"
+
+namespace plinius::ml {
+
+void sgd_update(std::span<float> values, std::span<float> grads, const SgdParams& p,
+                std::size_t batch, bool use_decay) {
+  expects(values.size() == grads.size(), "sgd_update: size mismatch");
+  const float lr = p.learning_rate / static_cast<float>(batch);
+  if (use_decay) {
+    const float d = -p.decay * static_cast<float>(batch);
+    for (std::size_t i = 0; i < values.size(); ++i) grads[i] += d * values[i];
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] += lr * grads[i];
+  for (std::size_t i = 0; i < values.size(); ++i) grads[i] *= p.momentum;
+}
+
+}  // namespace plinius::ml

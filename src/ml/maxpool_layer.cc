@@ -1,0 +1,67 @@
+#include "ml/maxpool_layer.h"
+
+#include <limits>
+
+namespace plinius::ml {
+
+namespace {
+Shape pool_output_shape(Shape in, const MaxPoolConfig& c) {
+  // Darknet pools with implicit right/bottom padding: out = ceil(in/stride)
+  // when size == stride; the general formula below matches its (in + size -
+  // 1)/stride + 1 variant for size != stride is overkill here — we use the
+  // common (in - size)/stride + 1 with required divisibility.
+  return Shape{in.c, (in.h - c.size) / c.stride + 1, (in.w - c.size) / c.stride + 1};
+}
+}  // namespace
+
+MaxPoolLayer::MaxPoolLayer(Shape in, const MaxPoolConfig& config)
+    : Layer(in, pool_output_shape(in, config)), config_(config) {
+  expects(config.size > 0 && config.stride > 0, "MaxPoolLayer: bad size/stride");
+  expects(in.h >= config.size && in.w >= config.size,
+          "MaxPoolLayer: window larger than input");
+}
+
+void MaxPoolLayer::forward(const float* input, std::size_t batch, bool /*train*/) {
+  argmax_.resize(batch * out_shape_.size());
+  const std::size_t in_hw = in_shape_.h * in_shape_.w;
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < in_shape_.c; ++c) {
+      const float* in_plane = input + (b * in_shape_.c + c) * in_hw;
+      const std::size_t plane_base = (b * in_shape_.c + c) * in_hw;
+      for (std::size_t oh = 0; oh < out_shape_.h; ++oh) {
+        for (std::size_t ow = 0; ow < out_shape_.w; ++ow) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t kh = 0; kh < config_.size; ++kh) {
+            const std::size_t ih = oh * config_.stride + kh;
+            for (std::size_t kw = 0; kw < config_.size; ++kw) {
+              const std::size_t iw = ow * config_.stride + kw;
+              const float v = in_plane[ih * in_shape_.w + iw];
+              if (v > best) {
+                best = v;
+                best_idx = ih * in_shape_.w + iw;
+              }
+            }
+          }
+          const std::size_t out_idx =
+              (b * in_shape_.c + c) * out_shape_.h * out_shape_.w +
+              oh * out_shape_.w + ow;
+          output_[out_idx] = best;
+          argmax_[out_idx] = static_cast<std::uint32_t>(plane_base + best_idx);
+        }
+      }
+    }
+  }
+}
+
+void MaxPoolLayer::backward(const float* /*input*/, float* input_delta,
+                            std::size_t batch) {
+  if (input_delta == nullptr) return;
+  const std::size_t total = batch * out_shape_.size();
+  for (std::size_t i = 0; i < total; ++i) {
+    input_delta[argmax_[i]] += delta_[i];
+  }
+}
+
+}  // namespace plinius::ml

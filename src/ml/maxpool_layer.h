@@ -1,0 +1,29 @@
+// Max-pooling layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/layer.h"
+
+namespace plinius::ml {
+
+struct MaxPoolConfig {
+  std::size_t size = 2;
+  std::size_t stride = 2;
+};
+
+class MaxPoolLayer final : public Layer {
+ public:
+  MaxPoolLayer(Shape in, const MaxPoolConfig& config);
+
+  void forward(const float* input, std::size_t batch, bool train) override;
+  void backward(const float* input, float* input_delta, std::size_t batch) override;
+  [[nodiscard]] const char* type() const override { return "maxpool"; }
+
+ private:
+  MaxPoolConfig config_;
+  std::vector<std::uint32_t> argmax_;  // winning input index per output cell
+};
+
+}  // namespace plinius::ml

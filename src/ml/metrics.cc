@@ -1,0 +1,94 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace plinius::ml {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t classes)
+    : classes_(classes), counts_(classes * classes, 0) {
+  expects(classes > 0, "ConfusionMatrix: need at least one class");
+}
+
+void ConfusionMatrix::add(std::size_t truth, std::size_t predicted) {
+  expects(truth < classes_ && predicted < classes_, "ConfusionMatrix: class out of range");
+  ++counts_[truth * classes_ + predicted];
+  ++total_;
+}
+
+std::uint64_t ConfusionMatrix::count(std::size_t truth, std::size_t predicted) const {
+  expects(truth < classes_ && predicted < classes_, "ConfusionMatrix: class out of range");
+  return counts_[truth * classes_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t correct = 0;
+  for (std::size_t c = 0; c < classes_; ++c) correct += counts_[c * classes_ + c];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(std::size_t c) const {
+  expects(c < classes_, "ConfusionMatrix: class out of range");
+  std::uint64_t predicted = 0;
+  for (std::size_t t = 0; t < classes_; ++t) predicted += counts_[t * classes_ + c];
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(counts_[c * classes_ + c]) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(std::size_t c) const {
+  expects(c < classes_, "ConfusionMatrix: class out of range");
+  std::uint64_t occurred = 0;
+  for (std::size_t p = 0; p < classes_; ++p) occurred += counts_[c * classes_ + p];
+  if (occurred == 0) return 0.0;
+  return static_cast<double>(counts_[c * classes_ + c]) / static_cast<double>(occurred);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    const double p = precision(c);
+    const double r = recall(c);
+    sum += (p + r) > 0 ? 2.0 * p * r / (p + r) : 0.0;
+  }
+  return sum / static_cast<double>(classes_);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream out;
+  out << "truth\\pred";
+  for (std::size_t c = 0; c < classes_; ++c) out << '\t' << c;
+  out << '\n';
+  for (std::size_t t = 0; t < classes_; ++t) {
+    out << t;
+    for (std::size_t p = 0; p < classes_; ++p) out << '\t' << count(t, p);
+    out << '\n';
+  }
+  return out.str();
+}
+
+ConfusionMatrix evaluate_confusion(Network& net, const Dataset& data,
+                                   std::size_t eval_batch) {
+  data.validate();
+  expects(data.size() > 0, "evaluate_confusion: empty dataset");
+  const std::size_t classes = net.output_shape().size();
+  expects(data.y.cols == classes, "evaluate_confusion: label width mismatch");
+
+  ConfusionMatrix cm(classes);
+  std::vector<std::size_t> pred(eval_batch);
+  for (std::size_t start = 0; start < data.size(); start += eval_batch) {
+    const std::size_t n = std::min(eval_batch, data.size() - start);
+    net.predict(data.x.row(start), n, pred.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* truth_row = data.y.row(start + i);
+      const std::size_t truth = static_cast<std::size_t>(
+          std::max_element(truth_row, truth_row + classes) - truth_row);
+      cm.add(truth, pred[i]);
+    }
+  }
+  return cm;
+}
+
+}  // namespace plinius::ml

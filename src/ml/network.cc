@@ -1,0 +1,121 @@
+#include "ml/network.h"
+
+#include <algorithm>
+
+namespace plinius::ml {
+
+Shape Network::next_input_shape() const {
+  return layers_.empty() ? input_shape_ : layers_.back()->output_shape();
+}
+
+void Network::add(std::unique_ptr<Layer> layer) {
+  expects(layer != nullptr, "Network::add: null layer");
+  expects(layer->input_shape() == next_input_shape(),
+          "Network::add: layer input shape does not chain");
+  layers_.push_back(std::move(layer));
+  prepared_batch_ = 0;
+}
+
+const Shape& Network::output_shape() const {
+  expects(!layers_.empty(), "Network: no layers");
+  return layers_.back()->output_shape();
+}
+
+const std::vector<float>& Network::output() const {
+  expects(!layers_.empty(), "Network: no layers");
+  return layers_.back()->output();
+}
+
+void Network::forward(const float* x, std::size_t batch, bool train) {
+  expects(!layers_.empty(), "Network::forward: no layers");
+  expects(batch > 0, "Network::forward: empty batch");
+  if (prepared_batch_ != batch) {
+    for (auto& l : layers_) l->prepare(batch);
+    prepared_batch_ = batch;
+  } else {
+    for (auto& l : layers_) std::fill(l->delta().begin(), l->delta().end(), 0.0f);
+  }
+
+  const float* input = x;
+  for (auto& l : layers_) {
+    l->forward(input, batch, train);
+    input = l->output().data();
+  }
+}
+
+void Network::backward(const float* x, std::size_t batch) {
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const float* input = i == 0 ? x : layers_[i - 1]->output().data();
+    float* input_delta = i == 0 ? nullptr : layers_[i - 1]->delta().data();
+    layers_[i]->backward(input, input_delta, batch);
+  }
+}
+
+void Network::update(std::size_t batch) {
+  for (auto& l : layers_) l->update(hyper_, batch);
+}
+
+float Network::train_batch(const float* x, const float* y, std::size_t batch) {
+  if (schedule_) hyper_.learning_rate = schedule_->at(iterations_);
+  forward(x, batch, /*train=*/true);
+  auto* softmax = dynamic_cast<SoftmaxLayer*>(layers_.back().get());
+  expects(softmax != nullptr, "Network::train_batch: last layer must be softmax");
+  const float loss = softmax->loss_and_delta(y, batch);
+  backward(x, batch);
+  update(batch);
+  ++iterations_;
+  return loss;
+}
+
+float Network::eval_loss(const float* x, const float* y, std::size_t batch) {
+  forward(x, batch, /*train=*/false);
+  auto* softmax = dynamic_cast<SoftmaxLayer*>(layers_.back().get());
+  expects(softmax != nullptr, "Network::eval_loss: last layer must be softmax");
+  return softmax->loss_and_delta(y, batch);
+}
+
+void Network::predict(const float* x, std::size_t batch, std::size_t* out) {
+  forward(x, batch, /*train=*/false);
+  const std::size_t n = output_shape().size();
+  const float* probs = output().data();
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* row = probs + b * n;
+    out[b] = static_cast<std::size_t>(std::max_element(row, row + n) - row);
+  }
+}
+
+double Network::accuracy(const float* x, const float* y, std::size_t count,
+                         std::size_t eval_batch) {
+  expects(count > 0, "Network::accuracy: empty set");
+  const std::size_t in_n = input_shape_.size();
+  const std::size_t out_n = output_shape().size();
+  std::vector<std::size_t> pred(eval_batch);
+  std::size_t correct = 0;
+
+  for (std::size_t start = 0; start < count; start += eval_batch) {
+    const std::size_t n = std::min(eval_batch, count - start);
+    predict(x + start * in_n, n, pred.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* truth_row = y + (start + i) * out_n;
+      const std::size_t truth =
+          static_cast<std::size_t>(std::max_element(truth_row, truth_row + out_n) -
+                                   truth_row);
+      correct += pred[i] == truth;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(count);
+}
+
+std::size_t Network::parameter_count() {
+  std::size_t n = 0;
+  for (auto& l : layers_) n += l->parameter_count();
+  return n;
+}
+
+std::size_t Network::forward_macs() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l->forward_macs();
+  return n;
+}
+
+}  // namespace plinius::ml

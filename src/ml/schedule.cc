@@ -1,0 +1,45 @@
+#include "ml/schedule.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace plinius::ml {
+
+LrSchedule::Policy LrSchedule::policy_from_name(const std::string& name) {
+  if (name == "constant") return Policy::kConstant;
+  if (name == "steps") return Policy::kSteps;
+  if (name == "exp") return Policy::kExp;
+  if (name == "poly") return Policy::kPoly;
+  throw MlError("unknown learning-rate policy: " + name);
+}
+
+float LrSchedule::at(std::uint64_t iter) const {
+  if (burn_in > 0 && iter < burn_in) {
+    return base_lr * std::pow(static_cast<float>(iter + 1) /
+                                  static_cast<float>(burn_in),
+                              burn_power);
+  }
+  switch (policy) {
+    case Policy::kConstant:
+      return base_lr;
+    case Policy::kSteps: {
+      float lr = base_lr;
+      for (std::size_t i = 0; i < steps.size(); ++i) {
+        if (iter >= steps[i]) lr *= i < scales.size() ? scales[i] : 0.1f;
+      }
+      return lr;
+    }
+    case Policy::kExp:
+      return base_lr * std::pow(gamma, static_cast<float>(iter));
+    case Policy::kPoly: {
+      if (max_iterations == 0) return base_lr;
+      const float frac = std::min(
+          1.0f, static_cast<float>(iter) / static_cast<float>(max_iterations));
+      return base_lr * std::pow(1.0f - frac, power);
+    }
+  }
+  return base_lr;
+}
+
+}  // namespace plinius::ml

@@ -1,0 +1,39 @@
+// Learning-rate schedules (Darknet's [net] policy= options).
+//
+// Darknet adjusts the learning rate per iteration ("batch") according to a
+// policy; Plinius inherits this since the iteration counter survives
+// crashes via the mirror — a restored run continues the schedule exactly
+// where it stopped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace plinius::ml {
+
+struct LrSchedule {
+  enum class Policy { kConstant, kSteps, kExp, kPoly };
+
+  Policy policy = Policy::kConstant;
+  float base_lr = 0.1f;
+
+  // kSteps: at iteration steps[i], multiply the rate by scales[i].
+  std::vector<std::uint64_t> steps;
+  std::vector<float> scales;
+
+  float gamma = 0.99f;          // kExp: lr = base * gamma^iter
+  float power = 4.0f;           // kPoly: lr = base * (1 - iter/max)^power
+  std::uint64_t max_iterations = 500;
+
+  // Warm-up: lr ramps as (iter/burn_in)^burn_power until burn_in.
+  std::uint64_t burn_in = 0;
+  float burn_power = 2.0f;
+
+  /// Learning rate for iteration `iter` (0-based).
+  [[nodiscard]] float at(std::uint64_t iter) const;
+
+  static Policy policy_from_name(const std::string& name);
+};
+
+}  // namespace plinius::ml

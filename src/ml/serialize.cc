@@ -1,0 +1,84 @@
+#include "ml/serialize.h"
+
+#include <cstring>
+
+namespace plinius::ml {
+
+namespace {
+constexpr std::uint64_t kWeightsMagic = 0x504C4E57454948ULL;  // "PLNWEIH"
+
+void append_u64(Bytes& out, std::uint64_t v) {
+  const std::size_t off = out.size();
+  out.resize(off + 8);
+  std::memcpy(out.data() + off, &v, 8);
+}
+
+class Reader {
+ public:
+  explicit Reader(ByteSpan data) : data_(data) {}
+
+  std::uint64_t u64() {
+    if (off_ + 8 > data_.size()) throw MlError("weights blob: truncated");
+    std::uint64_t v;
+    std::memcpy(&v, data_.data() + off_, 8);
+    off_ += 8;
+    return v;
+  }
+
+  void floats(float* dst, std::size_t count) {
+    const std::size_t bytes = count * sizeof(float);
+    if (off_ + bytes > data_.size()) throw MlError("weights blob: truncated floats");
+    std::memcpy(dst, data_.data() + off_, bytes);
+    off_ += bytes;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept { return off_ == data_.size(); }
+
+ private:
+  ByteSpan data_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace
+
+Bytes serialize_weights(Network& net) {
+  Bytes out;
+  append_u64(out, kWeightsMagic);
+  append_u64(out, net.iterations());
+  append_u64(out, net.num_layers());
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    const auto buffers = net.layer(i).parameters();
+    append_u64(out, buffers.size());
+    for (const auto& buf : buffers) {
+      append_u64(out, buf.values.size());
+      const std::size_t off = out.size();
+      out.resize(off + buf.values.size_bytes());
+      std::memcpy(out.data() + off, buf.values.data(), buf.values.size_bytes());
+    }
+  }
+  return out;
+}
+
+void deserialize_weights(Network& net, ByteSpan blob) {
+  Reader in(blob);
+  if (in.u64() != kWeightsMagic) throw MlError("weights blob: bad magic");
+  const std::uint64_t iterations = in.u64();
+  if (in.u64() != net.num_layers()) throw MlError("weights blob: layer count mismatch");
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    auto buffers = net.layer(i).parameters();
+    if (in.u64() != buffers.size()) {
+      throw MlError("weights blob: buffer count mismatch at layer " + std::to_string(i));
+    }
+    for (auto& buf : buffers) {
+      if (in.u64() != buf.values.size()) {
+        throw MlError("weights blob: size mismatch in " + buf.name + " at layer " +
+                      std::to_string(i));
+      }
+      in.floats(buf.values.data(), buf.values.size());
+    }
+  }
+  if (!in.exhausted()) throw MlError("weights blob: trailing bytes");
+  net.set_iterations(iterations);
+}
+
+}  // namespace plinius::ml

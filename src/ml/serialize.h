@@ -1,0 +1,20 @@
+// Model weight (de)serialization — the equivalent of Darknet's
+// save_weights/load_weights, used by the SSD checkpointing baseline.
+//
+// Format (little-endian):
+//   u64 magic | u64 iterations | u64 num_layers
+//   per layer: u64 num_buffers, then per buffer: u64 float_count, floats
+#pragma once
+
+#include "common/bytes.h"
+#include "ml/network.h"
+
+namespace plinius::ml {
+
+[[nodiscard]] Bytes serialize_weights(Network& net);
+
+/// Loads weights into an architecturally identical network; throws MlError
+/// on any shape/layout mismatch. Restores the iteration counter.
+void deserialize_weights(Network& net, ByteSpan blob);
+
+}  // namespace plinius::ml

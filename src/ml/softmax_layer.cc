@@ -1,0 +1,48 @@
+#include "ml/softmax_layer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace plinius::ml {
+
+void SoftmaxLayer::forward(const float* input, std::size_t batch, bool /*train*/) {
+  const std::size_t n = in_shape_.size();
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* in = input + b * n;
+    float* out = output_.data() + b * n;
+    const float largest = *std::max_element(in, in + n);
+    float sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = std::exp(in[i] - largest);
+      sum += out[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) out[i] /= sum;
+  }
+}
+
+void SoftmaxLayer::backward(const float* /*input*/, float* input_delta,
+                            std::size_t batch) {
+  if (input_delta == nullptr) return;
+  const std::size_t total = batch * out_shape_.size();
+  for (std::size_t i = 0; i < total; ++i) input_delta[i] += delta_[i];
+}
+
+float SoftmaxLayer::loss_and_delta(const float* truth, std::size_t batch) {
+  const std::size_t n = out_shape_.size();
+  double loss = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* t = truth + b * n;
+    const float* p = output_.data() + b * n;
+    float* d = delta_.data() + b * n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (t[i] != 0.0f) {
+        loss -= static_cast<double>(t[i]) *
+                std::log(std::max(p[i], 1e-12f));
+      }
+      d[i] = t[i] - p[i];  // negative gradient of CE w.r.t. the logits
+    }
+  }
+  return static_cast<float>(loss / static_cast<double>(batch));
+}
+
+}  // namespace plinius::ml

@@ -1,0 +1,25 @@
+// Softmax output layer with cross-entropy loss.
+//
+// Following Darknet, the combined softmax + cross-entropy gradient
+// (truth - prediction, in the framework's negative-gradient convention) is
+// seeded into delta_ by Network::train_batch; backward just forwards it.
+#pragma once
+
+#include "ml/layer.h"
+
+namespace plinius::ml {
+
+class SoftmaxLayer final : public Layer {
+ public:
+  explicit SoftmaxLayer(Shape in) : Layer(in, in) {}
+
+  void forward(const float* input, std::size_t batch, bool train) override;
+  void backward(const float* input, float* input_delta, std::size_t batch) override;
+  [[nodiscard]] const char* type() const override { return "softmax"; }
+
+  /// Cross-entropy loss of the current output against one-hot truth, and
+  /// seeds delta_ with the combined gradient.
+  [[nodiscard]] float loss_and_delta(const float* truth, std::size_t batch);
+};
+
+}  // namespace plinius::ml

@@ -1,0 +1,121 @@
+#include "ml/synth_digits.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace plinius::ml {
+
+namespace {
+
+// 7x5 glyph bitmaps, one row-string per scanline.
+constexpr std::array<std::array<const char*, 7>, 10> kGlyphs = {{
+    {"01110", "10001", "10011", "10101", "11001", "10001", "01110"},  // 0
+    {"00100", "01100", "00100", "00100", "00100", "00100", "01110"},  // 1
+    {"01110", "10001", "00001", "00010", "00100", "01000", "11111"},  // 2
+    {"11111", "00010", "00100", "00010", "00001", "10001", "01110"},  // 3
+    {"00010", "00110", "01010", "10010", "11111", "00010", "00010"},  // 4
+    {"11111", "10000", "11110", "00001", "00001", "10001", "01110"},  // 5
+    {"00110", "01000", "10000", "11110", "10001", "10001", "01110"},  // 6
+    {"11111", "00001", "00010", "00100", "01000", "01000", "01000"},  // 7
+    {"01110", "10001", "10001", "01110", "10001", "10001", "01110"},  // 8
+    {"01110", "10001", "10001", "01111", "00001", "00010", "01100"},  // 9
+}};
+
+constexpr std::size_t kScale = 3;                  // glyph cell -> 3x3 pixels
+constexpr std::size_t kGlyphH = 7 * kScale;        // 21
+constexpr std::size_t kGlyphW = 5 * kScale;        // 15
+
+}  // namespace
+
+void render_digit(int digit, std::size_t shift_x, std::size_t shift_y, float intensity,
+                  float noise_stddev, Rng& rng, float* out) {
+  expects(digit >= 0 && digit < static_cast<int>(kDigitClasses),
+          "render_digit: digit out of range");
+  expects(shift_y + kGlyphH <= kDigitSide && shift_x + kGlyphW <= kDigitSide,
+          "render_digit: glyph out of frame");
+
+  float canvas[kDigitPixels] = {};
+  const auto& glyph = kGlyphs[static_cast<std::size_t>(digit)];
+  for (std::size_t gr = 0; gr < 7; ++gr) {
+    for (std::size_t gc = 0; gc < 5; ++gc) {
+      if (glyph[gr][gc] != '1') continue;
+      for (std::size_t dy = 0; dy < kScale; ++dy) {
+        for (std::size_t dx = 0; dx < kScale; ++dx) {
+          const std::size_t y = shift_y + gr * kScale + dy;
+          const std::size_t x = shift_x + gc * kScale + dx;
+          // Slight per-pixel stroke jitter makes strokes non-uniform.
+          canvas[y * kDigitSide + x] =
+              intensity * (0.85f + 0.3f * static_cast<float>(rng.uniform()));
+        }
+      }
+    }
+  }
+
+  // One 3x3 box-blur pass softens edges (anti-aliased pen strokes).
+  for (std::size_t y = 0; y < kDigitSide; ++y) {
+    for (std::size_t x = 0; x < kDigitSide; ++x) {
+      float sum = 0;
+      int count = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const long yy = static_cast<long>(y) + dy;
+          const long xx = static_cast<long>(x) + dx;
+          if (yy < 0 || xx < 0 || yy >= static_cast<long>(kDigitSide) ||
+              xx >= static_cast<long>(kDigitSide)) {
+            continue;
+          }
+          sum += canvas[yy * kDigitSide + xx];
+          ++count;
+        }
+      }
+      out[y * kDigitSide + x] = sum / static_cast<float>(count);
+    }
+  }
+
+  if (noise_stddev > 0) {
+    for (std::size_t i = 0; i < kDigitPixels; ++i) {
+      out[i] = std::clamp(out[i] + noise_stddev * rng.normal(), 0.0f, 1.0f);
+    }
+  }
+}
+
+namespace {
+
+Dataset generate_split(std::size_t count, Rng& rng, const SynthDigitsOptions& opt) {
+  Dataset data;
+  data.x = Matrix(count, kDigitPixels);
+  data.y = Matrix(count, kDigitClasses);
+
+  const std::size_t base_x = (kDigitSide - kGlyphW) / 2;  // 6
+  const std::size_t base_y = (kDigitSide - kGlyphH) / 2;  // 3
+  for (std::size_t i = 0; i < count; ++i) {
+    const int digit = static_cast<int>(rng.below(kDigitClasses));
+    const std::size_t max_shift = std::min({opt.max_shift, base_x, base_y});
+    const long sx = static_cast<long>(base_x) +
+                    static_cast<long>(rng.below(2 * max_shift + 1)) -
+                    static_cast<long>(max_shift);
+    const long sy = static_cast<long>(base_y) +
+                    static_cast<long>(rng.below(2 * max_shift + 1)) -
+                    static_cast<long>(max_shift);
+    const float intensity =
+        opt.intensity_min + (1.0f - opt.intensity_min) * static_cast<float>(rng.uniform());
+    render_digit(digit, static_cast<std::size_t>(sx), static_cast<std::size_t>(sy),
+                 intensity, opt.noise_stddev, rng, data.x.row(i));
+    data.y.row(i)[digit] = 1.0f;
+  }
+  return data;
+}
+
+}  // namespace
+
+SynthDigits make_synth_digits(const SynthDigitsOptions& options) {
+  SynthDigits out;
+  Rng train_rng(options.seed);
+  Rng test_rng(options.seed ^ 0x7E57DA7AULL);
+  out.train = generate_split(options.train_count, train_rng, options);
+  out.test = generate_split(options.test_count, test_rng, options);
+  return out;
+}
+
+}  // namespace plinius::ml

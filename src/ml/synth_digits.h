@@ -1,0 +1,46 @@
+// Synthetic handwritten-digit dataset — the offline substitute for MNIST.
+//
+// The paper evaluates on MNIST (70,000 28x28 grayscale digits: 60k train,
+// 10k test). The real files are not available in this offline environment,
+// so we generate a deterministic dataset with the same shape and task
+// structure: 10 classes of 28x28 grayscale images produced by rendering
+// digit glyphs and augmenting with random translation, per-stroke intensity
+// jitter, elastic-ish blur and additive noise. A CNN must learn
+// translation-robust shape features to classify it — the same qualitative
+// problem as MNIST — so loss-curve shapes, crash-resilience behaviour and
+// accuracy trends carry over (absolute accuracy differs; see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+
+#include "ml/data.h"
+
+namespace plinius::ml {
+
+struct SynthDigitsOptions {
+  std::size_t train_count = 60000;
+  std::size_t test_count = 10000;
+  std::uint64_t seed = 1234;
+  std::size_t max_shift = 3;     // +/- pixels of random translation
+  float noise_stddev = 0.08f;    // additive Gaussian noise
+  float intensity_min = 0.6f;    // per-image stroke intensity scale
+};
+
+struct SynthDigits {
+  Dataset train;
+  Dataset test;
+};
+
+/// Renders one digit (0-9) into a 28x28 float image with the given
+/// augmentation parameters; exposed for tests and demos.
+void render_digit(int digit, std::size_t shift_x, std::size_t shift_y, float intensity,
+                  float noise_stddev, Rng& rng, float* out28x28);
+
+/// Generates the full train/test split deterministically from the seed.
+[[nodiscard]] SynthDigits make_synth_digits(const SynthDigitsOptions& options = {});
+
+inline constexpr std::size_t kDigitSide = 28;
+inline constexpr std::size_t kDigitPixels = kDigitSide * kDigitSide;
+inline constexpr std::size_t kDigitClasses = 10;
+
+}  // namespace plinius::ml

@@ -1,0 +1,70 @@
+#include "plinius/checkpoint.h"
+
+#include "common/error.h"
+#include "crypto/envelope.h"
+#include "ml/serialize.h"
+
+namespace plinius {
+
+SsdCheckpointer::SsdCheckpointer(storage::SimFileSystem& fs,
+                                 sgx::EnclaveRuntime& enclave, crypto::AesGcm gcm,
+                                 std::string path)
+    : fs_(&fs),
+      enclave_(&enclave),
+      io_(enclave, fs),
+      gcm_(std::move(gcm)),
+      path_(std::move(path)) {}
+
+bool SsdCheckpointer::exists() const { return fs_->exists(path_); }
+
+void SsdCheckpointer::save(ml::Network& net) {
+  ++stats_.saves;
+  enclave_->charge_ecall();
+
+  // Encrypt step: serialize the model inside the enclave and seal it.
+  sim::Stopwatch enc(enclave_->clock());
+  const Bytes blob = ml::serialize_weights(net);   // reads every parameter buffer
+  enclave_->touch_enclave(blob.size());
+  enclave_->charge_plain_copy(blob.size());        // gather into the staging blob
+  enclave_->charge_crypto(blob.size());
+  Bytes sealed = crypto::seal(gcm_, enclave_->rng(), blob);
+  stats_.encrypt_ns += enc.elapsed();
+
+  // Write step: ocall-wrapped fwrite to the SSD, then flush + fsync
+  // (exactly the paper's sequence).
+  sim::Stopwatch wr(enclave_->clock());
+  sgx::UntrustedFile file = io_.fopen(path_, "w");
+  file.fwrite(sealed);
+  file.fsync();
+  stats_.write_ns += wr.elapsed();
+}
+
+std::uint64_t SsdCheckpointer::restore(ml::Network& net) {
+  if (!exists()) throw StorageError("SsdCheckpointer: no checkpoint at " + path_);
+  ++stats_.restores;
+  enclave_->charge_ecall();
+
+  // Read step: ocall-wrapped fread from the SSD into enclave memory.
+  sim::Stopwatch rd(enclave_->clock());
+  sgx::UntrustedFile file = io_.fopen(path_, "r");
+  Bytes sealed(file.size());
+  if (file.fread(sealed) != sealed.size()) {
+    throw StorageError("SsdCheckpointer: short read from " + path_);
+  }
+  stats_.read_ns += rd.elapsed();
+
+  // Decrypt step: authenticate, then deserialize into the layer arrays.
+  sim::Stopwatch de(enclave_->clock());
+  enclave_->charge_crypto(sealed.size());
+  const Bytes blob = crypto::open(gcm_, sealed);  // throws CryptoError on tamper
+  ml::deserialize_weights(net, blob);
+  enclave_->charge_plain_copy(blob.size());
+  stats_.decrypt_ns += de.elapsed();
+  return net.iterations();
+}
+
+void SsdCheckpointer::remove() {
+  if (fs_->exists(path_)) fs_->remove(path_);
+}
+
+}  // namespace plinius

@@ -1,0 +1,64 @@
+// SSD-based checkpointing — the state-of-the-art baseline Plinius is
+// compared against (paper §VI, "PM mirroring vs. SSD-based checkpointing").
+//
+// "For SSD checkpointing, we use ocalls to fread and fwrite libC routines to
+// read/write from/to SSD. After each call to fwrite, we flush the libC
+// buffers and issue an fsync, to ensure data is actually written to
+// secondary storage." The file traffic goes through sgx::UntrustedIo — the
+// ocall-wrapped stdio layer of the SGX-Darknet port — so every byte pays the
+// boundary costs. Saves are encrypt-then-write (the checkpoint must not
+// leak model parameters to untrusted storage); restores are read-then-
+// decrypt, plus deserialization into the enclave model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "crypto/gcm.h"
+#include "ml/network.h"
+#include "sgx/enclave.h"
+#include "sgx/untrusted_io.h"
+#include "storage/filesystem.h"
+
+namespace plinius {
+
+struct CheckpointStats {
+  sim::Nanos encrypt_ns = 0;
+  sim::Nanos write_ns = 0;  // ocalls + fwrite + fsync
+  sim::Nanos read_ns = 0;   // ocalls + fread into the enclave
+  sim::Nanos decrypt_ns = 0;
+  std::uint64_t saves = 0;
+  std::uint64_t restores = 0;
+};
+
+class SsdCheckpointer {
+ public:
+  SsdCheckpointer(storage::SimFileSystem& fs, sgx::EnclaveRuntime& enclave,
+                  crypto::AesGcm gcm, std::string path = "model.ckpt");
+
+  [[nodiscard]] bool exists() const;
+
+  /// Serializes, encrypts and writes the model checkpoint; fsyncs.
+  void save(ml::Network& net);
+
+  /// Reads, authenticates and loads the checkpoint into `net`.
+  /// Returns the recorded iteration. Throws CryptoError on tamper,
+  /// StorageError if absent.
+  std::uint64_t restore(ml::Network& net);
+
+  void remove();
+
+  [[nodiscard]] const CheckpointStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = CheckpointStats{}; }
+
+ private:
+  storage::SimFileSystem* fs_;
+  sgx::EnclaveRuntime* enclave_;
+  sgx::UntrustedIo io_;
+  crypto::AesGcm gcm_;
+  std::string path_;
+  CheckpointStats stats_;
+};
+
+}  // namespace plinius

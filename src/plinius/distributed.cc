@@ -1,0 +1,165 @@
+#include "plinius/distributed.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace plinius {
+
+DistributedTrainer::DistributedTrainer(const MachineProfile& profile,
+                                       std::size_t pm_bytes_per_worker,
+                                       const ml::ModelConfig& config,
+                                       ClusterOptions options)
+    : config_(config), options_(std::move(options)) {
+  expects(options_.workers >= 1, "DistributedTrainer: need at least one worker");
+  expects(options_.sync_every >= 1, "DistributedTrainer: sync_every must be >= 1");
+  platforms_.reserve(options_.workers);
+  trainers_.resize(options_.workers);
+  for (std::size_t w = 0; w < options_.workers; ++w) {
+    // Distinct platform seeds: independent machines with their own fused keys.
+    platforms_.push_back(std::make_unique<Platform>(profile, pm_bytes_per_worker,
+                                                    0x5367E0ULL + w));
+  }
+  // Identical weight init across workers (they start in sync, as after a
+  // broadcast of the initial model).
+  for (std::size_t w = 0; w < options_.workers; ++w) ensure_worker(w);
+}
+
+DistributedTrainer::~DistributedTrainer() = default;
+
+void DistributedTrainer::ensure_worker(std::size_t w) {
+  if (trainers_[w] != nullptr) return;
+  trainers_[w] = std::make_unique<Trainer>(*platforms_[w], config_, options_.trainer);
+  if (data_loaded_) {
+    trainers_[w]->load_dataset(shards_[w]);  // no-op if still resident in PM
+  }
+  (void)trainers_[w]->resume_or_init();
+}
+
+ml::Network& DistributedTrainer::network(std::size_t w) {
+  ensure_worker(w);
+  return trainers_.at(w)->network();
+}
+
+Trainer& DistributedTrainer::trainer(std::size_t w) {
+  ensure_worker(w);
+  return *trainers_.at(w);
+}
+
+void DistributedTrainer::load_dataset(const ml::Dataset& data) {
+  data.validate();
+  expects(data.size() >= options_.workers, "DistributedTrainer: dataset too small");
+  shards_.assign(options_.workers, ml::Dataset{});
+  const std::size_t per_worker = data.size() / options_.workers;
+  for (std::size_t w = 0; w < options_.workers; ++w) {
+    auto& shard = shards_[w];
+    shard.x = ml::Matrix(per_worker, data.x.cols);
+    shard.y = ml::Matrix(per_worker, data.y.cols);
+    for (std::size_t r = 0; r < per_worker; ++r) {
+      const std::size_t src = r * options_.workers + w;  // round-robin
+      std::memcpy(shard.x.row(r), data.x.row(src), data.x.cols * sizeof(float));
+      std::memcpy(shard.y.row(r), data.y.row(src), data.y.cols * sizeof(float));
+    }
+  }
+  data_loaded_ = true;
+  for (std::size_t w = 0; w < options_.workers; ++w) {
+    if (trainers_[w] != nullptr) trainers_[w]->load_dataset(shards_[w]);
+  }
+}
+
+void DistributedTrainer::kill_worker(std::size_t w) {
+  expects(w < trainers_.size(), "DistributedTrainer: bad worker index");
+  trainers_[w].reset();          // process dies, volatile state gone
+  platforms_[w]->pm().crash();   // PM keeps only persisted lines
+}
+
+sim::Nanos DistributedTrainer::elapsed_ns() const {
+  sim::Nanos latest = 0;
+  for (const auto& p : platforms_) latest = std::max(latest, p->clock().now());
+  return latest;
+}
+
+void DistributedTrainer::barrier() {
+  // All workers wait for the slowest.
+  const sim::Nanos latest = elapsed_ns();
+  for (auto& p : platforms_) {
+    p->clock().advance(latest - p->clock().now());
+  }
+}
+
+void DistributedTrainer::average_parameters() {
+  const std::size_t n = trainers_.size();
+  if (n == 1) return;
+  ++sync_rounds_;
+
+  // Communication: ring all-reduce of the sealed parameter blob — each
+  // worker sends/receives 2*(n-1)/n of the model per round, encrypted
+  // enclave-to-enclave.
+  const auto param_bytes = static_cast<double>(network(0).parameter_bytes());
+  const double wire_bytes = 2.0 * static_cast<double>(n - 1) / static_cast<double>(n) *
+                            param_bytes;
+  for (std::size_t w = 0; w < n; ++w) {
+    auto& platform = *platforms_[w];
+    platform.enclave().charge_crypto(static_cast<std::size_t>(wire_bytes));
+    platform.clock().advance(sim::bandwidth_ns(wire_bytes, options_.network_gib_s) +
+                             2.0 * static_cast<double>(n - 1) * options_.rtt_ns);
+  }
+
+  // The actual mathematics: average every parameter buffer across workers.
+  const std::size_t layers = network(0).num_layers();
+  for (std::size_t l = 0; l < layers; ++l) {
+    auto first = network(0).layer(l).parameters();
+    for (std::size_t b = 0; b < first.size(); ++b) {
+      std::span<float> acc = first[b].values;
+      for (std::size_t w = 1; w < n; ++w) {
+        const auto other = network(w).layer(l).parameters();
+        expects(other[b].values.size() == acc.size(),
+                "DistributedTrainer: parameter shape divergence");
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += other[b].values[i];
+      }
+      const float inv = 1.0f / static_cast<float>(n);
+      for (auto& v : acc) v *= inv;
+      for (std::size_t w = 1; w < n; ++w) {
+        auto other = network(w).layer(l).parameters();
+        std::copy(acc.begin(), acc.end(), other[b].values.begin());
+      }
+    }
+  }
+}
+
+float DistributedTrainer::train(std::uint64_t target_iterations) {
+  expects(data_loaded_, "DistributedTrainer: load_dataset first");
+
+  bool done = false;
+  while (!done) {
+    done = true;
+    for (std::size_t w = 0; w < trainers_.size(); ++w) {
+      ensure_worker(w);
+      const std::uint64_t current = trainers_[w]->network().iterations();
+      if (current >= target_iterations) continue;
+      const std::uint64_t goal =
+          std::min<std::uint64_t>(current + options_.sync_every, target_iterations);
+      (void)trainers_[w]->train(goal);
+      if (goal < target_iterations) done = false;
+    }
+    barrier();
+    average_parameters();
+    // Persist the averaged model on every worker so a post-average crash
+    // resumes with the synchronized weights.
+    for (std::size_t w = 0; w < trainers_.size(); ++w) {
+      if (options_.trainer.backend == CheckpointBackend::kPmMirror) {
+        trainers_[w]->mirror().mirror_out(trainers_[w]->network(),
+                                          trainers_[w]->network().iterations());
+      }
+    }
+  }
+
+  float mean_loss = 0;
+  for (auto& t : trainers_) {
+    mean_loss += t->loss_history().empty() ? 0.0f : t->loss_history().back();
+  }
+  return mean_loss / static_cast<float>(trainers_.size());
+}
+
+}  // namespace plinius

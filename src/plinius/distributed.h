@@ -1,0 +1,87 @@
+// Distributed Plinius training — the paper's second future-work direction
+// (§VIII: "we wish to explore distributed training using Plinius to
+// overcome the SGX EPC limitation", §VI: "A possible strategy to overcome
+// the EPC limitation could be to distribute the training job over multiple
+// secure CPUs").
+//
+// Data-parallel realization: N workers, each a full Plinius stack (its own
+// enclave, PM device, mirror, encrypted data shard). Workers run
+// `sync_every` local iterations, then average parameters over a simulated
+// network whose traffic is AES-GCM-sealed worker-to-worker (enclave-to-
+// enclave channels established by attestation, as in Fig. 5). Every worker
+// mirrors its model to its local PM each iteration, so any worker killed at
+// any point recovers locally and rejoins the next averaging round — the
+// paper's fault-tolerance story, made collective.
+//
+// Each worker owns an independent simulated clock; rounds synchronize at a
+// barrier (all clocks advance to the slowest worker + communication time),
+// so elapsed_ns() reports the true parallel wall time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/config.h"
+#include "ml/data.h"
+#include "plinius/platform.h"
+#include "plinius/trainer.h"
+
+namespace plinius {
+
+struct ClusterOptions {
+  std::size_t workers = 2;
+  std::size_t sync_every = 8;     // local iterations between averaging rounds
+  double network_gib_s = 1.16;    // ~10 GbE inter-node links
+  sim::Nanos rtt_ns = 60000.0;    // per exchange step
+  TrainerOptions trainer;         // per-worker configuration
+};
+
+class DistributedTrainer {
+ public:
+  /// Builds `options.workers` independent platforms with `profile`,
+  /// `pm_bytes_per_worker` of PM each.
+  DistributedTrainer(const MachineProfile& profile, std::size_t pm_bytes_per_worker,
+                     const ml::ModelConfig& config, ClusterOptions options);
+  ~DistributedTrainer();
+
+  DistributedTrainer(const DistributedTrainer&) = delete;
+  DistributedTrainer& operator=(const DistributedTrainer&) = delete;
+
+  /// Shards the dataset round-robin across the workers' PM devices.
+  void load_dataset(const ml::Dataset& data);
+
+  /// Trains until every worker has seen `target_iterations` iterations,
+  /// averaging parameters every sync_every iterations. Returns the mean
+  /// final loss across workers.
+  float train(std::uint64_t target_iterations);
+
+  /// Kills worker `w` (process death + PM power-fail semantics). It will be
+  /// reconstructed — resuming from its PM mirror — at its next use.
+  void kill_worker(std::size_t w);
+
+  [[nodiscard]] std::size_t workers() const noexcept { return trainers_.size(); }
+  [[nodiscard]] ml::Network& network(std::size_t w);
+  [[nodiscard]] Trainer& trainer(std::size_t w);
+
+  /// Parallel wall time: the maximum of the workers' clocks.
+  [[nodiscard]] sim::Nanos elapsed_ns() const;
+
+  /// Number of averaging rounds performed.
+  [[nodiscard]] std::uint64_t sync_rounds() const noexcept { return sync_rounds_; }
+
+ private:
+  void ensure_worker(std::size_t w);
+  void barrier();
+  void average_parameters();
+
+  ml::ModelConfig config_;
+  ClusterOptions options_;
+  std::vector<std::unique_ptr<Platform>> platforms_;
+  std::vector<std::unique_ptr<Trainer>> trainers_;
+  std::vector<ml::Dataset> shards_;
+  bool data_loaded_ = false;
+  std::uint64_t sync_rounds_ = 0;
+};
+
+}  // namespace plinius

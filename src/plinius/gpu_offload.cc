@@ -1,0 +1,82 @@
+#include "plinius/gpu_offload.h"
+
+#include "common/error.h"
+#include "crypto/envelope.h"
+#include "plinius/mirror.h"  // float_bytes helpers
+
+namespace plinius {
+
+GpuOffload::GpuOffload(Platform& platform, GpuModel gpu, crypto::AesGcm session_cipher)
+    : platform_(&platform), gpu_(std::move(gpu)), cipher_(std::move(session_cipher)) {}
+
+void GpuOffload::upload_weights(ml::Network& net) {
+  auto& enclave = platform_->enclave();
+  enclave.charge_ecall();
+  ++stats_.weight_uploads;
+
+  sim::Stopwatch sw(platform_->clock());
+
+  // Seal every parameter buffer in the enclave; concatenate as the DMA blob.
+  Bytes blob;
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    for (const auto& buf : net.layer(l).parameters()) {
+      const ByteSpan plain = float_bytes(buf.values);
+      enclave.touch_enclave(plain.size());
+      enclave.charge_crypto(plain.size());
+      const Bytes sealed = crypto::seal(cipher_, enclave.rng(), plain);
+      blob.insert(blob.end(), sealed.begin(), sealed.end());
+    }
+  }
+
+  // PCIe transfer of the ciphertext (this is all a bus snooper sees).
+  platform_->clock().advance(
+      sim::bandwidth_ns(static_cast<double>(blob.size()), gpu_.pcie_gib_s));
+
+  // GPU-side decryption inside the isolated context (Graviton-style);
+  // charged at native crypto speed.
+  enclave.charge_native_crypto(blob.size());
+  last_upload_ = std::move(blob);
+  weights_resident_ = true;
+  stats_.transfer_ns += sw.elapsed();
+}
+
+void GpuOffload::charge_training_iteration(ml::Network& net, std::size_t batch) {
+  expects(weights_resident_, "GpuOffload: upload_weights before training");
+  ++stats_.iterations;
+  auto& clock = platform_->clock();
+
+  // Input batch + per-layer activations/gradients cross PCIe sealed.
+  sim::Stopwatch transfer(clock);
+  std::size_t activation_bytes =
+      batch * net.input_shape().size() * sizeof(float);
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    activation_bytes += 2 * batch * net.layer(l).output_shape().size() * sizeof(float);
+  }
+  platform_->enclave().charge_crypto(activation_bytes / 8);  // batch + logits only
+  clock.advance(sim::bandwidth_ns(static_cast<double>(activation_bytes) / 8.0,
+                                  gpu_.pcie_gib_s));
+  stats_.transfer_ns += transfer.elapsed();
+
+  // The GEMMs (fwd + backward) at the GPU's sustained rate.
+  sim::Stopwatch compute(clock);
+  const double flops =
+      3.0 * 2.0 * static_cast<double>(net.forward_macs()) * static_cast<double>(batch);
+  clock.advance(flops / (gpu_.effective_tflops * 1e12) * 1e9);
+  clock.advance(static_cast<double>(net.num_layers() * gpu_.kernels_per_layer) *
+                gpu_.kernel_launch_ns);
+  stats_.compute_ns += compute.elapsed();
+
+  // Updated weights return to the enclave (sealed) for mirroring.
+  const std::size_t wbytes = net.parameter_bytes();
+  platform_->enclave().charge_crypto(wbytes);
+  clock.advance(sim::bandwidth_ns(static_cast<double>(wbytes), gpu_.pcie_gib_s));
+  platform_->enclave().copy_into_enclave(wbytes);
+}
+
+sim::Nanos GpuOffload::cpu_iteration_ns(ml::Network& net, std::size_t batch) const {
+  const double macs =
+      3.0 * static_cast<double>(net.forward_macs()) * static_cast<double>(batch);
+  return macs / platform_->profile().compute_macs_per_s * 1e9;
+}
+
+}  // namespace plinius

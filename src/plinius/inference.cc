@@ -1,0 +1,79 @@
+#include "plinius/inference.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "crypto/envelope.h"
+
+namespace plinius {
+
+InferenceService::InferenceService(Platform& platform, ml::Network& net,
+                                   crypto::AesGcm gcm)
+    : platform_(&platform),
+      net_(&net),
+      gcm_(std::move(gcm)),
+      reply_iv_rng_(platform.enclave().rng().next()) {}
+
+std::size_t InferenceService::input_size() const {
+  return net_->input_shape().size();
+}
+
+std::size_t InferenceService::classify(std::span<const float> sample) {
+  expects(sample.size() == input_size(), "InferenceService: wrong sample size");
+  sim::Stopwatch sw(platform_->clock());
+  ++stats_.queries;
+
+  platform_->charge_compute(static_cast<double>(net_->forward_macs()));
+  platform_->enclave().touch_enclave(net_->parameter_bytes());
+  std::size_t pred = 0;
+  net_->predict(sample.data(), 1, &pred);
+  stats_.total_ns += sw.elapsed();
+  return pred;
+}
+
+Bytes InferenceService::classify_sealed(ByteSpan sealed_sample) {
+  auto& enclave = platform_->enclave();
+  enclave.charge_ecall();
+
+  const std::size_t plain_len = input_size() * sizeof(float);
+  if (sealed_sample.size() != crypto::sealed_size(plain_len)) {
+    throw CryptoError("InferenceService: sealed query has wrong size");
+  }
+
+  enclave.copy_into_enclave(sealed_sample.size());
+  enclave.charge_crypto(sealed_sample.size());
+  sample_scratch_.resize(input_size());
+  auto plain = MutableByteSpan(reinterpret_cast<std::uint8_t*>(sample_scratch_.data()),
+                               plain_len);
+  if (!crypto::open_into(gcm_, sealed_sample, plain)) {
+    throw CryptoError("InferenceService: query failed authentication");
+  }
+
+  const std::uint64_t pred = classify(sample_scratch_);
+
+  std::uint8_t pred_bytes[8];
+  std::memcpy(pred_bytes, &pred, sizeof(pred));
+  enclave.charge_crypto(sizeof(pred_bytes));
+  Bytes reply = crypto::seal(gcm_, reply_iv_rng_, ByteSpan(pred_bytes, 8));
+  enclave.copy_out_of_enclave(reply.size());
+  return reply;
+}
+
+std::size_t InferenceService::open_prediction(const crypto::AesGcm& gcm,
+                                              ByteSpan sealed_prediction) {
+  const Bytes plain = crypto::open(gcm, sealed_prediction);
+  if (plain.size() != 8) throw CryptoError("open_prediction: bad payload size");
+  std::uint64_t pred = 0;
+  std::memcpy(&pred, plain.data(), 8);
+  return pred;
+}
+
+double InferenceService::evaluate(const ml::Dataset& test) {
+  test.validate();
+  expects(test.size() > 0, "InferenceService::evaluate: empty set");
+  platform_->charge_compute(static_cast<double>(net_->forward_macs()) *
+                            static_cast<double>(test.size()));
+  return net_->accuracy(test.x.values.data(), test.y.values.data(), test.size());
+}
+
+}  // namespace plinius

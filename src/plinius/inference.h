@@ -1,0 +1,59 @@
+// Secure inference (paper §VI, "Secure inference": "Plinius can also be
+// used for secure inference. We trained a CNN model ... and used the
+// trained model to classify 10,000 grayscale images").
+//
+// InferenceService hosts a trained enclave model (typically restored from
+// the PM mirror) and classifies inputs that arrive AES-GCM-sealed under the
+// provisioned data key — inference-as-a-service where neither the inputs,
+// the predictions, nor the model leave the enclave in plaintext.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/gcm.h"
+#include "ml/data.h"
+#include "ml/network.h"
+#include "plinius/platform.h"
+
+namespace plinius {
+
+struct InferenceStats {
+  std::uint64_t queries = 0;
+  sim::Nanos total_ns = 0;
+};
+
+class InferenceService {
+ public:
+  /// Takes a trained network (e.g. after Trainer::resume_or_init) and the
+  /// data key the clients seal their queries with.
+  InferenceService(Platform& platform, ml::Network& net, crypto::AesGcm gcm);
+
+  /// Classifies a plaintext sample already inside the enclave.
+  [[nodiscard]] std::size_t classify(std::span<const float> sample);
+
+  /// Decrypts a sealed sample (IV||CT||MAC of input_size floats), classifies
+  /// it, and returns the predicted class sealed back to the client.
+  /// Throws CryptoError if the query fails authentication.
+  [[nodiscard]] Bytes classify_sealed(ByteSpan sealed_sample);
+
+  /// Opens a sealed prediction produced by classify_sealed (client side).
+  [[nodiscard]] static std::size_t open_prediction(const crypto::AesGcm& gcm,
+                                                   ByteSpan sealed_prediction);
+
+  /// Accuracy over a labelled plaintext dataset (in-enclave evaluation).
+  [[nodiscard]] double evaluate(const ml::Dataset& test);
+
+  [[nodiscard]] std::size_t input_size() const;
+  [[nodiscard]] const InferenceStats& stats() const noexcept { return stats_; }
+
+ private:
+  Platform* platform_;
+  ml::Network* net_;
+  crypto::AesGcm gcm_;
+  InferenceStats stats_;
+  std::vector<float> sample_scratch_;
+  Rng reply_iv_rng_;
+};
+
+}  // namespace plinius

@@ -1,0 +1,77 @@
+#include "plinius/metrics_log.h"
+
+#include "common/error.h"
+
+namespace plinius {
+
+MetricsLog::MetricsLog(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave)
+    : rom_(&rom), enclave_(&enclave) {}
+
+bool MetricsLog::exists() const {
+  const std::uint64_t off = rom_->root(kRootSlot);
+  return off != 0 && rom_->read<std::uint64_t>(off) == kMagic;
+}
+
+MetricsLog::Header MetricsLog::header() const {
+  expects(exists(), "MetricsLog: no log in PM");
+  return rom_->read<Header>(rom_->root(kRootSlot));
+}
+
+void MetricsLog::create(std::size_t capacity) {
+  if (exists()) throw PmError("MetricsLog::create: log already exists");
+  expects(capacity > 0, "MetricsLog: capacity must be positive");
+  rom_->run_transaction([&] {
+    Header hdr{kMagic, capacity, 0, 0};
+    hdr.entries_off = rom_->pmalloc(capacity * sizeof(MetricsEntry));
+    const std::size_t hdr_off = rom_->pmalloc(sizeof(Header));
+    rom_->tx_store(hdr_off, &hdr, sizeof(hdr));
+    rom_->set_root(kRootSlot, hdr_off);
+  });
+}
+
+void MetricsLog::append(const MetricsEntry& entry) {
+  const Header hdr = header();
+  if (hdr.count >= hdr.capacity) throw PmError("MetricsLog: log is full");
+  rom_->run_transaction([&] {
+    rom_->tx_store(hdr.entries_off + hdr.count * sizeof(MetricsEntry), &entry,
+                   sizeof(entry));
+    rom_->tx_assign(rom_->root(kRootSlot) + offsetof(Header, count), hdr.count + 1);
+  });
+}
+
+std::size_t MetricsLog::size() const { return header().count; }
+std::size_t MetricsLog::capacity() const { return header().capacity; }
+
+MetricsEntry MetricsLog::at(std::size_t index) const {
+  const Header hdr = header();
+  if (index >= hdr.count) throw PmError("MetricsLog::at: index out of range");
+  rom_->device().charge_read(sizeof(MetricsEntry));
+  return rom_->read<MetricsEntry>(hdr.entries_off + index * sizeof(MetricsEntry));
+}
+
+std::vector<MetricsEntry> MetricsLog::all() const {
+  const Header hdr = header();
+  rom_->device().charge_read(hdr.count * sizeof(MetricsEntry));
+  std::vector<MetricsEntry> out(hdr.count);
+  for (std::uint64_t i = 0; i < hdr.count; ++i) {
+    out[i] = rom_->read<MetricsEntry>(hdr.entries_off + i * sizeof(MetricsEntry));
+  }
+  return out;
+}
+
+void MetricsLog::truncate_after(std::uint64_t iteration) {
+  const Header hdr = header();
+  std::uint64_t keep = hdr.count;
+  while (keep > 0) {
+    const auto e =
+        rom_->read<MetricsEntry>(hdr.entries_off + (keep - 1) * sizeof(MetricsEntry));
+    if (e.iteration <= iteration) break;
+    --keep;
+  }
+  if (keep == hdr.count) return;
+  rom_->run_transaction([&] {
+    rom_->tx_assign(rom_->root(kRootSlot) + offsetof(Header, count), keep);
+  });
+}
+
+}  // namespace plinius

@@ -1,0 +1,69 @@
+// Persistent training-metrics log.
+//
+// The paper's crash experiments (Figs. 9-10) plot loss curves across
+// process kills; the curve itself must survive the crashes to be plotted.
+// MetricsLog is an append-only, crash-consistent record of (iteration,
+// loss, learning-rate) entries in PM: appends ride the same Romulus
+// transaction machinery as the mirror, so the log never tears and never
+// disagrees with the mirrored model about how far training got.
+//
+// Entries are plaintext: loss values are aggregate statistics that do not
+// expose model parameters or training data (same argument as the paper's
+// public hyper-parameters, §III). A sealed variant would be trivial but
+// would make the common "tail -f the training curve" operation need keys.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "romulus/romulus.h"
+#include "sgx/enclave.h"
+
+namespace plinius {
+
+struct MetricsEntry {
+  std::uint64_t iteration;
+  float loss;
+  float learning_rate;
+};
+
+class MetricsLog {
+ public:
+  static constexpr int kRootSlot = 3;
+
+  MetricsLog(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave);
+
+  [[nodiscard]] bool exists() const;
+
+  /// Creates the log with a fixed capacity (one durable transaction).
+  void create(std::size_t capacity);
+
+  /// Appends one entry (durable transaction). Throws PmError when full.
+  void append(const MetricsEntry& entry);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const;
+  [[nodiscard]] MetricsEntry at(std::size_t index) const;
+  [[nodiscard]] std::vector<MetricsEntry> all() const;
+
+  /// Drops every entry with iteration > `iteration` — used after a crash to
+  /// reconcile the log with the restored mirror (entries from iterations
+  /// whose mirror-out never committed are stale).
+  void truncate_after(std::uint64_t iteration);
+
+ private:
+  struct Header {
+    std::uint64_t magic;
+    std::uint64_t capacity;
+    std::uint64_t count;
+    std::uint64_t entries_off;
+  };
+  static constexpr std::uint64_t kMagic = 0x504C4D4554524943ULL;  // "PLMETRIC"
+
+  [[nodiscard]] Header header() const;
+
+  romulus::Romulus* rom_;
+  sgx::EnclaveRuntime* enclave_;
+};
+
+}  // namespace plinius

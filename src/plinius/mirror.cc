@@ -1,0 +1,182 @@
+#include "plinius/mirror.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "crypto/envelope.h"
+
+namespace plinius {
+
+MirrorModel::MirrorModel(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave,
+                         crypto::AesGcm gcm)
+    : rom_(&rom), enclave_(&enclave), gcm_(std::move(gcm)) {}
+
+bool MirrorModel::exists() const {
+  const std::uint64_t off = rom_->root(kRootSlot);
+  if (off == 0) return false;
+  return rom_->read<std::uint64_t>(off) == kMagic;
+}
+
+MirrorModel::Header MirrorModel::header() const {
+  expects(exists(), "MirrorModel: no mirror in PM");
+  return rom_->read<Header>(rom_->root(kRootSlot));
+}
+
+std::uint64_t MirrorModel::iteration() const { return header().iteration; }
+
+void MirrorModel::alloc(ml::Network& net) {
+  if (exists()) throw PmError("MirrorModel::alloc: mirror already exists");
+  enclave_->charge_ecall();
+
+  rom_->run_transaction([&] {
+    Header hdr{kMagic, 0, net.num_layers(), 0};
+    const std::size_t hdr_off = rom_->pmalloc(sizeof(Header));
+
+    std::uint64_t prev_node = 0;
+    for (std::size_t i = 0; i < net.num_layers(); ++i) {
+      const auto buffers = net.layer(i).parameters();
+      if (buffers.size() > kMaxBuffersPerLayer) {
+        throw MlError("MirrorModel: layer has too many parameter buffers");
+      }
+      LayerNode node{};
+      node.num_buffers = buffers.size();
+      for (std::size_t b = 0; b < buffers.size(); ++b) {
+        const std::size_t sealed = crypto::sealed_size(buffers[b].values.size_bytes());
+        node.buf_off[b] = rom_->pmalloc(sealed);
+        node.buf_sealed_len[b] = sealed;
+      }
+      const std::size_t node_off = rom_->pmalloc(sizeof(LayerNode));
+      rom_->tx_store(node_off, &node, sizeof(node));
+      if (prev_node == 0) {
+        hdr.head = node_off;
+      } else {
+        // Patch the previous node's next pointer.
+        rom_->tx_assign(prev_node + offsetof(LayerNode, next),
+                        static_cast<std::uint64_t>(node_off));
+      }
+      prev_node = node_off;
+    }
+
+    rom_->tx_store(hdr_off, &hdr, sizeof(hdr));
+    rom_->set_root(kRootSlot, hdr_off);
+  });
+}
+
+void MirrorModel::mirror_out(ml::Network& net, std::uint64_t iteration) {
+  const Header hdr = header();
+  if (hdr.num_layers != net.num_layers()) {
+    throw MlError("MirrorModel::mirror_out: layer count mismatch");
+  }
+  ++stats_.saves;
+  enclave_->charge_ecall();
+  sim::Stopwatch total(enclave_->clock());
+  sim::Nanos encrypt_this_call = 0;
+
+  rom_->run_transaction([&] {
+    rom_->tx_assign(rom_->root(kRootSlot) + offsetof(Header, iteration), iteration);
+
+    std::uint64_t node_off = hdr.head;
+    for (std::size_t i = 0; i < net.num_layers(); ++i) {
+      expects(node_off != 0, "MirrorModel: truncated layer list");
+      const auto node = rom_->read<LayerNode>(node_off);
+      const auto buffers = net.layer(i).parameters();
+      if (node.num_buffers != buffers.size()) {
+        throw MlError("MirrorModel::mirror_out: buffer count mismatch");
+      }
+      for (std::size_t b = 0; b < buffers.size(); ++b) {
+        const ByteSpan plain = float_bytes(buffers[b].values);
+        if (node.buf_sealed_len[b] != crypto::sealed_size(plain.size())) {
+          throw MlError("MirrorModel::mirror_out: buffer size mismatch");
+        }
+
+        // Encrypt step: read the (EPC-resident) weights and seal them.
+        sim::Stopwatch enc(enclave_->clock());
+        enclave_->touch_enclave(plain.size());
+        enclave_->charge_crypto(plain.size());
+        scratch_.resize(node.buf_sealed_len[b]);
+        crypto::seal_into(gcm_, enclave_->rng(), plain,
+                          MutableByteSpan(scratch_.data(), scratch_.size()));
+        encrypt_this_call += enc.elapsed();
+
+        // Write step: transactional store into the PM mirror buffer.
+        rom_->tx_store(node.buf_off[b], scratch_.data(), scratch_.size());
+      }
+      node_off = node.next;
+    }
+  });
+
+  stats_.encrypt_ns += encrypt_this_call;
+  // Everything else in the save — PM stores, PWBs, fences and the Romulus
+  // twin-copy commit — is the "write" share of Table Ia.
+  stats_.write_ns += total.elapsed() - encrypt_this_call;
+}
+
+std::uint64_t MirrorModel::mirror_in(ml::Network& net) {
+  const Header hdr = header();
+  if (hdr.num_layers != net.num_layers()) {
+    throw MlError("MirrorModel::mirror_in: layer count mismatch");
+  }
+  ++stats_.restores;
+  enclave_->charge_ecall();
+
+  std::uint64_t node_off = hdr.head;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    expects(node_off != 0, "MirrorModel: truncated layer list");
+    const auto node = rom_->read<LayerNode>(node_off);
+    auto buffers = net.layer(i).parameters();
+    if (node.num_buffers != buffers.size()) {
+      throw MlError("MirrorModel::mirror_in: buffer count mismatch");
+    }
+    for (std::size_t b = 0; b < buffers.size(); ++b) {
+      const std::size_t sealed_len = node.buf_sealed_len[b];
+      if (sealed_len != crypto::sealed_size(buffers[b].values.size_bytes())) {
+        throw MlError("MirrorModel::mirror_in: buffer size mismatch");
+      }
+      if (node.buf_off[b] > rom_->main_size() ||
+          sealed_len > rom_->main_size() - node.buf_off[b]) {
+        throw PmError("MirrorModel::mirror_in: corrupt buffer offset in PM");
+      }
+
+      // Read step: PM -> enclave memory. In SGX simulation mode the enclave
+      // reads PM directly (no MEE crossing); on real SGX the sealed bytes
+      // are copied into EPC pages.
+      sim::Stopwatch rd(enclave_->clock());
+      rom_->device().charge_read(sealed_len);
+      if (enclave_->model().real_sgx) {
+        enclave_->copy_into_enclave(sealed_len);
+      }
+      scratch_.resize(sealed_len);
+      std::memcpy(scratch_.data(), rom_->main_base() + node.buf_off[b], sealed_len);
+      stats_.read_ns += rd.elapsed();
+
+      // Decrypt step: authenticate + decrypt into the layer's arrays.
+      sim::Stopwatch de(enclave_->clock());
+      enclave_->charge_crypto(sealed_len);
+      if (!crypto::open_into(gcm_, scratch_, float_bytes_mut(buffers[b].values))) {
+        throw CryptoError("MirrorModel::mirror_in: authentication failed for layer " +
+                          std::to_string(i) + " buffer " + buffers[b].name +
+                          " (PM mirror corrupted or tampered)");
+      }
+      enclave_->charge_plain_copy(buffers[b].values.size_bytes());
+      stats_.decrypt_ns += de.elapsed();
+    }
+    node_off = node.next;
+  }
+
+  net.set_iterations(hdr.iteration);
+  return hdr.iteration;
+}
+
+std::size_t MirrorModel::encryption_metadata_bytes() const {
+  const Header hdr = header();
+  std::size_t buffers = 0;
+  std::uint64_t node_off = hdr.head;
+  while (node_off != 0) {
+    const auto node = rom_->read<LayerNode>(node_off);
+    buffers += node.num_buffers;
+    node_off = node.next;
+  }
+  return buffers * crypto::kSealOverhead;
+}
+
+}  // namespace plinius

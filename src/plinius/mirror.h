@@ -1,0 +1,102 @@
+// Mirroring module (paper §IV, Algorithm 3) — Plinius' core contribution.
+//
+// Maintains an encrypted mirror copy of the enclave model in PM:
+//   * the PM model is a linked list of persistent layer nodes ("so as to
+//     simplify future modifications to the model's structure"), each
+//     pointing at AES-GCM-sealed copies of the layer's parameter buffers;
+//   * mirror-out (save): encrypt each buffer in the enclave and write it to
+//     PM inside a single Romulus durable transaction, together with the
+//     iteration counter — a crash mid-save recovers the previous mirror;
+//   * mirror-in (restore): read each sealed buffer from PM into the enclave
+//     and decrypt it into the model's layer arrays.
+//
+// Per-buffer encryption metadata is IV (12 B) + MAC (16 B) = 28 B; a
+// batch-normalized convolutional layer has 5 buffers, hence the paper's
+// 140 B/layer accounting, exposed via encryption_metadata_bytes().
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "crypto/gcm.h"
+#include "ml/network.h"
+#include "romulus/romulus.h"
+#include "sgx/enclave.h"
+
+namespace plinius {
+
+struct MirrorStats {
+  sim::Nanos encrypt_ns = 0;  // save: in-enclave encryption
+  sim::Nanos write_ns = 0;    // save: PM stores + PWBs + twin-copy commit
+  sim::Nanos read_ns = 0;     // restore: PM reads + copies into the enclave
+  sim::Nanos decrypt_ns = 0;  // restore: in-enclave decryption + layer copy
+  std::uint64_t saves = 0;
+  std::uint64_t restores = 0;
+};
+
+class MirrorModel {
+ public:
+  static constexpr int kRootSlot = 0;
+  static constexpr std::size_t kMaxBuffersPerLayer = 8;
+
+  MirrorModel(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave, crypto::AesGcm gcm);
+
+  /// True when a mirror model already exists in this PM region.
+  [[nodiscard]] bool exists() const;
+
+  /// Algorithm 3, alloc_mirror_model: allocates the persistent linked list
+  /// sized to `net`'s parameter buffers (one durable transaction).
+  /// Throws PmError if a mirror already exists.
+  void alloc(ml::Network& net);
+
+  /// Algorithm 3, mirror_out: encrypts the enclave model's parameters into
+  /// the PM mirror and records `iteration`, atomically.
+  void mirror_out(ml::Network& net, std::uint64_t iteration);
+
+  /// Algorithm 3, mirror_in: decrypts the PM mirror into the enclave model.
+  /// Returns the recorded iteration (also set on `net`). Throws CryptoError
+  /// if any buffer fails authentication, MlError on layout mismatch.
+  std::uint64_t mirror_in(ml::Network& net);
+
+  /// Iteration recorded by the last mirror_out (0 if none).
+  [[nodiscard]] std::uint64_t iteration() const;
+
+  /// Total PM bytes of encryption metadata (28 B per sealed buffer).
+  [[nodiscard]] std::size_t encryption_metadata_bytes() const;
+
+  [[nodiscard]] const MirrorStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = MirrorStats{}; }
+
+ private:
+  struct Header {
+    std::uint64_t magic;
+    std::uint64_t iteration;
+    std::uint64_t num_layers;
+    std::uint64_t head;  // offset of the first layer node
+  };
+  struct LayerNode {
+    std::uint64_t next;
+    std::uint64_t num_buffers;
+    std::uint64_t buf_off[kMaxBuffersPerLayer];
+    std::uint64_t buf_sealed_len[kMaxBuffersPerLayer];
+  };
+  static constexpr std::uint64_t kMagic = 0x504C4D4952524F52ULL;  // "PLMIRROR"
+
+  [[nodiscard]] Header header() const;
+
+  romulus::Romulus* rom_;
+  sgx::EnclaveRuntime* enclave_;
+  crypto::AesGcm gcm_;
+  MirrorStats stats_;
+  Bytes scratch_;
+};
+
+/// Reinterprets a float parameter buffer as bytes (for sealing).
+[[nodiscard]] inline ByteSpan float_bytes(std::span<const float> v) {
+  return ByteSpan(reinterpret_cast<const std::uint8_t*>(v.data()), v.size_bytes());
+}
+[[nodiscard]] inline MutableByteSpan float_bytes_mut(std::span<float> v) {
+  return MutableByteSpan(reinterpret_cast<std::uint8_t*>(v.data()), v.size_bytes());
+}
+
+}  // namespace plinius

@@ -1,0 +1,82 @@
+// PM data module (paper §IV/§V, "Initial dataset loading to PM").
+//
+// Training data is loaded into byte-addressable PM once; each record (an
+// image row + its one-hot label row) is stored AES-GCM-sealed. Every
+// training iteration decrypts a batch of records into enclave memory
+// (Algorithm 2, line 15: decrypt_pm_data(batch_size)). After a crash the
+// data is instantly available again — no re-reading from secondary storage.
+//
+// An unencrypted mode stores plaintext records, used as the comparison
+// baseline of Fig. 8 (overhead of batched data decryption).
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "crypto/gcm.h"
+#include "ml/data.h"
+#include "romulus/romulus.h"
+#include "sgx/enclave.h"
+
+namespace plinius {
+
+struct PmDataStats {
+  sim::Nanos decrypt_ns = 0;  // cumulative batch read+decrypt time
+  std::uint64_t batches = 0;
+  std::uint64_t records = 0;
+};
+
+class PmDataStore {
+ public:
+  static constexpr int kRootSlot = 1;
+
+  PmDataStore(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave, crypto::AesGcm gcm,
+              bool encrypted = true);
+
+  [[nodiscard]] bool exists() const;
+
+  /// One-time load of the dataset into PM (Fig. 5 step 4). The data arrives
+  /// from untrusted storage via ocall-chunked I/O and is written to PM in a
+  /// durable transaction. Throws PmError if data is already loaded.
+  void load(const ml::Dataset& data);
+
+  [[nodiscard]] std::size_t rows() const;
+  [[nodiscard]] std::size_t x_cols() const;
+  [[nodiscard]] std::size_t y_cols() const;
+  [[nodiscard]] bool encrypted() const;
+
+  /// Samples `batch` records uniformly and decrypts them into the enclave
+  /// buffers (x_out: batch*x_cols floats, y_out: batch*y_cols).
+  void sample_batch(std::size_t batch, Rng& rng, float* x_out, float* y_out);
+
+  /// Reads one record by index (bounds-checked).
+  void read_record(std::size_t index, float* x_out, float* y_out);
+
+  [[nodiscard]] const PmDataStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = PmDataStats{}; }
+
+ private:
+  struct Header {
+    std::uint64_t magic;
+    std::uint64_t rows;
+    std::uint64_t x_cols;
+    std::uint64_t y_cols;
+    std::uint64_t record_len;  // stored record length (sealed or plain)
+    std::uint64_t encrypted;
+    std::uint64_t records_off;
+  };
+  static constexpr std::uint64_t kMagic = 0x504C44415441504DULL;  // "PLDATAPM"
+
+  [[nodiscard]] Header header() const;
+
+  romulus::Romulus* rom_;
+  sgx::EnclaveRuntime* enclave_;
+  crypto::AesGcm gcm_;
+  bool encrypted_;
+  PmDataStats stats_;
+  Bytes scratch_;
+  std::vector<float> plain_scratch_;
+};
+
+}  // namespace plinius

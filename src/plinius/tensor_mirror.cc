@@ -1,0 +1,149 @@
+#include "plinius/tensor_mirror.h"
+
+#include <cstring>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "crypto/envelope.h"
+#include "plinius/mirror.h"  // float_bytes helpers
+
+namespace plinius {
+
+TensorMirror::TensorMirror(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave,
+                           crypto::AesGcm gcm)
+    : rom_(&rom), enclave_(&enclave), gcm_(std::move(gcm)) {}
+
+bool TensorMirror::exists() const {
+  const std::uint64_t off = rom_->root(kRootSlot);
+  return off != 0 && rom_->read<std::uint64_t>(off) == kMagic;
+}
+
+TensorMirror::Header TensorMirror::header() const {
+  expects(exists(), "TensorMirror: no tensor mirror in PM");
+  return rom_->read<Header>(rom_->root(kRootSlot));
+}
+
+std::vector<TensorMirror::Entry> TensorMirror::table(const Header& hdr) const {
+  std::vector<Entry> entries(hdr.count);
+  for (std::uint64_t i = 0; i < hdr.count; ++i) {
+    entries[i] = rom_->read<Entry>(hdr.table_off + i * sizeof(Entry));
+  }
+  return entries;
+}
+
+std::uint64_t TensorMirror::version() const { return header().version; }
+std::size_t TensorMirror::tensor_count() const { return header().count; }
+
+void TensorMirror::alloc(std::span<const NamedTensor> tensors) {
+  if (exists()) throw PmError("TensorMirror::alloc: tensor mirror already exists");
+  expects(!tensors.empty(), "TensorMirror::alloc: empty tensor set");
+
+  std::unordered_set<std::string> names;
+  for (const auto& t : tensors) {
+    if (t.name.size() > kMaxNameLen) {
+      throw MlError("TensorMirror: tensor name too long: " + t.name);
+    }
+    if (!names.insert(t.name).second) {
+      throw MlError("TensorMirror: duplicate tensor name: " + t.name);
+    }
+  }
+
+  enclave_->charge_ecall();
+  rom_->run_transaction([&] {
+    Header hdr{kMagic, 0, tensors.size(), 0};
+    hdr.table_off = rom_->pmalloc(tensors.size() * sizeof(Entry));
+    for (std::size_t i = 0; i < tensors.size(); ++i) {
+      Entry e{};
+      std::snprintf(e.name, sizeof(e.name), "%s", tensors[i].name.c_str());
+      e.plain_len = tensors[i].values.size_bytes();
+      e.sealed_len = crypto::sealed_size(e.plain_len);
+      e.sealed_off = rom_->pmalloc(e.sealed_len);
+      rom_->tx_store(hdr.table_off + i * sizeof(Entry), &e, sizeof(e));
+    }
+    const std::size_t hdr_off = rom_->pmalloc(sizeof(Header));
+    rom_->tx_store(hdr_off, &hdr, sizeof(hdr));
+    rom_->set_root(kRootSlot, hdr_off);
+  });
+}
+
+void TensorMirror::mirror_out(std::span<const NamedTensor> tensors,
+                              std::uint64_t version) {
+  const Header hdr = header();
+  if (hdr.count != tensors.size()) {
+    throw MlError("TensorMirror::mirror_out: tensor count mismatch");
+  }
+  const auto entries = table(hdr);
+
+  enclave_->charge_ecall();
+  rom_->run_transaction([&] {
+    rom_->tx_assign(rom_->root(kRootSlot) + offsetof(Header, version), version);
+    for (const auto& t : tensors) {
+      const Entry* entry = nullptr;
+      for (const Entry& e : entries) {
+        if (t.name == e.name) {
+          entry = &e;
+          break;
+        }
+      }
+      if (entry == nullptr) {
+        throw MlError("TensorMirror::mirror_out: unknown tensor " + t.name);
+      }
+      if (entry->plain_len != t.values.size_bytes()) {
+        throw MlError("TensorMirror::mirror_out: size mismatch for " + t.name);
+      }
+
+      enclave_->touch_enclave(entry->plain_len);
+      enclave_->charge_crypto(entry->plain_len);
+      scratch_.resize(entry->sealed_len);
+      crypto::seal_into(gcm_, enclave_->rng(),
+                        float_bytes(std::span<const float>(t.values)),
+                        MutableByteSpan(scratch_.data(), scratch_.size()));
+      rom_->tx_store(entry->sealed_off, scratch_.data(), scratch_.size());
+    }
+  });
+}
+
+std::uint64_t TensorMirror::mirror_in(std::span<NamedTensor> tensors) {
+  const Header hdr = header();
+  if (hdr.count != tensors.size()) {
+    throw MlError("TensorMirror::mirror_in: tensor count mismatch");
+  }
+  const auto entries = table(hdr);
+  enclave_->charge_ecall();
+
+  for (auto& t : tensors) {
+    const Entry* entry = nullptr;
+    for (const auto& e : entries) {
+      if (t.name == e.name) {
+        entry = &e;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      throw MlError("TensorMirror::mirror_in: unknown tensor " + t.name);
+    }
+    if (entry->plain_len != t.values.size_bytes()) {
+      throw MlError("TensorMirror::mirror_in: size mismatch for " + t.name);
+    }
+    if (entry->sealed_off > rom_->main_size() ||
+        entry->sealed_len > rom_->main_size() - entry->sealed_off) {
+      throw PmError("TensorMirror::mirror_in: corrupt tensor offset in PM");
+    }
+
+    rom_->device().charge_read(entry->sealed_len);
+    if (enclave_->model().real_sgx) enclave_->copy_into_enclave(entry->sealed_len);
+    scratch_.resize(entry->sealed_len);
+    std::memcpy(scratch_.data(), rom_->main_base() + entry->sealed_off,
+                entry->sealed_len);
+
+    enclave_->charge_crypto(entry->sealed_len);
+    if (!crypto::open_into(gcm_, scratch_, float_bytes_mut(t.values))) {
+      throw CryptoError("TensorMirror::mirror_in: authentication failed for tensor " +
+                        t.name);
+    }
+    enclave_->charge_plain_copy(entry->plain_len);
+  }
+  return hdr.version;
+}
+
+}  // namespace plinius

@@ -1,0 +1,81 @@
+// Tensor mirroring — the generality claim of paper §IV ("Integration with
+// different ML libraries"):
+//
+//   "To validate the generality of our architecture, we applied our
+//    mirroring mechanism within Tensorflow. ... Our implementation creates
+//    mirror copies of tensors in PM and restores them in enclave memory
+//    using Plinius's mirroring mechanism."
+//
+// TensorMirror mirrors an arbitrary set of *named float tensors* — the
+// shape TF checkpoints reduce to — with the same guarantees as the model
+// mirror: AES-GCM sealing per tensor, atomic (Romulus-transactional)
+// versioned updates, authentication on restore. MirrorModel is the
+// Darknet-specific layer-list instantiation; this is the library-agnostic
+// form.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/gcm.h"
+#include "romulus/romulus.h"
+#include "sgx/enclave.h"
+
+namespace plinius {
+
+struct NamedTensor {
+  std::string name;          // <= 47 bytes
+  std::span<float> values;
+};
+
+class TensorMirror {
+ public:
+  static constexpr int kRootSlot = 2;
+  static constexpr std::size_t kMaxNameLen = 47;
+
+  TensorMirror(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave, crypto::AesGcm gcm);
+
+  [[nodiscard]] bool exists() const;
+
+  /// Allocates PM mirrors for the tensor set (one durable transaction).
+  /// Tensor names must be unique and fit kMaxNameLen.
+  void alloc(std::span<const NamedTensor> tensors);
+
+  /// Atomically seals every tensor into its PM mirror and records `version`.
+  /// The set must match alloc()'s (same names, same sizes, any order).
+  void mirror_out(std::span<const NamedTensor> tensors, std::uint64_t version);
+
+  /// Restores every tensor (matched by name) from PM; returns the version.
+  /// Throws CryptoError on authentication failure, MlError on mismatch.
+  std::uint64_t mirror_in(std::span<NamedTensor> tensors);
+
+  [[nodiscard]] std::uint64_t version() const;
+  [[nodiscard]] std::size_t tensor_count() const;
+
+ private:
+  struct Header {
+    std::uint64_t magic;
+    std::uint64_t version;
+    std::uint64_t count;
+    std::uint64_t table_off;
+  };
+  struct Entry {
+    char name[kMaxNameLen + 1];
+    std::uint64_t plain_len;   // bytes
+    std::uint64_t sealed_off;  // offset of IV||CT||MAC in main
+    std::uint64_t sealed_len;
+  };
+  static constexpr std::uint64_t kMagic = 0x504C54454E534F52ULL;  // "PLTENSOR"
+
+  [[nodiscard]] Header header() const;
+  [[nodiscard]] std::vector<Entry> table(const Header& hdr) const;
+
+  romulus::Romulus* rom_;
+  sgx::EnclaveRuntime* enclave_;
+  crypto::AesGcm gcm_;
+  Bytes scratch_;
+};
+
+}  // namespace plinius

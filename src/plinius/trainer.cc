@@ -1,0 +1,188 @@
+#include "plinius/trainer.h"
+
+#include "common/error.h"
+
+namespace plinius {
+
+namespace {
+constexpr const char* kSealedKeyFile = "plinius.key.sealed";
+
+std::size_t romulus_main_size(const pm::PmDevice& dev) {
+  // Header page + twin copies fill the whole device.
+  return align_down((dev.size() - 64) / 2, pm::kCacheLine);
+}
+}  // namespace
+
+Trainer::Trainer(Platform& platform, const ml::ModelConfig& config,
+                 TrainerOptions options)
+    : platform_(&platform),
+      options_(options),
+      batch_(config.batch()),
+      net_([&] {
+        Rng init_rng(options.init_seed);
+        return ml::build_network(config, init_rng);
+      }()),
+      batch_rng_(options.batch_seed) {
+  auto& enclave = platform_->enclave();
+  enclave.charge_ecall();  // create_enclave_model(config) — Algorithm 2 line 2
+
+  // Account the enclave-resident model: parameters, gradients (~same size)
+  // and activation buffers for one batch.
+  const std::size_t param_bytes = net_.parameter_bytes();
+  std::size_t activation_bytes = 0;
+  for (std::size_t i = 0; i < net_.num_layers(); ++i) {
+    activation_bytes += 2 * batch_ * net_.layer(i).output_shape().size() * sizeof(float);
+  }
+  model_memory_ = std::make_unique<sgx::EnclaveBuffer>(
+      enclave, 2 * param_bytes + activation_bytes);
+
+  // Attach to (or format) the persistent region; this runs Romulus recovery
+  // if the previous process died mid-transaction (Algorithm 1).
+  auto& dev = platform_->pm();
+  // A fresh device is all zeroes -> no magic -> Romulus formats itself;
+  // otherwise this attach runs crash recovery (Algorithm 1).
+  rom_ = std::make_unique<romulus::Romulus>(
+      dev, 0, romulus_main_size(dev), romulus::PwbPolicy::clflushopt_sfence(),
+      /*format=*/false,
+      platform.profile().sgx.real_sgx ? romulus::ExecutionProfile::sgx_enclave()
+                                      : romulus::ExecutionProfile::native());
+
+  obtain_key();
+  const crypto::AesGcm gcm{key_};
+  if (options_.augment) {
+    augmenter_.emplace(net_.input_shape(), *options_.augment,
+                       options_.batch_seed ^ 0xA06E47ULL);
+  }
+  mirror_ = std::make_unique<MirrorModel>(*rom_, enclave, gcm);
+  if (options_.backend == CheckpointBackend::kPmMirror &&
+      options_.metrics_capacity > 0) {
+    metrics_ = std::make_unique<MetricsLog>(*rom_, enclave);
+  }
+  ckpt_ = std::make_unique<SsdCheckpointer>(platform_->ssd(), enclave, gcm);
+  data_ = std::make_unique<PmDataStore>(*rom_, enclave, gcm, options_.encrypted_data);
+}
+
+Trainer::~Trainer() = default;
+
+MirrorModel& Trainer::mirror() {
+  expects(mirror_ != nullptr, "Trainer: no mirror");
+  return *mirror_;
+}
+
+MetricsLog& Trainer::metrics() {
+  expects(metrics_ != nullptr, "Trainer: metrics log disabled for this backend");
+  return *metrics_;
+}
+
+SsdCheckpointer& Trainer::checkpointer() {
+  expects(ckpt_ != nullptr, "Trainer: no checkpointer");
+  return *ckpt_;
+}
+
+void Trainer::obtain_key() {
+  auto& enclave = platform_->enclave();
+  auto& fs = platform_->ssd();
+  if (fs.exists(kSealedKeyFile)) {
+    // Restart on the same platform: unseal the key saved earlier.
+    auto& f = fs.open(kSealedKeyFile);
+    Bytes sealed(f.size());
+    f.pread(0, sealed);
+    enclave.charge_ocall_io(sealed.size(), /*into_enclave=*/true);
+    key_ = enclave.unseal_data(sealed);
+    return;
+  }
+  // First run: generate the key in-enclave (sgx_read_rand) and seal it to
+  // untrusted storage for future restarts (§IV). Key provisioning via
+  // remote attestation is demonstrated in examples/secure_provisioning.cpp.
+  key_.assign(crypto::Aes::kKeySize128, 0);
+  enclave.read_rand(key_);
+  const Bytes sealed = enclave.seal_data(key_);
+  enclave.charge_ocall_io(sealed.size(), /*into_enclave=*/false);
+  auto& f = fs.create(kSealedKeyFile);
+  f.pwrite(0, sealed);
+  f.fsync();
+}
+
+void Trainer::load_dataset(const ml::Dataset& dataset) {
+  if (!data_->exists()) data_->load(dataset);
+}
+
+std::uint64_t Trainer::resume_or_init() {
+  initialized_ = true;
+  switch (options_.backend) {
+    case CheckpointBackend::kPmMirror:
+      if (mirror_->exists()) {
+        const std::uint64_t iter = mirror_->mirror_in(net_);
+        // Drop telemetry from iterations whose mirror-out never committed.
+        if (metrics_ != nullptr && metrics_->exists()) metrics_->truncate_after(iter);
+        return iter;
+      }
+      mirror_->alloc(net_);
+      if (metrics_ != nullptr && !metrics_->exists()) {
+        metrics_->create(options_.metrics_capacity);
+      }
+      return 0;
+    case CheckpointBackend::kSsd:
+      if (ckpt_->exists()) {
+        platform_->ssd().drop_caches();  // cold after a crash
+        return ckpt_->restore(net_);
+      }
+      return 0;
+    case CheckpointBackend::kNone:
+      // Non-crash-resilient baseline: always restarts from scratch.
+      net_.set_iterations(0);
+      return 0;
+  }
+  throw Error("Trainer: bad backend");
+}
+
+float Trainer::train(std::uint64_t target_iterations,
+                     const std::function<void(std::uint64_t, float)>& on_iteration) {
+  expects(data_->exists(), "Trainer::train: load_dataset first");
+  if (!initialized_) (void)resume_or_init();
+
+  auto& enclave = platform_->enclave();
+  std::vector<float> bx(batch_ * data_->x_cols());
+  std::vector<float> by(batch_ * data_->y_cols());
+  const sgx::EnclaveBuffer batch_buf(enclave,
+                                     (bx.size() + by.size()) * sizeof(float));
+
+  float loss = 0;
+  while (net_.iterations() < target_iterations) {
+    // Algorithm 2, line 15: decrypt a batch of training data from PM.
+    data_->sample_batch(batch_, batch_rng_, bx.data(), by.data());
+    if (augmenter_) {
+      augmenter_->apply(bx.data(), batch_);
+      // Augmentation compute: ~12 ops per pixel.
+      platform_->charge_compute(12.0 * static_cast<double>(bx.size()));
+    }
+
+    // Line 16: one training iteration on the enclave model.
+    const double macs =
+        3.0 * static_cast<double>(net_.forward_macs()) * static_cast<double>(batch_);
+    platform_->charge_compute(macs);
+    enclave.touch_enclave(net_.parameter_bytes());
+    loss = net_.train_batch(bx.data(), by.data(), batch_);
+    loss_history_.push_back(loss);
+
+    // Line 17: mirror-out the model (at the configured frequency).
+    const std::uint64_t iter = net_.iterations();
+    const bool last = iter >= target_iterations;
+    if (options_.backend == CheckpointBackend::kPmMirror &&
+        (iter % options_.mirror_every == 0 || last)) {
+      mirror_->mirror_out(net_, iter);
+      if (metrics_ != nullptr && metrics_->exists() &&
+          metrics_->size() < metrics_->capacity()) {
+        metrics_->append({iter, loss, net_.hyper().learning_rate});
+      }
+    } else if (options_.backend == CheckpointBackend::kSsd &&
+               (iter % options_.mirror_every == 0 || last)) {
+      ckpt_->save(net_);
+    }
+
+    if (on_iteration) on_iteration(iter, loss);
+  }
+  return loss;
+}
+
+}  // namespace plinius

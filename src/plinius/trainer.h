@@ -1,0 +1,116 @@
+// Trainer: the full Plinius ML workflow (paper Fig. 5 / Algorithm 2).
+//
+//   1. build the enclave model from the (public) config;
+//   2. obtain the data key — unseal it from untrusted storage if this
+//      platform sealed one before, otherwise generate it in-enclave with
+//      sgx_read_rand and seal it for future restarts (§IV, encryption
+//      engine; remote-attestation provisioning is available separately via
+//      sgx::DataOwner — see examples/secure_provisioning.cpp);
+//   3. ensure training data is resident (encrypted) in PM;
+//   4. if a PM mirror exists, mirror-in and resume at the saved iteration,
+//      else allocate the mirror;
+//   5. per iteration: decrypt a batch from PM, train, mirror-out.
+//
+// A process crash at any point is modelled by destroying the Trainer (and
+// optionally crashing the PM device); constructing a new Trainer on the
+// same Platform resumes where training left off.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ml/augment.h"
+#include "ml/config.h"
+#include "plinius/checkpoint.h"
+#include "plinius/metrics_log.h"
+#include "plinius/mirror.h"
+#include "plinius/platform.h"
+#include "plinius/pm_data.h"
+#include "romulus/romulus.h"
+
+namespace plinius {
+
+/// Which fault-tolerance backend the trainer uses.
+enum class CheckpointBackend {
+  kPmMirror,  // Plinius' mirroring mechanism (the contribution)
+  kSsd,       // traditional encrypt+fwrite+fsync checkpointing (baseline)
+  kNone,      // no model saving (the non-crash-resilient comparison)
+};
+
+struct TrainerOptions {
+  CheckpointBackend backend = CheckpointBackend::kPmMirror;
+  std::size_t mirror_every = 1;  // mirroring frequency (paper: every iteration)
+  bool encrypted_data = true;    // false = plaintext PM data (Fig. 8 baseline)
+  std::uint64_t init_seed = 42;  // weight-init determinism
+  std::uint64_t batch_seed = 43;
+  // Capacity of the persistent metrics log (PM-mirror backend only);
+  // 0 disables it.
+  std::size_t metrics_capacity = 8192;
+  // In-enclave data augmentation applied to each decrypted batch.
+  std::optional<ml::AugmentOptions> augment;
+};
+
+class Trainer {
+ public:
+  /// Attaches to the platform's PM (formatting it on first use; recovering
+  /// it after a crash) and prepares the enclave model.
+  Trainer(Platform& platform, const ml::ModelConfig& config, TrainerOptions options);
+  ~Trainer();
+
+  Trainer(const Trainer&) = delete;
+  Trainer& operator=(const Trainer&) = delete;
+
+  /// One-time dataset load into PM; no-op if PM already holds the data.
+  void load_dataset(const ml::Dataset& data);
+
+  /// If a saved model state exists (PM mirror or SSD checkpoint), restores
+  /// it and returns the resume iteration; otherwise allocates persistent
+  /// state as needed and returns 0. Called automatically by train().
+  std::uint64_t resume_or_init();
+
+  /// Trains until the model has seen `target_iterations` total iterations
+  /// (resuming from the restored count). `on_iteration(iter, loss)` runs
+  /// after each iteration; it may throw SimulatedCrash to model a kill.
+  /// Returns the final training loss.
+  float train(std::uint64_t target_iterations,
+              const std::function<void(std::uint64_t, float)>& on_iteration = {});
+
+  [[nodiscard]] ml::Network& network() noexcept { return net_; }
+  [[nodiscard]] MirrorModel& mirror();
+  /// Crash-consistent per-iteration telemetry (PM-mirror backend only).
+  [[nodiscard]] MetricsLog& metrics();
+  [[nodiscard]] SsdCheckpointer& checkpointer();
+  [[nodiscard]] PmDataStore& data() noexcept { return *data_; }
+  [[nodiscard]] romulus::Romulus& romulus() noexcept { return *rom_; }
+  [[nodiscard]] Platform& platform() noexcept { return *platform_; }
+  [[nodiscard]] const std::vector<float>& loss_history() const noexcept {
+    return loss_history_;
+  }
+
+  /// The per-platform persistent data key (unsealed or freshly generated).
+  [[nodiscard]] const Bytes& data_key() const noexcept { return key_; }
+
+ private:
+  void obtain_key();
+
+  Platform* platform_;
+  TrainerOptions options_;
+  std::size_t batch_;
+  ml::Network net_;
+  std::unique_ptr<romulus::Romulus> rom_;
+  Bytes key_;
+  std::unique_ptr<MirrorModel> mirror_;
+  std::unique_ptr<MetricsLog> metrics_;
+  std::unique_ptr<SsdCheckpointer> ckpt_;
+  std::unique_ptr<PmDataStore> data_;
+  std::unique_ptr<sgx::EnclaveBuffer> model_memory_;
+  Rng batch_rng_;
+  std::optional<ml::Augmenter> augmenter_;
+  std::vector<float> loss_history_;
+  bool initialized_ = false;
+};
+
+}  // namespace plinius

@@ -1,0 +1,201 @@
+#include "pm/device.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace plinius::pm {
+
+PmDevice::PmDevice(sim::Clock& clock, std::size_t size, PmLatencyModel model,
+                   std::uint64_t crash_seed)
+    : clock_(&clock),
+      size_(align_up(size, kCacheLine)),
+      model_(model),
+      volatile_(std::make_unique<std::uint8_t[]>(size_)),
+      persistent_(std::make_unique<std::uint8_t[]>(size_)),
+      crash_rng_(crash_seed) {
+  expects(size > 0, "PmDevice: size must be positive");
+  const std::size_t lines = size_ / kCacheLine;
+  dirty_bits_.assign((lines + 63) / 64, 0);
+  pending_bits_.assign((lines + 63) / 64, 0);
+}
+
+void PmDevice::check_range(std::size_t offset, std::size_t len) const {
+  if (offset > size_ || len > size_ - offset) {
+    throw PmError("PmDevice: access out of range");
+  }
+}
+
+bool PmDevice::test_bit(const std::vector<std::uint64_t>& bits, std::size_t line) noexcept {
+  return (bits[line / 64] >> (line % 64)) & 1;
+}
+
+void PmDevice::set_bit(std::vector<std::uint64_t>& bits, std::size_t line) noexcept {
+  bits[line / 64] |= (std::uint64_t{1} << (line % 64));
+}
+
+void PmDevice::clear_bit(std::vector<std::uint64_t>& bits, std::size_t line) noexcept {
+  bits[line / 64] &= ~(std::uint64_t{1} << (line % 64));
+}
+
+void PmDevice::store(std::size_t offset, const void* src, std::size_t len) {
+  record_store(offset, len);
+  std::memcpy(volatile_.get() + offset, src, len);
+}
+
+void PmDevice::record_store(std::size_t offset, std::size_t len) {
+  if (len == 0) return;
+  check_range(offset, len);
+  const std::size_t first = offset / kCacheLine;
+  const std::size_t last = (offset + len - 1) / kCacheLine;
+  for (std::size_t line = first; line <= last; ++line) {
+    if (test_bit(pending_bits_, line) && !pending_snapshots_.contains(line)) {
+      // Copy-on-write: the flushed-but-unfenced content must be preserved —
+      // it, not the new store, is what the fence will persist.
+      std::array<std::uint8_t, kCacheLine> snap;
+      std::memcpy(snap.data(), volatile_.get() + line * kCacheLine, kCacheLine);
+      pending_snapshots_.emplace(line, snap);
+    }
+    if (!test_bit(dirty_bits_, line)) {
+      set_bit(dirty_bits_, line);
+      ++dirty_count_;
+    }
+  }
+  ++stats_.stores;
+  stats_.bytes_stored += len;
+  clock_->advance(sim::bandwidth_ns(static_cast<double>(len), model_.store_gib_s));
+}
+
+void PmDevice::load(std::size_t offset, void* dst, std::size_t len) {
+  check_range(offset, len);
+  charge_read(len);
+  std::memcpy(dst, volatile_.get() + offset, len);
+}
+
+void PmDevice::charge_read(std::size_t len) {
+  stats_.bytes_read += len;
+  clock_->advance(model_.read_latency_ns +
+                  sim::bandwidth_ns(static_cast<double>(len), model_.read_gib_s));
+}
+
+void PmDevice::commit_line(std::size_t line, const std::uint8_t* snapshot) {
+  const std::uint8_t* src =
+      snapshot != nullptr ? snapshot : volatile_.get() + line * kCacheLine;
+  std::memcpy(persistent_.get() + line * kCacheLine, src, kCacheLine);
+}
+
+void PmDevice::flush(std::size_t offset, std::size_t len, FlushKind kind) {
+  if (len == 0) return;
+  check_range(offset, len);
+  ++stats_.flushes;
+
+  const std::size_t first = offset / kCacheLine;
+  const std::size_t last = (offset + len - 1) / kCacheLine;
+  std::size_t acted = 0;
+  for (std::size_t line = first; line <= last; ++line) {
+    const bool was_pending = test_bit(pending_bits_, line);
+    if (!test_bit(dirty_bits_, line) && !was_pending) continue;  // clean line: no-op
+    ++acted;
+    if (kind == FlushKind::kClflush) {
+      // Strongly ordered: the line is persistent when the instruction
+      // retires, no fence needed (Romulus' clflush+nop combination).
+      commit_line(line, nullptr);
+      if (test_bit(dirty_bits_, line)) {
+        clear_bit(dirty_bits_, line);
+        --dirty_count_;
+      }
+      if (was_pending) {
+        clear_bit(pending_bits_, line);
+        --pending_count_;
+        pending_snapshots_.erase(line);
+      }
+    } else {
+      if (was_pending) {
+        // Re-flush of a pending line: the newest content wins.
+        if (auto it = pending_snapshots_.find(line); it != pending_snapshots_.end()) {
+          std::memcpy(it->second.data(), volatile_.get() + line * kCacheLine, kCacheLine);
+        }
+      } else {
+        set_bit(pending_bits_, line);
+        ++pending_count_;
+        pending_list_.push_back(line);
+      }
+      if (test_bit(dirty_bits_, line)) {
+        clear_bit(dirty_bits_, line);
+        --dirty_count_;
+      }
+    }
+  }
+
+  stats_.lines_flushed += acted;
+  const double issue_ns = kind == FlushKind::kClflush       ? model_.clflush_ns
+                          : kind == FlushKind::kClflushOpt ? model_.clflushopt_issue_ns
+                                                           : model_.clwb_issue_ns;
+  clock_->advance(static_cast<double>(acted) *
+                  (issue_ns + sim::bandwidth_ns(kCacheLine, model_.flush_drain_gib_s)));
+}
+
+void PmDevice::fence(FenceKind kind) {
+  ++stats_.fences;
+  if (kind == FenceKind::kNop) return;
+  clock_->advance(model_.sfence_ns);
+  for (const std::size_t line : pending_list_) {
+    if (!test_bit(pending_bits_, line)) continue;  // already committed by clflush
+    const auto it = pending_snapshots_.find(line);
+    commit_line(line, it != pending_snapshots_.end() ? it->second.data() : nullptr);
+    clear_bit(pending_bits_, line);
+    --pending_count_;
+  }
+  pending_list_.clear();
+  pending_snapshots_.clear();
+}
+
+void PmDevice::crash() {
+  ++stats_.crashes;
+  // Weakly-ordered flushes that were not fenced may or may not have reached
+  // the ADR-protected write-pending queue: commit each with probability 1/2.
+  for (const std::size_t line : pending_list_) {
+    if (!test_bit(pending_bits_, line)) continue;
+    if (crash_rng_.next() & 1) {
+      const auto it = pending_snapshots_.find(line);
+      commit_line(line, it != pending_snapshots_.end() ? it->second.data() : nullptr);
+    }
+    clear_bit(pending_bits_, line);
+  }
+  pending_count_ = 0;
+  pending_list_.clear();
+  pending_snapshots_.clear();
+
+  // Dirty-unflushed lines never left the cache: lost.
+  std::memcpy(volatile_.get(), persistent_.get(), size_);
+  std::fill(dirty_bits_.begin(), dirty_bits_.end(), 0);
+  dirty_count_ = 0;
+}
+
+void PmDevice::save_image(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw PmError("PmDevice::save_image: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(persistent_.get()),
+            static_cast<std::streamsize>(size_));
+  if (!out) throw PmError("PmDevice::save_image: short write to " + path);
+}
+
+void PmDevice::load_image(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw PmError("PmDevice::load_image: cannot open " + path);
+  in.read(reinterpret_cast<char*>(persistent_.get()), static_cast<std::streamsize>(size_));
+  if (in.gcount() != static_cast<std::streamsize>(size_)) {
+    throw PmError("PmDevice::load_image: short read from " + path);
+  }
+  std::memcpy(volatile_.get(), persistent_.get(), size_);
+  std::fill(dirty_bits_.begin(), dirty_bits_.end(), 0);
+  std::fill(pending_bits_.begin(), pending_bits_.end(), 0);
+  dirty_count_ = 0;
+  pending_count_ = 0;
+  pending_list_.clear();
+  pending_snapshots_.clear();
+}
+
+}  // namespace plinius::pm

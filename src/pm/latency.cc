@@ -1,0 +1,31 @@
+#include "pm/latency.h"
+
+namespace plinius::pm {
+
+PmLatencyModel PmLatencyModel::optane() {
+  return PmLatencyModel{
+      .read_latency_ns = 300.0,       // Optane idle read latency ~2-3x DRAM
+      .read_gib_s = 8.6,              // 4 interleaved DIMMs (per-DIMM ~6.6)
+      .store_gib_s = 11.0,            // stores hit the cache/WC buffers
+      .clflush_ns = 250.0,            // serializing round trip to the iMC
+      .clflushopt_issue_ns = 15.0,    // issue cost, overlappable
+      .clwb_issue_ns = 13.0,
+      .flush_drain_gib_s = 6.0,       // interleaved media write bandwidth
+      .sfence_ns = 38.0,
+  };
+}
+
+PmLatencyModel PmLatencyModel::emulated_dram() {
+  return PmLatencyModel{
+      .read_latency_ns = 85.0,
+      .read_gib_s = 14.0,
+      .store_gib_s = 14.0,
+      .clflush_ns = 160.0,            // still a serializing instruction
+      .clflushopt_issue_ns = 8.0,
+      .clwb_issue_ns = 7.0,
+      .flush_drain_gib_s = 12.0,      // DRAM write bandwidth
+      .sfence_ns = 30.0,
+  };
+}
+
+}  // namespace plinius::pm

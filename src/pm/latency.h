@@ -1,0 +1,50 @@
+// Latency/bandwidth models for byte-addressable persistent memory.
+//
+// Calibrated to published Intel Optane DC PMM measurements (Izraelevitz et
+// al., "Basic performance measurements of the Intel Optane DC persistent
+// memory module"; Yang et al., FAST'20) for the emlSGX-PM profile, and to
+// DRAM numbers for the Ramdisk-emulated PM of the sgx-emlPM server (paper
+// §VI: "The sgx-emlPM node supports SGX but has no physical PM, hence we
+// resort to emulating the latter with Ramdisk").
+#pragma once
+
+#include "common/clock.h"
+
+namespace plinius::pm {
+
+/// Persistent write-back instruction variants (paper §II footnote 7:
+/// "Romulus supports 3 PWB + fence combinations: clwb+sfence,
+/// clflushopt+sfence (used in Plinius) and clflush+nop").
+enum class FlushKind {
+  kClflush,     // strongly ordered, evicting: no fence required
+  kClflushOpt,  // weakly ordered, evicting: requires sfence for persistence
+  kClwb,        // weakly ordered, non-evicting: requires sfence
+};
+
+enum class FenceKind { kSfence, kNop };
+
+struct PmLatencyModel {
+  // Loads.
+  sim::Nanos read_latency_ns;  // first-touch latency of a read burst
+  double read_gib_s;           // sequential read bandwidth
+
+  // Stores land in the CPU cache at DRAM-like speed; persistence cost is
+  // paid at flush time.
+  double store_gib_s;
+
+  // Per-cache-line flush costs. clflush serializes (full round trip);
+  // clflushopt/clwb only issue and overlap with each other.
+  sim::Nanos clflush_ns;
+  sim::Nanos clflushopt_issue_ns;
+  sim::Nanos clwb_issue_ns;
+  double flush_drain_gib_s;  // media write bandwidth the WPQ drains at
+
+  sim::Nanos sfence_ns;  // fence base cost (plus waiting for pending drains)
+
+  /// Real Optane DC PMM (app-direct mode).
+  static PmLatencyModel optane();
+  /// DRAM-backed emulated PM (Ramdisk-grade), as on the paper's sgx-emlPM.
+  static PmLatencyModel emulated_dram();
+};
+
+}  // namespace plinius::pm

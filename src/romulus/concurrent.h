@@ -1,0 +1,60 @@
+// Concurrent durable transactions (paper §IV: SGX-Romulus "provides
+// durable, concurrent transactions").
+//
+// Romulus serializes writers by design (a single main/back twin pair admits
+// one mutator at a time; the original uses flat combining to batch waiting
+// writers). ConcurrentRomulus provides the same interface guarantee with a
+// writer lock: any number of threads may call run_transaction concurrently,
+// each transaction executes atomically and durably, and lock-free readers
+// can snapshot committed values through read(). This matches the paper's
+// usage — Plinius itself runs a "fairly intensive single-threaded" trainer,
+// with concurrency needed for helper threads (telemetry, inference serving)
+// touching the same region.
+#pragma once
+
+#include <mutex>
+
+#include "romulus/romulus.h"
+
+namespace plinius::romulus {
+
+class ConcurrentRomulus {
+ public:
+  explicit ConcurrentRomulus(Romulus& rom) : rom_(&rom) {}
+
+  ConcurrentRomulus(const ConcurrentRomulus&) = delete;
+  ConcurrentRomulus& operator=(const ConcurrentRomulus&) = delete;
+
+  /// Runs `body(rom)` as a durable transaction, serialized against all other
+  /// writers on this wrapper. The body receives the underlying Romulus and
+  /// may use every transactional facility (tx_store, pmalloc, roots, ...).
+  template <typename F>
+  void run_transaction(F&& body) {
+    const std::lock_guard<std::mutex> guard(writer_lock_);
+    rom_->run_transaction([&] { body(*rom_); });
+  }
+
+  /// Reads a committed value. Readers are serialized with writers too —
+  /// Romulus mutates main in place, so a concurrent reader could otherwise
+  /// observe a torn in-flight value.
+  template <typename T>
+  [[nodiscard]] T read(std::size_t offset) const {
+    const std::lock_guard<std::mutex> guard(writer_lock_);
+    return rom_->read<T>(offset);
+  }
+
+  [[nodiscard]] std::uint64_t root(int slot) const {
+    const std::lock_guard<std::mutex> guard(writer_lock_);
+    return rom_->root(slot);
+  }
+
+  /// Access the underlying instance for non-concurrent phases (setup,
+  /// recovery); the caller must ensure no concurrent use.
+  [[nodiscard]] Romulus& underlying() noexcept { return *rom_; }
+
+ private:
+  Romulus* rom_;
+  mutable std::mutex writer_lock_;
+};
+
+}  // namespace plinius::romulus

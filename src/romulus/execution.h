@@ -1,0 +1,44 @@
+// Execution-environment cost profiles for Romulus (paper Fig. 6).
+//
+// The same Romulus algorithm runs in three environments in the paper's SPS
+// comparison, differing in where the code executes and where the volatile
+// redo log lives:
+//   * native      — plain process; baseline costs.
+//   * SGX enclave — the SGX-Romulus port: enclave code pays extra for every
+//     uncached store/flush to (untrusted) PM and for log bookkeeping in
+//     EPC-resident memory. The paper measures fences taking 1.6x-3.7x
+//     longer than native.
+//   * SCONE       — unmodified Romulus in a SCONE container (see
+//     scone/scone.h): small per-op overhead, but the container's constrained
+//     memory makes the volatile redo log degrade sharply beyond ~64 entries
+//     per transaction — the collapse visible in Fig. 6.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/clock.h"
+
+namespace plinius::romulus {
+
+struct ExecutionProfile {
+  std::string name = "native";
+  double pm_op_multiplier = 1.0;        // scales flush/fence time
+  sim::Nanos log_entry_ns = 15.0;       // volatile-log append bookkeeping
+  std::size_t log_spill_threshold = 0;  // 0 = never spills
+  sim::Nanos log_spill_ns = 0.0;        // extra cost per entry past threshold
+
+  static ExecutionProfile native() { return {}; }
+
+  static ExecutionProfile sgx_enclave() {
+    return ExecutionProfile{
+        .name = "sgx-romulus",
+        .pm_op_multiplier = 2.2,  // enclave->untrusted-PM store/flush path
+        .log_entry_ns = 50.0,     // log lives in EPC memory
+        .log_spill_threshold = 0,
+        .log_spill_ns = 0.0,
+    };
+  }
+};
+
+}  // namespace plinius::romulus

@@ -1,0 +1,114 @@
+#include "romulus/pmap.h"
+
+#include "common/error.h"
+
+namespace plinius::romulus {
+
+std::uint64_t PersistentMap::hash(std::uint64_t key) noexcept {
+  // SplitMix64 finalizer: strong avalanche for sequential keys.
+  std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+PersistentMap PersistentMap::create(Romulus& rom, std::size_t capacity) {
+  expects(rom.in_transaction(), "PersistentMap::create outside a transaction");
+  expects(capacity > 0, "PersistentMap: capacity must be positive");
+  const std::size_t slots = capacity + capacity / 6 + 1;  // <= ~85% load
+
+  Header hdr{kMagic, slots, 0, 0};
+  hdr.slots_off = rom.pmalloc(slots * sizeof(Slot));
+  // pmalloc'd space may be recycled: clear the slot array.
+  const Slot empty{0, 0, kEmpty};
+  for (std::uint64_t i = 0; i < slots; ++i) {
+    rom.tx_store(hdr.slots_off + i * sizeof(Slot), &empty, sizeof(empty));
+  }
+  const std::size_t hdr_off = rom.pmalloc(sizeof(Header));
+  rom.tx_store(hdr_off, &hdr, sizeof(hdr));
+  return PersistentMap(rom, hdr_off);
+}
+
+PersistentMap PersistentMap::attach(Romulus& rom, std::size_t header_offset) {
+  PersistentMap map(rom, header_offset);
+  if (map.header().magic != kMagic) {
+    throw PmError("PersistentMap::attach: no map at this offset");
+  }
+  return map;
+}
+
+PersistentMap::Header PersistentMap::header() const {
+  return rom_->read<Header>(header_off_);
+}
+
+std::size_t PersistentMap::size() const { return header().count; }
+std::size_t PersistentMap::capacity() const { return header().slots; }
+
+void PersistentMap::put(std::uint64_t key, std::uint64_t value) {
+  expects(rom_->in_transaction(), "PersistentMap::put outside a transaction");
+  const Header hdr = header();
+
+  std::uint64_t index = hash(key) % hdr.slots;
+  std::optional<std::uint64_t> first_tombstone;
+  for (std::uint64_t probe = 0; probe < hdr.slots; ++probe) {
+    const std::size_t off = hdr.slots_off + index * sizeof(Slot);
+    const Slot slot = rom_->read<Slot>(off);
+    if (slot.state == kUsed && slot.key == key) {
+      Slot updated = slot;
+      updated.value = value;
+      rom_->tx_store(off, &updated, sizeof(updated));
+      return;
+    }
+    if (slot.state == kTombstone && !first_tombstone) first_tombstone = index;
+    if (slot.state == kEmpty) {
+      const std::uint64_t target = first_tombstone.value_or(index);
+      const Slot fresh{key, value, kUsed};
+      rom_->tx_store(hdr.slots_off + target * sizeof(Slot), &fresh, sizeof(fresh));
+      rom_->tx_assign(header_off_ + offsetof(Header, count), hdr.count + 1);
+      return;
+    }
+    index = (index + 1) % hdr.slots;
+  }
+  if (first_tombstone) {
+    const Slot fresh{key, value, kUsed};
+    rom_->tx_store(hdr.slots_off + *first_tombstone * sizeof(Slot), &fresh,
+                   sizeof(fresh));
+    rom_->tx_assign(header_off_ + offsetof(Header, count), hdr.count + 1);
+    return;
+  }
+  throw PmError("PersistentMap::put: map is full");
+}
+
+std::optional<std::uint64_t> PersistentMap::get(std::uint64_t key) const {
+  const Header hdr = header();
+  std::uint64_t index = hash(key) % hdr.slots;
+  for (std::uint64_t probe = 0; probe < hdr.slots; ++probe) {
+    const Slot slot = rom_->read<Slot>(hdr.slots_off + index * sizeof(Slot));
+    if (slot.state == kEmpty) return std::nullopt;
+    if (slot.state == kUsed && slot.key == key) return slot.value;
+    index = (index + 1) % hdr.slots;
+  }
+  return std::nullopt;
+}
+
+bool PersistentMap::erase(std::uint64_t key) {
+  expects(rom_->in_transaction(), "PersistentMap::erase outside a transaction");
+  const Header hdr = header();
+  std::uint64_t index = hash(key) % hdr.slots;
+  for (std::uint64_t probe = 0; probe < hdr.slots; ++probe) {
+    const std::size_t off = hdr.slots_off + index * sizeof(Slot);
+    const Slot slot = rom_->read<Slot>(off);
+    if (slot.state == kEmpty) return false;
+    if (slot.state == kUsed && slot.key == key) {
+      const Slot dead{0, 0, kTombstone};
+      rom_->tx_store(off, &dead, sizeof(dead));
+      expects(hdr.count > 0, "PersistentMap: count underflow");
+      rom_->tx_assign(header_off_ + offsetof(Header, count), hdr.count - 1);
+      return true;
+    }
+    index = (index + 1) % hdr.slots;
+  }
+  return false;
+}
+
+}  // namespace plinius::romulus

@@ -1,0 +1,81 @@
+// Persistent hash map (lib-sgx-romulus data structure).
+//
+// A fixed-capacity open-addressing map from u64 keys to u64 values (values
+// are conventionally offsets of pmalloc'd objects), living entirely inside
+// a Romulus main region. All mutations must run inside a transaction, which
+// makes every operation crash-atomic: after recovery the map reflects
+// exactly the committed puts/erases.
+//
+// Linear probing with tombstones; capacity is fixed at creation (persistent
+// rehashing is possible but out of scope — create with headroom).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "romulus/romulus.h"
+
+namespace plinius::romulus {
+
+class PersistentMap {
+ public:
+  /// Creates a map with room for `capacity` entries inside the current
+  /// transaction and returns a PersistentMap bound to it. Load factor is
+  /// capped at ~85%, so slightly more slots are allocated.
+  static PersistentMap create(Romulus& rom, std::size_t capacity);
+
+  /// Attaches to an existing map at `header_offset` (e.g. from a root slot).
+  static PersistentMap attach(Romulus& rom, std::size_t header_offset);
+
+  /// Offset of the persistent header (store it in a root slot).
+  [[nodiscard]] std::size_t header_offset() const noexcept { return header_off_; }
+
+  /// Inserts or updates. Must run inside a transaction. Throws PmError when
+  /// the map is full.
+  void put(std::uint64_t key, std::uint64_t value);
+
+  /// Point lookup (read-only, no transaction needed).
+  [[nodiscard]] std::optional<std::uint64_t> get(std::uint64_t key) const;
+
+  /// Removes the key if present; returns whether it was. Transactional.
+  bool erase(std::uint64_t key);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const;
+
+  /// Iterates all live entries (read-only).
+  template <typename F>
+  void for_each(F&& fn) const {
+    const Header hdr = header();
+    for (std::uint64_t i = 0; i < hdr.slots; ++i) {
+      const Slot s = rom_->read<Slot>(hdr.slots_off + i * sizeof(Slot));
+      if (s.state == kUsed) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  struct Header {
+    std::uint64_t magic;
+    std::uint64_t slots;     // physical slot count
+    std::uint64_t count;     // live entries
+    std::uint64_t slots_off;
+  };
+  struct Slot {
+    std::uint64_t key;
+    std::uint64_t value;
+    std::uint64_t state;
+  };
+  static constexpr std::uint64_t kMagic = 0x504D41505F524F4DULL;  // "PMAP_ROM"
+  static constexpr std::uint64_t kEmpty = 0, kUsed = 1, kTombstone = 2;
+
+  PersistentMap(Romulus& rom, std::size_t header_off)
+      : rom_(&rom), header_off_(header_off) {}
+
+  [[nodiscard]] Header header() const;
+  [[nodiscard]] static std::uint64_t hash(std::uint64_t key) noexcept;
+
+  Romulus* rom_;
+  std::size_t header_off_;
+};
+
+}  // namespace plinius::romulus

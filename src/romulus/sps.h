@@ -1,0 +1,33 @@
+// SPS (swaps per second) micro-benchmark (paper Fig. 6).
+//
+// "SPS stores an array of integers in PM and evaluates the overhead of
+// randomly swapping array values within a transaction, for different
+// persistence fences and transaction sizes." 10 MB persistent array,
+// single-threaded, transaction sizes from 2 to 2048 swaps.
+#pragma once
+
+#include <cstdint>
+
+#include "romulus/romulus.h"
+
+namespace plinius::romulus {
+
+struct SpsConfig {
+  std::size_t array_bytes = 10 * 1000 * 1000;  // 10 MB of int64 elements
+  std::size_t swaps_per_tx = 2;
+  std::size_t total_swaps = 1 << 16;  // work per measurement
+  std::uint64_t seed = 42;
+};
+
+struct SpsResult {
+  double swaps_per_second = 0;  // simulated
+  std::uint64_t transactions = 0;
+  sim::Nanos elapsed_ns = 0;
+};
+
+/// Runs the SPS workload on an already-formatted Romulus region and returns
+/// simulated throughput. The array is allocated on first use and reused via
+/// root slot 7.
+SpsResult run_sps(Romulus& rom, const SpsConfig& config);
+
+}  // namespace plinius::romulus

@@ -1,0 +1,135 @@
+#include "sgx/attestation.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "crypto/envelope.h"
+#include "crypto/sha256.h"
+
+namespace plinius::sgx {
+
+namespace detail {
+
+namespace {
+ByteSpan str_span(const char* s) {
+  return ByteSpan(reinterpret_cast<const std::uint8_t*>(s), std::strlen(s));
+}
+}  // namespace
+
+std::array<std::uint8_t, 32> platform_attestation_key(std::uint64_t platform_seed) {
+  std::uint8_t fuse[8];
+  for (int i = 0; i < 8; ++i) fuse[i] = static_cast<std::uint8_t>(platform_seed >> (8 * i));
+  crypto::Sha256 h;
+  h.update(str_span("sgx-attestation-key"));
+  h.update(ByteSpan(fuse, sizeof(fuse)));
+  std::array<std::uint8_t, 32> key{};
+  h.final(key.data());
+  return key;
+}
+
+std::array<std::uint8_t, 32> report_mac(const Report& report, std::uint64_t platform_seed) {
+  const auto key = platform_attestation_key(platform_seed);
+  Bytes msg;
+  msg.insert(msg.end(), report.measurement.begin(), report.measurement.end());
+  msg.insert(msg.end(), report.enclave_nonce.begin(), report.enclave_nonce.end());
+  return crypto::hmac_sha256(ByteSpan(key.data(), key.size()), msg);
+}
+
+namespace {
+
+Bytes session_key_from(std::uint64_t platform_seed, const Nonce& enclave_nonce,
+                       const Nonce& owner_nonce) {
+  const auto pkey = platform_attestation_key(platform_seed);
+  Bytes msg;
+  const char* label = "ra-session-key";
+  msg.insert(msg.end(), reinterpret_cast<const std::uint8_t*>(label),
+             reinterpret_cast<const std::uint8_t*>(label) + std::strlen(label));
+  msg.insert(msg.end(), enclave_nonce.begin(), enclave_nonce.end());
+  msg.insert(msg.end(), owner_nonce.begin(), owner_nonce.end());
+  const auto mac = crypto::hmac_sha256(ByteSpan(pkey.data(), pkey.size()), msg);
+  return Bytes(mac.begin(), mac.begin() + 16);
+}
+
+}  // namespace
+}  // namespace detail
+
+void AttestationService::register_platform(std::uint64_t platform_seed) {
+  platforms_.push_back(platform_seed);
+}
+
+std::optional<std::uint64_t> AttestationService::find_platform(const Report& report) const {
+  for (const std::uint64_t seed : platforms_) {
+    const auto expected = detail::report_mac(report, seed);
+    if (secure_equal(ByteSpan(expected.data(), expected.size()),
+                     ByteSpan(report.mac.data(), report.mac.size()))) {
+      return seed;
+    }
+  }
+  return std::nullopt;
+}
+
+bool AttestationService::verify(const Report& report) const {
+  return find_platform(report).has_value();
+}
+
+Bytes AttestationService::derive_session_key(const Report& report,
+                                             const Nonce& owner_nonce) const {
+  const auto platform = find_platform(report);
+  if (!platform) throw SgxError("AttestationService: report verification failed");
+  return detail::session_key_from(*platform, report.enclave_nonce, owner_nonce);
+}
+
+EnclaveAttestationSession::EnclaveAttestationSession(EnclaveRuntime& enclave)
+    : enclave_(&enclave) {}
+
+Report EnclaveAttestationSession::respond(const Nonce& owner_nonce) {
+  enclave_->charge_ecall();
+  Report report;
+  report.measurement = enclave_->measurement();
+  enclave_->read_rand(MutableByteSpan(report.enclave_nonce.data(),
+                                      report.enclave_nonce.size()));
+  // EREPORT: ~4,000 cycles of microcode.
+  enclave_->clock().advance(
+      sim::cycles_to_ns(4000.0, enclave_->model().cpu_ghz));
+  report.mac = detail::report_mac(report, enclave_->platform_seed());
+  session_key_ = detail::session_key_from(enclave_->platform_seed(),
+                                          report.enclave_nonce, owner_nonce);
+  return report;
+}
+
+Bytes EnclaveAttestationSession::receive_wrapped_key(ByteSpan wrapped) {
+  if (!session_key_) throw SgxError("attestation session: no challenge answered yet");
+  enclave_->charge_ecall();
+  enclave_->charge_crypto(wrapped.size());
+  const crypto::AesGcm cipher(*session_key_);
+  return crypto::open(cipher, wrapped);
+}
+
+DataOwner::DataOwner(const AttestationService& service, Measurement expected_mrenclave,
+                     Bytes training_key, std::uint64_t nonce_seed)
+    : service_(&service),
+      expected_(expected_mrenclave),
+      training_key_(std::move(training_key)),
+      rng_(nonce_seed) {}
+
+Nonce DataOwner::make_challenge() {
+  Nonce nonce{};
+  rng_.fill(nonce.data(), nonce.size());
+  outstanding_challenge_ = nonce;
+  return nonce;
+}
+
+Bytes DataOwner::wrap_key_for(const Report& report) {
+  if (!outstanding_challenge_) throw SgxError("DataOwner: no outstanding challenge");
+  if (!std::equal(report.measurement.begin(), report.measurement.end(),
+                  expected_.begin())) {
+    throw SgxError("DataOwner: enclave measurement mismatch (wrong or modified enclave)");
+  }
+  const Bytes session_key =
+      service_->derive_session_key(report, *outstanding_challenge_);
+  outstanding_challenge_.reset();
+  const crypto::AesGcm cipher(session_key);
+  return crypto::seal(cipher, rng_, training_key_);
+}
+
+}  // namespace plinius::sgx

@@ -1,0 +1,106 @@
+// Remote attestation and key provisioning (paper Fig. 5, steps 2-3).
+//
+// The data owner attests the remote enclave, establishes a secure channel,
+// and provisions the data-encryption key into it. Real SGX does this with
+// EPID/DCAP quotes verified by the Intel Attestation Service plus an ECDH
+// key exchange. We reproduce the trust structure with symmetric primitives:
+//
+//   * the platform attestation key (derived from the CPU's fused seed)
+//     plays the role of the EPID private key — only the real platform can
+//     MAC a report;
+//   * AttestationService plays the role of IAS: it knows registered
+//     platforms' keys, verifies report MACs, and derives the session key
+//     for the verifier — modelling the IAS-mediated trust that lets the
+//     owner trust a quote it cannot check itself;
+//   * the session key is bound to both parties' fresh nonces, so the
+//     untrusted host can neither learn it nor replay old sessions.
+//
+// DESIGN.md documents this as the ECDH/EPID substitution.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "sgx/enclave.h"
+
+namespace plinius::sgx {
+
+using Nonce = std::array<std::uint8_t, 32>;
+
+/// EREPORT analogue: binds report data to the enclave measurement under the
+/// platform attestation key.
+struct Report {
+  Measurement measurement{};
+  Nonce enclave_nonce{};
+  std::array<std::uint8_t, 32> mac{};
+};
+
+/// IAS stand-in: a registry of genuine platforms.
+class AttestationService {
+ public:
+  void register_platform(std::uint64_t platform_seed);
+
+  /// Quote verification: true iff the report was MACed by a registered
+  /// genuine platform.
+  [[nodiscard]] bool verify(const Report& report) const;
+
+  /// Derives the verifier's copy of the session key for a verified report.
+  /// Throws SgxError if the report does not verify.
+  [[nodiscard]] Bytes derive_session_key(const Report& report,
+                                         const Nonce& owner_nonce) const;
+
+ private:
+  [[nodiscard]] std::optional<std::uint64_t> find_platform(const Report& report) const;
+
+  std::vector<std::uint64_t> platforms_;
+};
+
+/// Enclave-side attestation session: produces the report for a challenge and
+/// unwraps the provisioned key over the derived secure channel.
+class EnclaveAttestationSession {
+ public:
+  explicit EnclaveAttestationSession(EnclaveRuntime& enclave);
+
+  /// Responds to the owner's challenge with a fresh report.
+  [[nodiscard]] Report respond(const Nonce& owner_nonce);
+
+  /// Unwraps the AES-GCM-wrapped training key sent by the owner.
+  /// Throws CryptoError on tamper, SgxError if called before respond().
+  [[nodiscard]] Bytes receive_wrapped_key(ByteSpan wrapped);
+
+ private:
+  EnclaveRuntime* enclave_;
+  std::optional<Bytes> session_key_;
+};
+
+/// Data-owner side (runs on the owner's trusted machine).
+class DataOwner {
+ public:
+  DataOwner(const AttestationService& service, Measurement expected_mrenclave,
+            Bytes training_key, std::uint64_t nonce_seed);
+
+  [[nodiscard]] Nonce make_challenge();
+
+  /// Verifies the enclave's report (measurement must match, quote must
+  /// verify) and wraps the training key for it. Throws SgxError on any
+  /// verification failure.
+  [[nodiscard]] Bytes wrap_key_for(const Report& report);
+
+ private:
+  const AttestationService* service_;
+  Measurement expected_;
+  Bytes training_key_;
+  Rng rng_;
+  std::optional<Nonce> outstanding_challenge_;
+};
+
+/// Report MAC/session-key derivation shared by runtime and service.
+namespace detail {
+std::array<std::uint8_t, 32> platform_attestation_key(std::uint64_t platform_seed);
+std::array<std::uint8_t, 32> report_mac(const Report& report, std::uint64_t platform_seed);
+}  // namespace detail
+
+}  // namespace plinius::sgx

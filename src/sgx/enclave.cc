@@ -1,0 +1,165 @@
+#include "sgx/enclave.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "crypto/envelope.h"
+#include "crypto/sha256.h"
+
+namespace plinius::sgx {
+
+namespace {
+constexpr std::size_t kEpcPage = 4096;
+
+ByteSpan str_span(const char* s) {
+  return ByteSpan(reinterpret_cast<const std::uint8_t*>(s), std::strlen(s));
+}
+}  // namespace
+
+EnclaveRuntime::EnclaveRuntime(sim::Clock& clock, SgxCostModel model,
+                               std::string enclave_name, std::uint64_t platform_seed,
+                               std::string signer_name)
+    : clock_(&clock),
+      model_(model),
+      platform_seed_(platform_seed),
+      rng_(platform_seed ^ 0xEC1A7EULL) {
+  // MRENCLAVE: hash of the enclave identity (stands in for measuring the
+  // enclave binary pages at ECREATE/EADD time).
+  crypto::Sha256 h;
+  h.update(str_span("plinius-enclave:"));
+  h.update(ByteSpan(reinterpret_cast<const std::uint8_t*>(enclave_name.data()),
+                    enclave_name.size()));
+  h.final(measurement_.data());
+  // MRSIGNER: hash of the vendor's signing key.
+  crypto::Sha256 hs;
+  hs.update(str_span("plinius-signer:"));
+  hs.update(ByteSpan(reinterpret_cast<const std::uint8_t*>(signer_name.data()),
+                     signer_name.size()));
+  hs.final(signer_.data());
+}
+
+sim::Nanos EnclaveRuntime::transition_ns() const {
+  return sim::cycles_to_ns(model_.transition_cycles, model_.cpu_ghz);
+}
+
+void EnclaveRuntime::charge_ecall() {
+  ++stats_.ecalls;
+  clock_->advance(2 * transition_ns());  // enter + return
+}
+
+void EnclaveRuntime::charge_ocall() {
+  ++stats_.ocalls;
+  clock_->advance(2 * transition_ns());  // exit + re-enter
+}
+
+std::size_t EnclaveRuntime::charge_ocall_io(std::size_t bytes, bool into_enclave) {
+  const std::size_t chunk = model_.ocall_chunk_bytes;
+  const std::size_t nchunks = bytes == 0 ? 1 : (bytes + chunk - 1) / chunk;
+  for (std::size_t i = 0; i < nchunks; ++i) charge_ocall();
+  // Data is staged through an untrusted edge buffer and then crosses the
+  // MEE in the appropriate direction.
+  if (into_enclave) {
+    copy_into_enclave(bytes);
+  } else {
+    copy_out_of_enclave(bytes);
+  }
+  return nchunks;
+}
+
+void EnclaveRuntime::add_enclave_memory(std::size_t bytes) { heap_used_ += bytes; }
+
+void EnclaveRuntime::release_enclave_memory(std::size_t bytes) {
+  expects(bytes <= heap_used_, "release_enclave_memory: underflow");
+  heap_used_ -= bytes;
+}
+
+double EnclaveRuntime::fault_probability() const noexcept {
+  if (!model_.real_sgx || model_.epc_usable_bytes == 0) return 0.0;
+  if (heap_used_ <= model_.epc_usable_bytes) return 0.0;
+  // Mirroring/encryption sweeps the working set *sequentially*, the worst
+  // case for the driver's LRU-like eviction: once the working set exceeds
+  // the EPC by a small margin, essentially every touched page faults. Model
+  // a short ramp to full thrashing at 15% over the limit.
+  const double over = static_cast<double>(heap_used_ - model_.epc_usable_bytes);
+  const double ramp = 0.15 * static_cast<double>(model_.epc_usable_bytes);
+  return std::min(1.0, over / ramp);
+}
+
+void EnclaveRuntime::touch_enclave(std::size_t bytes) {
+  const double p = fault_probability();
+  if (p <= 0.0 || bytes == 0) return;
+  const double pages = static_cast<double>((bytes + kEpcPage - 1) / kEpcPage);
+  const double faults = pages * p;
+  stats_.epc_faults += static_cast<std::uint64_t>(std::llround(faults));
+  clock_->advance(faults * model_.page_fault_ns);
+}
+
+void EnclaveRuntime::copy_into_enclave(std::size_t bytes) {
+  stats_.bytes_copied_in += bytes;
+  clock_->advance(sim::bandwidth_ns(static_cast<double>(bytes), model_.epc_copy_in_gib_s));
+  touch_enclave(bytes);
+}
+
+void EnclaveRuntime::copy_out_of_enclave(std::size_t bytes) {
+  stats_.bytes_copied_out += bytes;
+  clock_->advance(
+      sim::bandwidth_ns(static_cast<double>(bytes), model_.epc_copy_out_gib_s));
+  // No touch_enclave: data being copied out was just produced, so its pages
+  // are EPC-resident (the ocall staging interleaves with the producer).
+}
+
+void EnclaveRuntime::charge_crypto(std::size_t bytes) {
+  stats_.crypto_bytes += bytes;
+  clock_->advance(model_.crypto_op_overhead_ns +
+                  sim::bandwidth_ns(static_cast<double>(bytes),
+                                    model_.enclave_crypto_gib_s));
+}
+
+void EnclaveRuntime::charge_native_crypto(std::size_t bytes) {
+  clock_->advance(
+      sim::bandwidth_ns(static_cast<double>(bytes), model_.native_crypto_gib_s));
+}
+
+void EnclaveRuntime::charge_plain_copy(std::size_t bytes) {
+  clock_->advance(sim::bandwidth_ns(static_cast<double>(bytes), 8.5));
+}
+
+void EnclaveRuntime::read_rand(MutableByteSpan out) {
+  // sgx_read_rand costs a RDRAND loop; charge ~25 cycles per 8 bytes.
+  clock_->advance(sim::cycles_to_ns(25.0 * static_cast<double>((out.size() + 7) / 8),
+                                    model_.cpu_ghz));
+  rng_.fill(out.data(), out.size());
+}
+
+crypto::AesGcm EnclaveRuntime::sealing_cipher(SealPolicy policy) const {
+  // Sealing key = KDF(platform fuse key, identity): with kMrEnclave only the
+  // same enclave on the same platform derives the same key; with kMrSigner
+  // any enclave from the same signing authority does.
+  const Measurement& identity =
+      policy == SealPolicy::kMrEnclave ? measurement_ : signer_;
+  std::uint8_t fuse[8];
+  for (int i = 0; i < 8; ++i) fuse[i] = static_cast<std::uint8_t>(platform_seed_ >> (8 * i));
+  crypto::Sha256 h;
+  h.update(str_span(policy == SealPolicy::kMrEnclave ? "sgx-seal-key-mrenclave"
+                                                     : "sgx-seal-key-mrsigner"));
+  h.update(ByteSpan(fuse, sizeof(fuse)));
+  h.update(ByteSpan(identity.data(), identity.size()));
+  std::uint8_t digest[32];
+  h.final(digest);
+  return crypto::AesGcm(ByteSpan(digest, 16));
+}
+
+Bytes EnclaveRuntime::seal_data(ByteSpan plain, SealPolicy policy) {
+  charge_crypto(plain.size());
+  const crypto::AesGcm cipher = sealing_cipher(policy);
+  return crypto::seal(cipher, rng_, plain);
+}
+
+Bytes EnclaveRuntime::unseal_data(ByteSpan sealed, SealPolicy policy) {
+  charge_crypto(sealed.size());
+  const crypto::AesGcm cipher = sealing_cipher(policy);
+  return crypto::open(cipher, sealed);  // throws CryptoError on mismatch
+}
+
+}  // namespace plinius::sgx

@@ -1,0 +1,148 @@
+// Simulated SGX enclave runtime.
+//
+// Code "inside the enclave" runs as ordinary C++, but declares its memory
+// use and data movement to this runtime, which charges the simulated clock
+// per the SgxCostModel: boundary transitions, MEE-throttled copies, EPC
+// paging beyond the usable limit, and in-enclave crypto throughput.
+//
+// The runtime also provides the SDK services the paper relies on:
+// sgx_read_rand (IV generation), data sealing (AES-GCM under a key derived
+// from a platform sealing key and the enclave measurement), and report
+// generation for remote attestation (see sgx/attestation.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "crypto/gcm.h"
+#include "sgx/model.h"
+
+namespace plinius::sgx {
+
+/// SHA-256 of the (simulated) enclave binary: MRENCLAVE.
+using Measurement = std::array<std::uint8_t, 32>;
+
+/// Sealing key policy (SGX SDK): MRENCLAVE binds sealed data to this exact
+/// enclave build; MRSIGNER binds it to the signing authority, so upgraded
+/// enclave versions from the same vendor can unseal it.
+enum class SealPolicy { kMrEnclave, kMrSigner };
+
+struct EnclaveStats {
+  std::uint64_t ecalls = 0;
+  std::uint64_t ocalls = 0;
+  std::uint64_t epc_faults = 0;  // expected page-swap count (rounded)
+  std::uint64_t bytes_copied_in = 0;
+  std::uint64_t bytes_copied_out = 0;
+  std::uint64_t crypto_bytes = 0;
+};
+
+class EnclaveRuntime {
+ public:
+  /// `platform_seed` stands in for the CPU's fused keys: it determines the
+  /// sealing key and the attestation platform key. Same seed = same CPU.
+  /// `signer_name` identifies the vendor signing authority (MRSIGNER).
+  EnclaveRuntime(sim::Clock& clock, SgxCostModel model, std::string enclave_name,
+                 std::uint64_t platform_seed = 0x5367E0ULL,
+                 std::string signer_name = "plinius-vendor");
+
+  EnclaveRuntime(const EnclaveRuntime&) = delete;
+  EnclaveRuntime& operator=(const EnclaveRuntime&) = delete;
+
+  // --- transitions -----------------------------------------------------------
+  /// Charges a full ecall (enter + return).
+  void charge_ecall();
+  /// Charges a full ocall (exit + re-enter).
+  void charge_ocall();
+  /// Charges the ocalls + marshalling copies for moving `bytes` of I/O data
+  /// across the boundary in edge-buffer chunks (how fread/fwrite wrappers in
+  /// SGX-Darknet move data). Returns the number of ocalls performed.
+  std::size_t charge_ocall_io(std::size_t bytes, bool into_enclave);
+
+  // --- enclave memory accounting --------------------------------------------
+  void add_enclave_memory(std::size_t bytes);
+  void release_enclave_memory(std::size_t bytes);
+  [[nodiscard]] std::size_t enclave_memory_used() const noexcept { return heap_used_; }
+  /// Expected EPC fault probability for a touched page at current pressure.
+  [[nodiscard]] double fault_probability() const noexcept;
+
+  // --- data movement ----------------------------------------------------------
+  /// Copy untrusted -> enclave: MEE write path + paging at current pressure.
+  void copy_into_enclave(std::size_t bytes);
+  /// Copy enclave -> untrusted.
+  void copy_out_of_enclave(std::size_t bytes);
+  /// Touching already-enclave-resident data (e.g. crypto reading the model):
+  /// pays paging only, at current EPC pressure.
+  void touch_enclave(std::size_t bytes);
+
+  // --- crypto ------------------------------------------------------------------
+  /// Charges AES-GCM time for `bytes` at in-enclave speed. The actual
+  /// encryption work is performed by the caller with crypto::AesGcm; this
+  /// only accounts simulated time.
+  void charge_crypto(std::size_t bytes);
+  /// Same, at native (untrusted / simulation-mode) speed.
+  void charge_native_crypto(std::size_t bytes);
+
+  /// Plain in-cache/DRAM memcpy between enclave-resident buffers (no MEE
+  /// boundary crossing, no paging): e.g. copying decrypted weights into the
+  /// model's layer arrays.
+  void charge_plain_copy(std::size_t bytes);
+
+  // --- SDK services -------------------------------------------------------------
+  /// sgx_read_rand equivalent (deterministic per platform_seed).
+  void read_rand(MutableByteSpan out);
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  /// Seals data to this platform. With kMrEnclave (default) only an enclave
+  /// with the same measurement can unseal; with kMrSigner any enclave from
+  /// the same signer can.
+  [[nodiscard]] Bytes seal_data(ByteSpan plain,
+                                SealPolicy policy = SealPolicy::kMrEnclave);
+  /// Unseals; throws CryptoError on identity/platform mismatch or tamper.
+  [[nodiscard]] Bytes unseal_data(ByteSpan sealed,
+                                  SealPolicy policy = SealPolicy::kMrEnclave);
+
+  [[nodiscard]] const Measurement& measurement() const noexcept { return measurement_; }
+  [[nodiscard]] const Measurement& signer() const noexcept { return signer_; }
+  [[nodiscard]] const SgxCostModel& model() const noexcept { return model_; }
+  [[nodiscard]] const EnclaveStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = EnclaveStats{}; }
+  [[nodiscard]] sim::Clock& clock() noexcept { return *clock_; }
+  [[nodiscard]] std::uint64_t platform_seed() const noexcept { return platform_seed_; }
+
+ private:
+  [[nodiscard]] sim::Nanos transition_ns() const;
+  [[nodiscard]] crypto::AesGcm sealing_cipher(SealPolicy policy) const;
+
+  sim::Clock* clock_;
+  SgxCostModel model_;
+  Measurement measurement_{};
+  Measurement signer_{};  // MRSIGNER: hash of the signing authority
+  std::uint64_t platform_seed_;
+  std::size_t heap_used_ = 0;
+  Rng rng_;
+  EnclaveStats stats_;
+};
+
+/// RAII enclave-heap registration for buffers logically inside the enclave.
+class EnclaveBuffer {
+ public:
+  EnclaveBuffer(EnclaveRuntime& enclave, std::size_t bytes)
+      : enclave_(&enclave), bytes_(bytes) {
+    enclave_->add_enclave_memory(bytes_);
+  }
+  ~EnclaveBuffer() { enclave_->release_enclave_memory(bytes_); }
+  EnclaveBuffer(const EnclaveBuffer&) = delete;
+  EnclaveBuffer& operator=(const EnclaveBuffer&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_; }
+
+ private:
+  EnclaveRuntime* enclave_;
+  std::size_t bytes_;
+};
+
+}  // namespace plinius::sgx

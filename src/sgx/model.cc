@@ -1,0 +1,37 @@
+#include "sgx/model.h"
+
+namespace plinius::sgx {
+
+SgxCostModel SgxCostModel::hardware(double ghz) {
+  return SgxCostModel{
+      .real_sgx = true,
+      .cpu_ghz = ghz,
+      .transition_cycles = 13100.0,        // sgx-perf measurement cited in §II
+      .epc_usable_bytes = 98041856,        // 93.5 MiB usable of the 128 MiB EPC
+      .page_fault_ns = 30000.0,            // EPC page swap round trip
+      .epc_copy_in_gib_s = 0.13,           // MEE write path + page-table walks
+      .epc_copy_out_gib_s = 0.8,
+      .enclave_crypto_gib_s = 0.41,        // SDK AES-GCM on EPC-resident data
+      .native_crypto_gib_s = 2.4,
+      .crypto_op_overhead_ns = 7500.0,   // SDK re-inits the cipher per call
+      .ocall_chunk_bytes = 16 * 1024,      // edge buffer size
+  };
+}
+
+SgxCostModel SgxCostModel::simulation(double ghz) {
+  return SgxCostModel{
+      .real_sgx = false,
+      .cpu_ghz = ghz,
+      .transition_cycles = 180.0,  // plain function call + SDK bookkeeping
+      .epc_usable_bytes = 0,       // unlimited: no EPC in simulation mode
+      .page_fault_ns = 0.0,
+      .epc_copy_in_gib_s = 8.0,    // plain DRAM copy
+      .epc_copy_out_gib_s = 8.0,
+      .enclave_crypto_gib_s = 2.4,
+      .native_crypto_gib_s = 2.4,
+      .crypto_op_overhead_ns = 10000.0,  // SDK per-call setup (sim mode)
+      .ocall_chunk_bytes = 16 * 1024,
+  };
+}
+
+}  // namespace plinius::sgx

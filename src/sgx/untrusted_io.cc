@@ -1,0 +1,70 @@
+#include "sgx/untrusted_io.h"
+
+#include "common/error.h"
+
+namespace plinius::sgx {
+
+UntrustedFile UntrustedIo::fopen(const std::string& path, const std::string& mode) {
+  enclave_->charge_ocall();  // the fopen ocall itself
+  if (mode == "r" || mode == "rb") {
+    if (!fs_->exists(path)) throw StorageError("fopen: no such file " + path);
+    return UntrustedFile(this, path, /*append=*/false);
+  }
+  if (mode == "w" || mode == "wb") {
+    fs_->create(path);  // truncate/create
+    return UntrustedFile(this, path, /*append=*/false);
+  }
+  if (mode == "a" || mode == "ab") {
+    if (!fs_->exists(path)) fs_->create(path);
+    return UntrustedFile(this, path, /*append=*/true);
+  }
+  throw StorageError("fopen: unsupported mode " + mode);
+}
+
+bool UntrustedIo::remove(const std::string& path) {
+  enclave_->charge_ocall();
+  if (!fs_->exists(path)) return false;
+  fs_->remove(path);
+  return true;
+}
+
+bool UntrustedIo::exists(const std::string& path) {
+  enclave_->charge_ocall();
+  return fs_->exists(path);
+}
+
+std::size_t UntrustedFile::size() const { return io_->fs().open(path_).size(); }
+
+std::size_t UntrustedFile::fread(MutableByteSpan out) {
+  auto& file = io_->fs().open(path_);
+  const std::size_t available = file.size() > pos_ ? file.size() - pos_ : 0;
+  const std::size_t n = std::min(out.size(), available);
+  if (n > 0) {
+    file.pread(pos_, MutableByteSpan(out.data(), n));
+    pos_ += n;
+  }
+  // Boundary crossing: ocalls per edge-buffer chunk + copy into the enclave.
+  io_->enclave().charge_ocall_io(n, /*into_enclave=*/true);
+  return n;
+}
+
+std::size_t UntrustedFile::fwrite(ByteSpan data) {
+  io_->enclave().charge_ocall_io(data.size(), /*into_enclave=*/false);
+  auto& file = io_->fs().open(path_);
+  file.pwrite(pos_, data);
+  pos_ += data.size();
+  return data.size();
+}
+
+void UntrustedFile::fseek(std::size_t offset) {
+  io_->enclave().charge_ocall();
+  if (offset > size()) throw StorageError("fseek past EOF in " + path_);
+  pos_ = offset;
+}
+
+void UntrustedFile::fsync() {
+  io_->enclave().charge_ocall();
+  io_->fs().open(path_).fsync();
+}
+
+}  // namespace plinius::sgx

@@ -1,0 +1,79 @@
+// Ocall-wrapped file I/O — the paper's SGX-Darknet porting strategy (§IV):
+//
+//   "To minimize code changes for commonly used (but unsupported) routines
+//    in Darknet (e.g., fread, fwrite etc.), SGX-DARKNET redefines the
+//    former as wrapper functions for ocalls to the corresponding libC
+//    functions in the untrusted runtime. A support library in the untrusted
+//    runtime, sgx-darknet-helper, provides the implementations of those
+//    ocalls invoking the corresponding libC routines."
+//
+// UntrustedIo is that wrapper layer: a stdio-like API usable from enclave
+// code, where every call crosses the boundary (transition costs, edge-buffer
+// chunking, marshalling copies) and lands on the untrusted SimFileSystem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "sgx/enclave.h"
+#include "storage/filesystem.h"
+
+namespace plinius::sgx {
+
+class UntrustedFile;
+
+class UntrustedIo {
+ public:
+  UntrustedIo(EnclaveRuntime& enclave, storage::SimFileSystem& fs)
+      : enclave_(&enclave), fs_(&fs) {}
+
+  /// fopen(path, mode): mode "r" requires the file to exist; "w" truncates/
+  /// creates; "a" appends/creates. Throws StorageError for "r" on a missing
+  /// file (after paying the ocall, as the real wrapper would).
+  [[nodiscard]] UntrustedFile fopen(const std::string& path, const std::string& mode);
+
+  /// remove(path); returns false if absent.
+  bool remove(const std::string& path);
+
+  [[nodiscard]] bool exists(const std::string& path);
+
+  [[nodiscard]] EnclaveRuntime& enclave() noexcept { return *enclave_; }
+  [[nodiscard]] storage::SimFileSystem& fs() noexcept { return *fs_; }
+
+ private:
+  EnclaveRuntime* enclave_;
+  storage::SimFileSystem* fs_;
+};
+
+/// An open untrusted FILE*. Sequential position semantics like stdio.
+class UntrustedFile {
+ public:
+  /// fread into an enclave buffer; returns bytes read (short at EOF).
+  std::size_t fread(MutableByteSpan out);
+
+  /// fwrite from an enclave buffer; returns bytes written.
+  std::size_t fwrite(ByteSpan data);
+
+  /// fseek(SEEK_SET only — all the ML code needs).
+  void fseek(std::size_t offset);
+  [[nodiscard]] std::size_t ftell() const noexcept { return pos_; }
+
+  /// fflush + fsync: force the data to the device.
+  void fsync();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  friend class UntrustedIo;
+  UntrustedFile(UntrustedIo* io, std::string path, bool append)
+      : io_(io), path_(std::move(path)) {
+    if (append) pos_ = size();
+  }
+
+  UntrustedIo* io_;
+  std::string path_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace plinius::sgx

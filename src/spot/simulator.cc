@@ -1,0 +1,64 @@
+#include "spot/simulator.h"
+
+#include <memory>
+
+namespace plinius::spot {
+
+SpotRunResult run_spot_training(Platform& platform, const ml::ModelConfig& config,
+                                const ml::Dataset& data, const SpotTrace& trace,
+                                const SpotRunOptions& options) {
+  SpotRunResult result;
+  std::unique_ptr<Trainer> trainer;  // null = process not running
+
+  for (const SpotTraceEntry& tick : trace.entries) {
+    const bool can_run = options.max_bid > tick.price;
+
+    if (!can_run) {
+      if (trainer != nullptr) {
+        // Out-bid: the instance is terminated. Volatile state dies with the
+        // process; PM retains exactly what was persisted.
+        trainer.reset();
+        platform.pm().crash();
+        ++result.interruptions;
+      }
+      result.state_curve.push_back(0);
+      continue;
+    }
+
+    if (trainer == nullptr) {
+      trainer = std::make_unique<Trainer>(platform, config, options.trainer);
+      trainer->load_dataset(data);  // no-op when already resident in PM
+      (void)trainer->resume_or_init();
+    }
+    result.state_curve.push_back(1);
+
+    const std::uint64_t start_iter = trainer->network().iterations();
+    if (start_iter >= options.target_iterations) {
+      result.completed = true;
+      result.final_model_iteration = start_iter;
+      break;
+    }
+    const std::uint64_t goal =
+        std::min<std::uint64_t>(start_iter + options.iterations_per_tick,
+                                options.target_iterations);
+    (void)trainer->train(goal);
+    const auto& history = trainer->loss_history();
+    const std::size_t new_losses = goal - start_iter;
+    result.losses.insert(result.losses.end(), history.end() - new_losses,
+                         history.end());
+    result.executed_iterations += new_losses;
+
+    if (goal >= options.target_iterations) {
+      result.completed = true;
+      result.final_model_iteration = goal;
+      break;
+    }
+  }
+
+  if (trainer != nullptr && !result.completed) {
+    result.final_model_iteration = trainer->network().iterations();
+  }
+  return result;
+}
+
+}  // namespace plinius::spot

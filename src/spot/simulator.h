@@ -1,0 +1,47 @@
+// Spot-instance training simulator (paper §VI, Fig. 10).
+//
+// Replays a price trace against a bid: while max_bid > market_price the
+// training process runs; when the market price rises above the bid the
+// process is killed (SIGKILL semantics: volatile state lost, PM keeps only
+// persisted lines) and later restarted, resuming from the PM mirror — or
+// from scratch for the non-resilient comparison.
+//
+// The paper's training spans many 5-minute market ticks; the simulator
+// exposes that coupling as `iterations_per_tick` (how many training
+// iterations fit in one market interval on the paper's testbed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/config.h"
+#include "ml/data.h"
+#include "plinius/platform.h"
+#include "plinius/trainer.h"
+#include "spot/trace.h"
+
+namespace plinius::spot {
+
+struct SpotRunOptions {
+  double max_bid = 0.0955;  // the paper's bid
+  std::size_t iterations_per_tick = 25;
+  std::uint64_t target_iterations = 500;
+  TrainerOptions trainer;
+};
+
+struct SpotRunResult {
+  std::vector<int> state_curve;       // per market tick: 1 running, 0 stopped
+  std::vector<float> losses;          // per executed iteration (in order)
+  std::size_t interruptions = 0;      // kill events
+  std::uint64_t executed_iterations = 0;  // includes redone work
+  std::uint64_t final_model_iteration = 0;
+  bool completed = false;             // reached target within the trace
+};
+
+/// Runs the spot training scenario on `platform`. The dataset is loaded
+/// into PM on the first process start and survives all kills.
+SpotRunResult run_spot_training(Platform& platform, const ml::ModelConfig& config,
+                                const ml::Dataset& data, const SpotTrace& trace,
+                                const SpotRunOptions& options);
+
+}  // namespace plinius::spot

@@ -1,0 +1,46 @@
+// AWS EC2 spot-price traces (paper §VI, "Plinius on AWS EC2 Spot
+// instances").
+//
+// The paper replays spot-market price traces from Wang et al. [38]: one
+// price point every 5 minutes; the training process runs while
+// max_bid > market_price and is killed otherwise. Those traces are not
+// redistributable here, so SpotTrace::synthetic generates a trace with the
+// same statistical character (slow-moving base price with occasional
+// multi-tick excursions above typical bid levels); CSV parsing is provided
+// for replaying real trace files when available.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace plinius::spot {
+
+struct SpotTraceEntry {
+  double timestamp_s = 0;  // seconds since trace start
+  double price = 0;        // $/hour
+};
+
+struct SpotTrace {
+  std::vector<SpotTraceEntry> entries;
+
+  /// Parses "timestamp,price" CSV lines (header line optional).
+  static SpotTrace parse_csv(const std::string& text);
+  static SpotTrace from_file(const std::string& path);
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Deterministic synthetic trace: `ticks` points at 5-minute intervals.
+  /// Base price ~0.09 with noise; excursions above ~0.0955 occur with
+  /// `spike_probability` per tick and last 1-4 ticks.
+  static SpotTrace synthetic(std::size_t ticks, std::uint64_t seed,
+                             double base_price = 0.090,
+                             double spike_probability = 0.03);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries.size(); }
+};
+
+inline constexpr double kTickSeconds = 300.0;  // 5-minute market interval
+
+}  // namespace plinius::spot

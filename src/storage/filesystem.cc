@@ -1,0 +1,142 @@
+#include "storage/filesystem.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace plinius::storage {
+
+namespace {
+constexpr std::size_t kPageSize = 4096;
+}
+
+void SimFile::pwrite(std::size_t offset, ByteSpan data) {
+  auto& clock = fs_->clock();
+  const auto& m = fs_->model();
+  clock.advance(m.syscall_ns);
+  if (data.empty()) return;
+
+  if (offset + data.size() > data_.size()) {
+    data_.resize(offset + data.size());
+    page_cached_.resize((data_.size() + kPageSize - 1) / kPageSize, false);
+  }
+  std::memcpy(data_.data() + offset, data.data(), data.size());
+
+  if (fs_->model().dax) {
+    // Straight to media; persistence is synchronous on DAX.
+    clock.advance(sim::bandwidth_ns(static_cast<double>(data.size()), m.device_write_gib_s));
+  } else {
+    // Page-cache copy now, device cost deferred to fsync.
+    clock.advance(sim::bandwidth_ns(static_cast<double>(data.size()), m.cache_gib_s));
+    dirty_bytes_ += data.size();
+    const std::size_t first = offset / kPageSize;
+    const std::size_t last = (offset + data.size() - 1) / kPageSize;
+    for (std::size_t p = first; p <= last; ++p) page_cached_[p] = true;
+  }
+}
+
+void SimFile::append(ByteSpan data) { pwrite(data_.size(), data); }
+
+void SimFile::touch_pages_for_read(std::size_t offset, std::size_t len) const {
+  auto& clock = fs_->clock();
+  const auto& m = fs_->model();
+  // Kernel readahead: a cold fault brings in a whole readahead window, so
+  // sequential scans pay the device access latency once per window while
+  // random 4 KiB reads pay it on (nearly) every IO.
+  constexpr std::size_t kReadaheadPages = 32;  // 128 KiB
+  const std::size_t total_pages = page_cached_.size();
+  const std::size_t first = offset / kPageSize;
+  const std::size_t last = (offset + len - 1) / kPageSize;
+
+  for (std::size_t p = first; p <= last; ++p) {
+    const bool sequential = p == last_page_read_ + 1 || p == last_page_read_;
+    last_page_read_ = p;
+    if (page_cached_[p]) {
+      clock.advance(sim::bandwidth_ns(kPageSize, m.cache_gib_s));
+      continue;
+    }
+    // The kernel only reads ahead on detected sequential streams.
+    const std::size_t window_end =
+        sequential ? std::min(p + kReadaheadPages, total_pages) : p + 1;
+    std::size_t fetched = 0;
+    for (std::size_t q = p; q < window_end; ++q) {
+      if (!page_cached_[q]) {
+        page_cached_[q] = true;
+        ++fetched;
+      }
+    }
+    clock.advance(m.access_latency_ns +
+                  sim::bandwidth_ns(static_cast<double>(fetched * kPageSize),
+                                    m.device_read_gib_s));
+  }
+}
+
+void SimFile::pread(std::size_t offset, MutableByteSpan out) const {
+  auto& clock = fs_->clock();
+  const auto& m = fs_->model();
+  clock.advance(m.syscall_ns);
+  if (out.empty()) return;
+  if (offset + out.size() > data_.size()) {
+    throw StorageError("SimFile::pread past EOF on " + name_);
+  }
+
+  if (m.dax) {
+    clock.advance(m.access_latency_ns +
+                  sim::bandwidth_ns(static_cast<double>(out.size()), m.device_read_gib_s));
+  } else {
+    touch_pages_for_read(offset, out.size());
+  }
+  std::memcpy(out.data(), data_.data() + offset, out.size());
+}
+
+void SimFile::fsync() {
+  auto& clock = fs_->clock();
+  const auto& m = fs_->model();
+  clock.advance(m.syscall_ns + m.fsync_base_ns);
+  if (!m.dax && dirty_bytes_ > 0) {
+    clock.advance(
+        sim::bandwidth_ns(static_cast<double>(dirty_bytes_), m.device_write_gib_s));
+    dirty_bytes_ = 0;
+  }
+}
+
+void SimFile::truncate(std::size_t new_size) {
+  fs_->clock().advance(fs_->model().syscall_ns);
+  data_.resize(new_size);
+  page_cached_.resize((new_size + kPageSize - 1) / kPageSize, false);
+}
+
+SimFile& SimFileSystem::create(const std::string& name, std::size_t prealloc) {
+  clock_->advance(model_.syscall_ns);
+  auto file = std::unique_ptr<SimFile>(new SimFile(this, name));
+  file->data_.assign(prealloc, 0);
+  file->page_cached_.assign((prealloc + kPageSize - 1) / kPageSize, false);
+  auto [it, _] = files_.insert_or_assign(name, std::move(file));
+  return *it->second;
+}
+
+SimFile& SimFileSystem::open(const std::string& name) {
+  clock_->advance(model_.syscall_ns);
+  const auto it = files_.find(name);
+  if (it == files_.end()) throw StorageError("SimFileSystem: no such file " + name);
+  return *it->second;
+}
+
+bool SimFileSystem::exists(const std::string& name) const {
+  return files_.contains(name);
+}
+
+void SimFileSystem::remove(const std::string& name) {
+  clock_->advance(model_.syscall_ns);
+  if (files_.erase(name) == 0) {
+    throw StorageError("SimFileSystem::remove: no such file " + name);
+  }
+}
+
+void SimFileSystem::drop_caches() {
+  for (auto& [_, file] : files_) {
+    std::fill(file->page_cached_.begin(), file->page_cached_.end(), false);
+  }
+}
+
+}  // namespace plinius::storage

@@ -1,0 +1,86 @@
+// Simulated filesystem over a cost-modelled device.
+//
+// Files hold real bytes (checkpoints written here are really read back),
+// while every operation charges the simulated clock according to the
+// stack's StorageCostModel:
+//   * non-DAX (SSD) — writes land in the page cache and become durable at
+//     fsync (which pays the device-write cost for all dirty bytes); reads
+//     pay device cost on first touch of each page and cache speed after;
+//   * DAX (PM/ramdisk/tmpfs) — no page cache: reads and writes go straight
+//     to the device at its speeds, fsync is (nearly) free.
+//
+// drop_caches() models `echo 3 > /proc/sys/vm/drop_caches` between FIO runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "storage/model.h"
+
+namespace plinius::storage {
+
+class SimFileSystem;
+
+class SimFile {
+ public:
+  void pwrite(std::size_t offset, ByteSpan data);
+  void pread(std::size_t offset, MutableByteSpan out) const;
+  void append(ByteSpan data);
+  /// Flushes dirty page-cache bytes to the device.
+  void fsync();
+  void truncate(std::size_t new_size);
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t dirty_bytes() const noexcept { return dirty_bytes_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class SimFileSystem;
+  SimFile(SimFileSystem* fs, std::string name) : fs_(fs), name_(std::move(name)) {}
+
+  void touch_pages_for_read(std::size_t offset, std::size_t len) const;
+
+  SimFileSystem* fs_;
+  std::string name_;
+  Bytes data_;
+  mutable std::vector<bool> page_cached_;  // per 4 KiB page
+  std::size_t dirty_bytes_ = 0;
+  mutable std::size_t last_page_read_ = static_cast<std::size_t>(-2);
+};
+
+class SimFileSystem {
+ public:
+  SimFileSystem(sim::Clock& clock, StorageCostModel model)
+      : clock_(&clock), model_(model) {}
+
+  SimFileSystem(const SimFileSystem&) = delete;
+  SimFileSystem& operator=(const SimFileSystem&) = delete;
+
+  /// Creates (or truncates) a file; `prealloc` bytes are zero-filled without
+  /// charging write costs (fallocate-style).
+  SimFile& create(const std::string& name, std::size_t prealloc = 0);
+  /// Opens an existing file; throws StorageError if missing.
+  SimFile& open(const std::string& name);
+  [[nodiscard]] bool exists(const std::string& name) const;
+  void remove(const std::string& name);
+
+  /// Evicts the page cache for all files (cold-read experiments).
+  void drop_caches();
+
+  [[nodiscard]] const StorageCostModel& model() const noexcept { return model_; }
+  [[nodiscard]] sim::Clock& clock() noexcept { return *clock_; }
+
+ private:
+  friend class SimFile;
+
+  sim::Clock* clock_;
+  StorageCostModel model_;
+  std::map<std::string, std::unique_ptr<SimFile>> files_;
+};
+
+}  // namespace plinius::storage

@@ -1,0 +1,68 @@
+#include "storage/model.h"
+
+namespace plinius::storage {
+
+StorageCostModel StorageCostModel::ext4_ssd() {
+  return StorageCostModel{
+      .syscall_ns = 1200.0,
+      .access_latency_ns = 65000.0,  // NVMe-class random-access latency
+      .device_read_gib_s = 0.75,
+      .device_write_gib_s = 0.24,  // effective: journal + device cache flush
+      .cache_gib_s = 8.0,
+      .fsync_base_ns = 210000.0,  // journal commit
+      .dax = false,
+  };
+}
+
+StorageCostModel StorageCostModel::ext4_ssd_sata() {
+  // The sgx-emlPM node (an older E3-1270 workstation) carries a slower
+  // SATA-class SSD; cold checkpoint re-reads through ocall-chunked fread
+  // are particularly poor on it.
+  return StorageCostModel{
+      .syscall_ns = 1200.0,
+      .access_latency_ns = 90000.0,
+      .device_read_gib_s = 0.07,
+      .device_write_gib_s = 0.11,
+      .cache_gib_s = 8.0,
+      .fsync_base_ns = 300000.0,
+      .dax = false,
+  };
+}
+
+StorageCostModel StorageCostModel::ext4_dax_pm() {
+  return StorageCostModel{
+      .syscall_ns = 1200.0,
+      .access_latency_ns = 320.0,
+      .device_read_gib_s = 6.2,
+      .device_write_gib_s = 2.1,
+      .cache_gib_s = 8.0,
+      .fsync_base_ns = 1400.0,  // metadata-only on DAX
+      .dax = true,
+  };
+}
+
+StorageCostModel StorageCostModel::ext4_dax_ramdisk() {
+  return StorageCostModel{
+      .syscall_ns = 1200.0,
+      .access_latency_ns = 90.0,
+      .device_read_gib_s = 12.5,
+      .device_write_gib_s = 8.5,
+      .cache_gib_s = 8.0,
+      .fsync_base_ns = 1400.0,
+      .dax = true,
+  };
+}
+
+StorageCostModel StorageCostModel::tmpfs_ram() {
+  return StorageCostModel{
+      .syscall_ns = 1100.0,
+      .access_latency_ns = 85.0,
+      .device_read_gib_s = 13.5,
+      .device_write_gib_s = 12.0,
+      .cache_gib_s = 13.5,
+      .fsync_base_ns = 900.0,  // no-op on tmpfs
+      .dax = true,             // tmpfs has no separate durable tier either
+  };
+}
+
+}  // namespace plinius::storage

@@ -1,0 +1,34 @@
+// Cost models for simulated storage stacks (device + filesystem path).
+//
+// Fig. 2 of the paper characterizes three stacks: Ext4 on SSD, Ext4+DAX on
+// PM, and tmpfs on DRAM (Ramdisk). The SSD stack goes through the page
+// cache (reads may hit cache; writes become durable only at fsync); DAX
+// stacks bypass the page cache entirely and persist at store granularity.
+#pragma once
+
+#include "common/clock.h"
+
+namespace plinius::storage {
+
+struct StorageCostModel {
+  sim::Nanos syscall_ns;         // kernel entry/exit + VFS path
+  sim::Nanos access_latency_ns;  // per cold IO (device seek/queue)
+  double device_read_gib_s;
+  double device_write_gib_s;
+  double cache_gib_s;    // page-cache / DRAM copy bandwidth
+  sim::Nanos fsync_base_ns;
+  bool dax;  // true: no page cache, writes reach media synchronously
+
+  /// Ext4 on an NVMe-class SSD (the emlSGX-PM server).
+  static StorageCostModel ext4_ssd();
+  /// Ext4 on a slower SATA-class SSD (the sgx-emlPM workstation).
+  static StorageCostModel ext4_ssd_sata();
+  /// Ext4 with DAX on real Optane PM (emlSGX-PM server).
+  static StorageCostModel ext4_dax_pm();
+  /// Ext4 with DAX on DRAM-emulated PM (sgx-emlPM server's "PM").
+  static StorageCostModel ext4_dax_ramdisk();
+  /// tmpfs over DRAM.
+  static StorageCostModel tmpfs_ram();
+};
+
+}  // namespace plinius::storage

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace plinius {
+namespace {
+
+TEST(Clock, StartsAtZeroAndAdvances) {
+  sim::Clock clock;
+  EXPECT_EQ(clock.now(), 0.0);
+  clock.advance(125.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 125.0);
+  clock.advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 125.5);
+}
+
+TEST(Clock, RejectsNegativeAdvance) {
+  sim::Clock clock;
+  EXPECT_THROW(clock.advance(-1.0), std::invalid_argument);
+}
+
+TEST(Clock, StopwatchMeasuresSpan) {
+  sim::Clock clock;
+  clock.advance(10.0);
+  sim::Stopwatch sw(clock);
+  clock.advance(32.0);
+  EXPECT_DOUBLE_EQ(sw.elapsed(), 32.0);
+  sw.restart();
+  EXPECT_DOUBLE_EQ(sw.elapsed(), 0.0);
+}
+
+TEST(Clock, ResetReturnsToZero) {
+  sim::Clock clock;
+  clock.advance(1e9);
+  clock.reset();
+  EXPECT_EQ(clock.now(), 0.0);
+}
+
+TEST(Clock, BandwidthConversion) {
+  // 1 GiB at 1 GiB/s should be ~1 s.
+  const double ns = sim::bandwidth_ns(1024.0 * 1024 * 1024, 1.0);
+  EXPECT_NEAR(ns, 1e9, 1.0);
+}
+
+TEST(Clock, CyclesConversion) {
+  EXPECT_DOUBLE_EQ(sim::cycles_to_ns(13100, 3.8), 13100 / 3.8);
+}
+
+TEST(Clock, DurationLiterals) {
+  using namespace sim;
+  EXPECT_DOUBLE_EQ(1.0_us, 1000.0);
+  EXPECT_DOUBLE_EQ(2.5_ms, 2.5e6);
+  EXPECT_DOUBLE_EQ(1.0_s, 1e9);
+  EXPECT_DOUBLE_EQ(42.0_ns, 42.0);
+}
+
+TEST(Clock, FormatNs) {
+  EXPECT_EQ(sim::format_ns(12.0), "12.0 ns");
+  EXPECT_EQ(sim::format_ns(4500.0), "4.50 us");
+  EXPECT_EQ(sim::format_ns(2.5e6), "2.50 ms");
+  EXPECT_EQ(sim::format_ns(3.25e9), "3.250 s");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NormalHasUnitVariance) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, FillIsDeterministic) {
+  Rng a(99), b(99);
+  std::uint8_t buf1[37], buf2[37];
+  a.fill(buf1, sizeof(buf1));
+  b.fill(buf2, sizeof(buf2));
+  EXPECT_EQ(0, memcmp(buf1, buf2, sizeof(buf1)));
+}
+
+TEST(Bytes, AlignHelpers) {
+  EXPECT_EQ(align_up(0, 64), 0u);
+  EXPECT_EQ(align_up(1, 64), 64u);
+  EXPECT_EQ(align_up(64, 64), 64u);
+  EXPECT_EQ(align_up(65, 64), 128u);
+  EXPECT_EQ(align_down(127, 64), 64u);
+  EXPECT_EQ(align_down(128, 64), 128u);
+}
+
+TEST(Bytes, SizeLiterals) {
+  EXPECT_EQ(4_KiB, 4096u);
+  EXPECT_EQ(1_MiB, 1048576u);
+  EXPECT_EQ(2_GiB, 2147483648u);
+}
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x1f, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "001fabff");
+  EXPECT_EQ(from_hex("001fabff"), data);
+  EXPECT_EQ(from_hex("001FABFF"), data);
+}
+
+TEST(Bytes, FromHexRejectsBadInput) {
+  EXPECT_THROW(from_hex("abc"), Error);
+  EXPECT_THROW(from_hex("zz"), Error);
+}
+
+TEST(Bytes, SecureEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(secure_equal(a, b));
+  EXPECT_FALSE(secure_equal(a, c));
+  EXPECT_FALSE(secure_equal(a, d));
+}
+
+TEST(Bytes, SecureZero) {
+  std::uint8_t buf[16];
+  memset(buf, 0xAA, sizeof(buf));
+  secure_zero(buf, sizeof(buf));
+  for (const auto b : buf) EXPECT_EQ(b, 0);
+}
+
+TEST(Error, HierarchyCatchable) {
+  EXPECT_THROW(throw CryptoError("x"), Error);
+  EXPECT_THROW(throw PmError("x"), Error);
+  EXPECT_THROW(throw SgxError("x"), Error);
+  EXPECT_THROW(throw MlError("x"), Error);
+  EXPECT_THROW(throw StorageError("x"), Error);
+}
+
+TEST(Error, SimulatedCrashIsNotAnError) {
+  // A simulated power failure must not be swallowed by catch (const Error&).
+  bool caught_as_crash = false;
+  try {
+    try {
+      throw SimulatedCrash("mirror_out");
+    } catch (const Error&) {
+      FAIL() << "SimulatedCrash must not derive from Error";
+    }
+  } catch (const SimulatedCrash& c) {
+    caught_as_crash = true;
+    EXPECT_EQ(c.where(), "mirror_out");
+  }
+  EXPECT_TRUE(caught_as_crash);
+}
+
+TEST(Error, ExpectsThrowsWithMessage) {
+  EXPECT_NO_THROW(expects(true, "fine"));
+  try {
+    expects(false, "batch size must be positive");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("batch size"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace plinius

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "pm/device.h"
+#include "romulus/concurrent.h"
+#include "romulus/romulus.h"
+
+namespace plinius::romulus {
+namespace {
+
+constexpr std::size_t kMain = 1024 * 1024;
+
+class ConcurrentRomulusTest : public ::testing::Test {
+ protected:
+  ConcurrentRomulusTest()
+      : dev_(clock_, Romulus::region_bytes(kMain), pm::PmLatencyModel::optane()),
+        rom_(dev_, 0, kMain, PwbPolicy::clflushopt_sfence(), true),
+        conc_(rom_) {}
+
+  sim::Clock clock_;
+  pm::PmDevice dev_;
+  Romulus rom_;
+  ConcurrentRomulus conc_;
+};
+
+TEST_F(ConcurrentRomulusTest, ManyThreadsIncrementingCounters) {
+  constexpr int kThreads = 4;
+  constexpr int kIncrementsPerThread = 200;
+
+  std::size_t counters_off = 0;
+  conc_.run_transaction([&](Romulus& rom) {
+    counters_off = rom.pmalloc(kThreads * 8);
+    for (int t = 0; t < kThreads; ++t) {
+      rom.tx_assign(counters_off + t * 8, std::uint64_t{0});
+    }
+    rom.set_root(0, counters_off);
+  });
+
+  // Each thread increments its own slot AND a shared slot; the shared slot
+  // is the contention check.
+  std::size_t shared_off = 0;
+  conc_.run_transaction([&](Romulus& rom) {
+    shared_off = rom.pmalloc(8);
+    rom.tx_assign(shared_off, std::uint64_t{0});
+  });
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        conc_.run_transaction([&](Romulus& rom) {
+          const auto mine = rom.read<std::uint64_t>(counters_off + t * 8);
+          rom.tx_assign(counters_off + t * 8, mine + 1);
+          const auto shared = rom.read<std::uint64_t>(shared_off);
+          rom.tx_assign(shared_off, shared + 1);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(conc_.read<std::uint64_t>(counters_off + t * 8),
+              static_cast<std::uint64_t>(kIncrementsPerThread));
+  }
+  // No lost updates on the shared counter.
+  EXPECT_EQ(conc_.read<std::uint64_t>(shared_off),
+            static_cast<std::uint64_t>(kThreads * kIncrementsPerThread));
+}
+
+TEST_F(ConcurrentRomulusTest, ConcurrentAllocationsDoNotOverlap) {
+  constexpr int kThreads = 4;
+  constexpr int kAllocsPerThread = 50;
+  std::vector<std::vector<std::size_t>> offsets(kThreads);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kAllocsPerThread; ++i) {
+        conc_.run_transaction([&](Romulus& rom) {
+          const std::size_t off = rom.pmalloc(64);
+          const std::uint64_t tag = (static_cast<std::uint64_t>(t) << 32) | i;
+          rom.tx_assign(off, tag);
+          offsets[t].push_back(off);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Every allocation is distinct and still holds its tag.
+  std::vector<std::size_t> all;
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < offsets[t].size(); ++i) {
+      all.push_back(offsets[t][i]);
+      const std::uint64_t expected = (static_cast<std::uint64_t>(t) << 32) | i;
+      EXPECT_EQ(conc_.read<std::uint64_t>(offsets[t][i]), expected);
+    }
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+TEST_F(ConcurrentRomulusTest, CommittedWorkSurvivesCrashAfterConcurrentPhase) {
+  constexpr int kThreads = 3;
+  std::atomic<std::uint64_t> committed{0};
+
+  std::size_t off = 0;
+  conc_.run_transaction([&](Romulus& rom) {
+    off = rom.pmalloc(8);
+    rom.tx_assign(off, std::uint64_t{0});
+    rom.set_root(1, off);
+  });
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 64; ++i) {
+        conc_.run_transaction([&](Romulus& rom) {
+          rom.tx_assign(off, rom.read<std::uint64_t>(off) + 1);
+        });
+        committed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  dev_.crash();
+  Romulus recovered(dev_, 0, kMain, PwbPolicy::clflushopt_sfence());
+  EXPECT_EQ(recovered.read<std::uint64_t>(recovered.root(1)), committed.load());
+}
+
+}  // namespace
+}  // namespace plinius::romulus

@@ -1,0 +1,483 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "crypto/aes.h"
+#include "crypto/envelope.h"
+#include "crypto/gcm.h"
+#include "crypto/sha256.h"
+
+namespace plinius::crypto {
+namespace {
+
+// --- AES-128 (FIPS-197 / NIST test vectors) -------------------------------
+
+TEST(Aes128, Fips197AppendixB) {
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes plain = from_hex("3243f6a8885a308d313198a2e0370734");
+  const Bytes expected = from_hex("3925841d02dc09fbdc118597196a0b32");
+  Aes128 aes(key);
+  std::uint8_t out[16];
+  aes.encrypt_block(plain.data(), out);
+  EXPECT_EQ(to_hex(ByteSpan(out, 16)), to_hex(expected));
+}
+
+TEST(Aes128, NistEcbVector) {
+  // NIST SP 800-38A F.1.1 ECB-AES128 block #1.
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes plain = from_hex("6bc1bee22e409f96e93d7e117393172a");
+  const Bytes expected = from_hex("3ad77bb40d7a3660a89ecaf32466ef97");
+  Aes128 aes(key);
+  std::uint8_t out[16];
+  aes.encrypt_block(plain.data(), out);
+  EXPECT_EQ(to_hex(ByteSpan(out, 16)), to_hex(expected));
+}
+
+TEST(Aes, Fips197AppendixC_AllKeySizes) {
+  const Bytes plain = from_hex("00112233445566778899aabbccddeeff");
+  struct Case {
+    const char* key;
+    const char* expected;
+    int rounds;
+  };
+  const Case cases[] = {
+      {"000102030405060708090a0b0c0d0e0f", "69c4e0d86a7b0430d8cdb78070b4c55a", 10},
+      {"000102030405060708090a0b0c0d0e0f1011121314151617",
+       "dda97ca4864cdfe06eaf70a0ec0d7191", 12},
+      {"000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+       "8ea2b7ca516745bfeafc49904b496089", 14},
+  };
+  for (const auto& c : cases) {
+    Aes aes(from_hex(c.key));
+    EXPECT_EQ(aes.rounds(), c.rounds);
+    std::uint8_t out[16];
+    aes.encrypt_block(plain.data(), out);
+    EXPECT_EQ(to_hex(ByteSpan(out, 16)), c.expected);
+    std::uint8_t back[16];
+    aes.decrypt_block(out, back);
+    EXPECT_EQ(to_hex(ByteSpan(back, 16)), to_hex(plain));
+  }
+}
+
+TEST(Aes, Gcm256NistTestCase16) {
+  const Bytes key = from_hex(
+      "feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308");
+  const Bytes iv = from_hex("cafebabefacedbaddecaf888");
+  const Bytes plain = from_hex(
+      "d9313225f88406e5a55909c5aff5269a"
+      "86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525"
+      "b16aedf5aa0de657ba637b39");
+  const Bytes aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  const Bytes expect_ct = from_hex(
+      "522dc1f099567d07f47f37a32a84427d"
+      "643a8cdcbfe5c0c97598a2bd2555d1aa"
+      "8cb08e48590dbb3da7b08b1056828838"
+      "c5f61e6393ba7a0abcc9f662");
+  const Bytes expect_tag = from_hex("76fc6ece0f4e1768cddf8853bb2d551b");
+
+  AesGcm gcm(key);
+  Bytes ct(plain.size());
+  std::uint8_t tag[16];
+  gcm.encrypt(iv, aad, plain, ct, tag);
+  EXPECT_EQ(to_hex(ct), to_hex(expect_ct));
+  EXPECT_EQ(to_hex(ByteSpan(tag, 16)), to_hex(expect_tag));
+  Bytes back(plain.size());
+  EXPECT_TRUE(gcm.decrypt(iv, aad, ct, back, tag));
+  EXPECT_EQ(back, plain);
+}
+
+TEST(Aes, RejectsInvalidKeySizes) {
+  EXPECT_THROW(Aes{Bytes(15)}, CryptoError);
+  EXPECT_THROW(Aes{Bytes(20)}, CryptoError);
+  EXPECT_THROW(Aes{Bytes(33)}, CryptoError);
+  EXPECT_NO_THROW(Aes{Bytes(24)});
+}
+
+TEST(Aes128, DecryptInvertsEncrypt) {
+  Rng rng(1);
+  Bytes key(16);
+  rng.fill(key.data(), key.size());
+  Aes128 aes(key);
+  for (int i = 0; i < 32; ++i) {
+    std::uint8_t plain[16], ct[16], back[16];
+    rng.fill(plain, 16);
+    aes.encrypt_block(plain, ct);
+    aes.decrypt_block(ct, back);
+    EXPECT_EQ(0, memcmp(plain, back, 16));
+  }
+}
+
+TEST(Aes128, RejectsWrongKeySize) {
+  const Bytes short_key(8);
+  EXPECT_THROW(Aes128 a{ByteSpan(short_key)}, CryptoError);
+}
+
+TEST(Aes128, CtrMatchesNistVector) {
+  // NIST SP 800-38A F.5.1 CTR-AES128.
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes ctr = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes plain = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  const Bytes expected = from_hex(
+      "874d6191b620e3261bef6864990db6ce"
+      "9806f66b7970fdff8617187bb9fffdff"
+      "5ae4df3edbd5d35e5b4f09020db03eab"
+      "1e031dda2fbe03d1792170a0f3009cee");
+  Aes128 aes(key);
+  Bytes out(plain.size());
+  aes.ctr_xcrypt(ctr.data(), plain, out);
+  EXPECT_EQ(to_hex(out), to_hex(expected));
+}
+
+TEST(Aes128, CtrIsAnInvolution) {
+  Rng rng(2);
+  Bytes key(16), ctr(16);
+  rng.fill(key.data(), 16);
+  rng.fill(ctr.data(), 16);
+  Aes128 aes(key);
+  // Odd length exercises the partial-block tail.
+  Bytes plain(1000 + 13);
+  rng.fill(plain.data(), plain.size());
+  Bytes ct(plain.size()), back(plain.size());
+  aes.ctr_xcrypt(ctr.data(), plain, ct);
+  aes.ctr_xcrypt(ctr.data(), ct, back);
+  EXPECT_EQ(plain, back);
+  EXPECT_NE(plain, ct);
+}
+
+// --- GHASH / GF(2^128) ------------------------------------------------------
+
+TEST(Ghash, PortableMatchesClmulWhenAvailable) {
+  if (!detail::clmul_supported()) GTEST_SKIP() << "no PCLMUL on this CPU";
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    std::uint8_t x[16], h[16], a[16], b[16];
+    rng.fill(x, 16);
+    rng.fill(h, 16);
+    gf128_mul(x, h, a);
+    detail::clmul_gf128_mul(x, h, b);
+    ASSERT_EQ(0, memcmp(a, b, 16)) << "mismatch at trial " << i;
+  }
+}
+
+TEST(Ghash, MultiplyByZeroIsZero) {
+  std::uint8_t x[16], h[16] = {}, out[16];
+  Rng(4).fill(x, 16);
+  gf128_mul(x, h, out);
+  for (const auto b : out) EXPECT_EQ(b, 0);
+}
+
+TEST(Ghash, IncrementalMatchesOneShot) {
+  Rng rng(5);
+  std::uint8_t h[16];
+  rng.fill(h, 16);
+  Bytes data(321);
+  rng.fill(data.data(), data.size());
+
+  Ghash one(h);
+  one.update_padded(data);
+  one.finish_lengths(0, data.size());
+  std::uint8_t d1[16];
+  one.digest(d1);
+
+  Ghash two(h);
+  two.update(ByteSpan(data.data(), 100));
+  two.update(ByteSpan(data.data() + 100, 21));
+  two.update_padded(ByteSpan(data.data() + 121, 200));
+  two.finish_lengths(0, data.size());
+  std::uint8_t d2[16];
+  two.digest(d2);
+
+  EXPECT_EQ(0, memcmp(d1, d2, 16));
+}
+
+// --- AES-GCM (NIST GCM test vectors) ----------------------------------------
+
+TEST(AesGcm, NistTestCase3) {
+  // McGrew & Viega GCM spec, test case 3 (AES-128, 12-byte IV, no AAD).
+  const Bytes key = from_hex("feffe9928665731c6d6a8f9467308308");
+  const Bytes iv = from_hex("cafebabefacedbaddecaf888");
+  const Bytes plain = from_hex(
+      "d9313225f88406e5a55909c5aff5269a"
+      "86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525"
+      "b16aedf5aa0de657ba637b391aafd255");
+  const Bytes expect_ct = from_hex(
+      "42831ec2217774244b7221b784d0d49c"
+      "e3aa212f2c02a4e035c17e2329aca12e"
+      "21d514b25466931c7d8f6a5aac84aa05"
+      "1ba30b396a0aac973d58e091473f5985");
+  const Bytes expect_tag = from_hex("4d5c2af327cd64a62cf35abd2ba6fab4");
+
+  AesGcm gcm(key);
+  Bytes ct(plain.size());
+  std::uint8_t tag[16];
+  gcm.encrypt(iv, {}, plain, ct, tag);
+  EXPECT_EQ(to_hex(ct), to_hex(expect_ct));
+  EXPECT_EQ(to_hex(ByteSpan(tag, 16)), to_hex(expect_tag));
+
+  Bytes back(plain.size());
+  EXPECT_TRUE(gcm.decrypt(iv, {}, ct, back, tag));
+  EXPECT_EQ(back, plain);
+}
+
+TEST(AesGcm, NistTestCase4WithAad) {
+  // Test case 4: AAD present, truncated plaintext.
+  const Bytes key = from_hex("feffe9928665731c6d6a8f9467308308");
+  const Bytes iv = from_hex("cafebabefacedbaddecaf888");
+  const Bytes plain = from_hex(
+      "d9313225f88406e5a55909c5aff5269a"
+      "86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525"
+      "b16aedf5aa0de657ba637b39");
+  const Bytes aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  const Bytes expect_ct = from_hex(
+      "42831ec2217774244b7221b784d0d49c"
+      "e3aa212f2c02a4e035c17e2329aca12e"
+      "21d514b25466931c7d8f6a5aac84aa05"
+      "1ba30b396a0aac973d58e091");
+  const Bytes expect_tag = from_hex("5bc94fbc3221a5db94fae95ae7121a47");
+
+  AesGcm gcm(key);
+  Bytes ct(plain.size());
+  std::uint8_t tag[16];
+  gcm.encrypt(iv, aad, plain, ct, tag);
+  EXPECT_EQ(to_hex(ct), to_hex(expect_ct));
+  EXPECT_EQ(to_hex(ByteSpan(tag, 16)), to_hex(expect_tag));
+}
+
+TEST(AesGcm, EmptyPlaintextProducesTagOnly) {
+  // Test case 1: all-zero key, empty everything.
+  const Bytes key(16, 0);
+  const Bytes iv(12, 0);
+  AesGcm gcm(key);
+  std::uint8_t tag[16];
+  gcm.encrypt(iv, {}, {}, {}, tag);
+  EXPECT_EQ(to_hex(ByteSpan(tag, 16)), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+TEST(AesGcm, TamperedCiphertextRejected) {
+  Rng rng(6);
+  Bytes key(16), iv(12);
+  rng.fill(key.data(), 16);
+  rng.fill(iv.data(), 12);
+  Bytes plain(777);
+  rng.fill(plain.data(), plain.size());
+
+  AesGcm gcm(key);
+  Bytes ct(plain.size());
+  std::uint8_t tag[16];
+  gcm.encrypt(iv, {}, plain, ct, tag);
+
+  ct[100] ^= 0x01;
+  Bytes back(plain.size(), 0xAA);
+  EXPECT_FALSE(gcm.decrypt(iv, {}, ct, back, tag));
+  // Output must be scrubbed on failure.
+  for (const auto b : back) EXPECT_EQ(b, 0);
+}
+
+TEST(AesGcm, TamperedTagRejected) {
+  Rng rng(7);
+  Bytes key(16), iv(12), plain(64);
+  rng.fill(key.data(), 16);
+  rng.fill(iv.data(), 12);
+  rng.fill(plain.data(), plain.size());
+
+  AesGcm gcm(key);
+  Bytes ct(plain.size());
+  std::uint8_t tag[16];
+  gcm.encrypt(iv, {}, plain, ct, tag);
+  tag[0] ^= 0x80;
+  Bytes back(plain.size());
+  EXPECT_FALSE(gcm.decrypt(iv, {}, ct, back, tag));
+}
+
+TEST(AesGcm, WrongAadRejected) {
+  Rng rng(8);
+  Bytes key(16), iv(12), plain(64);
+  rng.fill(key.data(), 16);
+  rng.fill(iv.data(), 12);
+  rng.fill(plain.data(), plain.size());
+  const Bytes aad1 = {1, 2, 3};
+  const Bytes aad2 = {1, 2, 4};
+
+  AesGcm gcm(key);
+  Bytes ct(plain.size());
+  std::uint8_t tag[16];
+  gcm.encrypt(iv, aad1, plain, ct, tag);
+  Bytes back(plain.size());
+  EXPECT_FALSE(gcm.decrypt(iv, aad2, ct, back, tag));
+  EXPECT_TRUE(gcm.decrypt(iv, aad1, ct, back, tag));
+}
+
+TEST(AesGcm, NonTwelveByteIvSupported) {
+  Rng rng(9);
+  Bytes key(16), iv(17), plain(100);
+  rng.fill(key.data(), 16);
+  rng.fill(iv.data(), iv.size());
+  rng.fill(plain.data(), plain.size());
+  AesGcm gcm(key);
+  Bytes ct(plain.size());
+  std::uint8_t tag[16];
+  gcm.encrypt(iv, {}, plain, ct, tag);
+  Bytes back(plain.size());
+  EXPECT_TRUE(gcm.decrypt(iv, {}, ct, back, tag));
+  EXPECT_EQ(back, plain);
+}
+
+// --- Envelope (IV || CT || MAC, the paper's 28-byte overhead) ---------------
+
+TEST(Envelope, OverheadIs28Bytes) {
+  EXPECT_EQ(kSealOverhead, 28u);
+  EXPECT_EQ(sealed_size(100), 128u);
+  EXPECT_EQ(unsealed_size(128), 100u);
+  EXPECT_THROW((void)unsealed_size(27), CryptoError);
+}
+
+TEST(Envelope, RoundTrip) {
+  Rng rng(10);
+  Bytes key(16);
+  rng.fill(key.data(), 16);
+  AesGcm gcm(key);
+  Bytes plain(12345);
+  rng.fill(plain.data(), plain.size());
+
+  Rng iv_rng(11);
+  const Bytes sealed = seal(gcm, iv_rng, plain);
+  EXPECT_EQ(sealed.size(), plain.size() + 28);
+  EXPECT_EQ(open(gcm, sealed), plain);
+}
+
+TEST(Envelope, FreshIvPerSeal) {
+  Rng rng(12), iv_rng(13);
+  Bytes key(16), plain(32);
+  rng.fill(key.data(), 16);
+  rng.fill(plain.data(), plain.size());
+  AesGcm gcm(key);
+  const Bytes s1 = seal(gcm, iv_rng, plain);
+  const Bytes s2 = seal(gcm, iv_rng, plain);
+  // Same plaintext, different IV => different ciphertext.
+  EXPECT_NE(s1, s2);
+}
+
+TEST(Envelope, OpenThrowsOnCorruption) {
+  Rng rng(14), iv_rng(15);
+  Bytes key(16), plain(64);
+  rng.fill(key.data(), 16);
+  rng.fill(plain.data(), plain.size());
+  AesGcm gcm(key);
+  Bytes sealed = seal(gcm, iv_rng, plain);
+  sealed[20] ^= 0xFF;
+  EXPECT_THROW(open(gcm, sealed), CryptoError);
+}
+
+TEST(Envelope, WrongKeyFails) {
+  Rng rng(16), iv_rng(17);
+  Bytes key1(16), key2(16), plain(64);
+  rng.fill(key1.data(), 16);
+  rng.fill(key2.data(), 16);
+  rng.fill(plain.data(), plain.size());
+  AesGcm gcm1(key1), gcm2(key2);
+  const Bytes sealed = seal(gcm1, iv_rng, plain);
+  EXPECT_THROW(open(gcm2, sealed), CryptoError);
+}
+
+// --- SHA-256 / HMAC ----------------------------------------------------------
+
+TEST(Sha256, EmptyString) {
+  const auto d = Sha256::hash({});
+  EXPECT_EQ(to_hex(ByteSpan(d.data(), d.size())),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  const std::uint8_t abc[] = {'a', 'b', 'c'};
+  const auto d = Sha256::hash(ByteSpan(abc, 3));
+  EXPECT_EQ(to_hex(ByteSpan(d.data(), d.size())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  const std::string msg = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  const auto d = Sha256::hash(ByteSpan(reinterpret_cast<const std::uint8_t*>(msg.data()),
+                                       msg.size()));
+  EXPECT_EQ(to_hex(ByteSpan(d.data(), d.size())),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Rng rng(18);
+  Bytes data(1000);
+  rng.fill(data.data(), data.size());
+  const auto one = Sha256::hash(data);
+
+  Sha256 h;
+  h.update(ByteSpan(data.data(), 1));
+  h.update(ByteSpan(data.data() + 1, 62));
+  h.update(ByteSpan(data.data() + 63, 937));
+  std::uint8_t d2[32];
+  h.final(d2);
+  EXPECT_EQ(0, memcmp(one.data(), d2, 32));
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  std::uint8_t d[32];
+  h.final(d);
+  EXPECT_EQ(to_hex(ByteSpan(d, 32)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const std::string msg = "Hi There";
+  const auto mac = hmac_sha256(
+      key, ByteSpan(reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(to_hex(ByteSpan(mac.data(), mac.size())),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const std::string key = "Jefe";
+  const std::string msg = "what do ya want for nothing?";
+  const auto mac = hmac_sha256(
+      ByteSpan(reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+      ByteSpan(reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(to_hex(ByteSpan(mac.data(), mac.size())),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // RFC 4231 test case 6: 131-byte key.
+  const Bytes key(131, 0xaa);
+  const std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  const auto mac = hmac_sha256(
+      key, ByteSpan(reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(to_hex(ByteSpan(mac.data(), mac.size())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(DeriveKey, DistinctInfoDistinctKeys) {
+  const Bytes master(16, 0x42);
+  Bytes k1(16), k2(16);
+  const std::string info1 = "seal", info2 = "mac";
+  derive_key(master, ByteSpan(reinterpret_cast<const std::uint8_t*>(info1.data()),
+                              info1.size()),
+             k1);
+  derive_key(master, ByteSpan(reinterpret_cast<const std::uint8_t*>(info2.data()),
+                              info2.size()),
+             k2);
+  EXPECT_NE(k1, k2);
+  Bytes too_long(64);
+  EXPECT_THROW(derive_key(master, ByteSpan{}, too_long), Error);
+}
+
+}  // namespace
+}  // namespace plinius::crypto

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "ml/config.h"
+#include "ml/synth_digits.h"
+#include "plinius/distributed.h"
+
+namespace plinius {
+namespace {
+
+ml::Dataset small_data(std::size_t rows = 512) {
+  ml::SynthDigitsOptions opt;
+  opt.train_count = rows;
+  opt.test_count = 1;
+  return ml::make_synth_digits(opt).train;
+}
+
+TEST(Distributed, RejectsBadOptions) {
+  ClusterOptions opt;
+  opt.workers = 0;
+  EXPECT_THROW(DistributedTrainer(MachineProfile::emlsgx_pm(), 48u << 20,
+                                  ml::make_cnn_config(2, 4, 8), opt),
+               Error);
+}
+
+TEST(Distributed, TrainsAndStaysSynchronized) {
+  ClusterOptions opt;
+  opt.workers = 3;
+  opt.sync_every = 4;
+  DistributedTrainer cluster(MachineProfile::emlsgx_pm(), 48u << 20,
+                             ml::make_cnn_config(2, 4, 16), opt);
+  cluster.load_dataset(small_data());
+  const float loss = cluster.train(12);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_EQ(cluster.sync_rounds(), 3u);
+
+  // After the final averaging round, all workers hold identical weights.
+  const auto ref = cluster.network(0).layer(0).parameters();
+  for (std::size_t w = 1; w < cluster.workers(); ++w) {
+    const auto other = cluster.network(w).layer(0).parameters();
+    for (std::size_t b = 0; b < ref.size(); ++b) {
+      for (std::size_t i = 0; i < ref[b].values.size(); ++i) {
+        ASSERT_EQ(ref[b].values[i], other[b].values[i])
+            << "worker " << w << " buffer " << b << " index " << i;
+      }
+    }
+  }
+  // Every worker reached the target.
+  for (std::size_t w = 0; w < cluster.workers(); ++w) {
+    EXPECT_EQ(cluster.network(w).iterations(), 12u);
+  }
+  EXPECT_GT(cluster.elapsed_ns(), 0.0);
+}
+
+TEST(Distributed, SingleWorkerDegeneratesToLocalTraining) {
+  ClusterOptions opt;
+  opt.workers = 1;
+  opt.sync_every = 4;
+  DistributedTrainer cluster(MachineProfile::emlsgx_pm(), 48u << 20,
+                             ml::make_cnn_config(2, 4, 8), opt);
+  cluster.load_dataset(small_data(64));
+  const float loss = cluster.train(8);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_EQ(cluster.sync_rounds(), 0u);  // nothing to average
+  EXPECT_EQ(cluster.network(0).iterations(), 8u);
+}
+
+TEST(Distributed, KilledWorkerResumesFromItsMirrorAndRejoins) {
+  ClusterOptions opt;
+  opt.workers = 2;
+  opt.sync_every = 5;
+  DistributedTrainer cluster(MachineProfile::emlsgx_pm(), 48u << 20,
+                             ml::make_cnn_config(2, 4, 16), opt);
+  cluster.load_dataset(small_data());
+  (void)cluster.train(10);
+
+  cluster.kill_worker(1);
+  // Next use reconstructs worker 1 from its PM mirror at iteration 10.
+  EXPECT_EQ(cluster.network(1).iterations(), 10u);
+
+  (void)cluster.train(20);
+  EXPECT_EQ(cluster.network(0).iterations(), 20u);
+  EXPECT_EQ(cluster.network(1).iterations(), 20u);
+
+  // Weights synchronized again after rejoin.
+  const auto a = cluster.network(0).layer(1).parameters();
+  const auto b = cluster.network(1).layer(1).parameters();
+  for (std::size_t i = 0; i < a[0].values.size(); ++i) {
+    ASSERT_EQ(a[0].values[i], b[0].values[i]);
+  }
+}
+
+TEST(Distributed, LearnsTheTask) {
+  ml::SynthDigitsOptions dopt;
+  dopt.train_count = 2048;
+  dopt.test_count = 512;
+  const auto digits = ml::make_synth_digits(dopt);
+
+  ClusterOptions opt;
+  opt.workers = 2;
+  opt.sync_every = 10;
+  DistributedTrainer cluster(MachineProfile::emlsgx_pm(), 64u << 20,
+                             ml::make_cnn_config(3, 8, 32), opt);
+  cluster.load_dataset(digits.train);
+  (void)cluster.train(60);
+
+  const double acc = cluster.network(0).accuracy(
+      digits.test.x.values.data(), digits.test.y.values.data(), digits.test.size());
+  EXPECT_GT(acc, 0.5);
+}
+
+TEST(Distributed, SyncCostsCommunicationTime) {
+  auto elapsed_with = [](std::size_t sync_every) {
+    ClusterOptions opt;
+    opt.workers = 4;
+    opt.sync_every = sync_every;
+    DistributedTrainer cluster(MachineProfile::emlsgx_pm(), 48u << 20,
+                               ml::make_cnn_config(2, 4, 16), opt);
+    cluster.load_dataset(small_data());
+    (void)cluster.train(12);
+    return cluster.elapsed_ns();
+  };
+  // More frequent synchronization = more rounds = more network time.
+  EXPECT_GT(elapsed_with(2), elapsed_with(12));
+}
+
+}  // namespace
+}  // namespace plinius

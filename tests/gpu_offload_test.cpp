@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "crypto/envelope.h"
+#include "ml/config.h"
+#include "plinius/gpu_offload.h"
+#include "plinius/platform.h"
+
+namespace plinius {
+namespace {
+
+crypto::AesGcm cipher_with(std::uint8_t fill) {
+  Bytes key(16, fill);
+  return crypto::AesGcm(key);
+}
+
+class GpuOffloadTest : public ::testing::Test {
+ protected:
+  GpuOffloadTest() : platform_(MachineProfile::emlsgx_pm(), 8 * 1024 * 1024) {
+    Rng rng(1);
+    net_ = std::make_unique<ml::Network>(
+        ml::build_network(ml::make_cnn_config(3, 8, 32), rng));
+  }
+
+  Platform platform_;
+  std::unique_ptr<ml::Network> net_;
+};
+
+TEST_F(GpuOffloadTest, RequiresUploadBeforeTraining) {
+  GpuOffload gpu(platform_, GpuModel::v100(), cipher_with(1));
+  EXPECT_FALSE(gpu.weights_resident());
+  EXPECT_THROW(gpu.charge_training_iteration(*net_, 32), Error);
+  gpu.upload_weights(*net_);
+  EXPECT_TRUE(gpu.weights_resident());
+  EXPECT_NO_THROW(gpu.charge_training_iteration(*net_, 32));
+  EXPECT_EQ(gpu.stats().weight_uploads, 1u);
+  EXPECT_EQ(gpu.stats().iterations, 1u);
+}
+
+TEST_F(GpuOffloadTest, BusSnooperSeesOnlyCiphertext) {
+  GpuOffload gpu(platform_, GpuModel::v100(), cipher_with(2));
+  gpu.upload_weights(*net_);
+  const Bytes& wire = gpu.last_upload_ciphertext();
+  ASSERT_FALSE(wire.empty());
+
+  // The plaintext weights must not appear on the bus: check that the first
+  // parameter buffer's bytes are not a substring of the wire blob.
+  const auto params = net_->layer(0).parameters();
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(params[0].values.data());
+  const std::size_t probe_len = std::min<std::size_t>(64, params[0].values.size() * 4);
+  const auto it = std::search(wire.begin(), wire.end(), raw, raw + probe_len);
+  EXPECT_EQ(it, wire.end());
+
+  // But the GPU's session key recovers the first buffer exactly.
+  const std::size_t sealed0 = crypto::sealed_size(params[0].values.size_bytes());
+  const Bytes plain =
+      crypto::open(cipher_with(2), ByteSpan(wire.data(), sealed0));
+  EXPECT_EQ(0, std::memcmp(plain.data(), raw, plain.size()));
+
+  // A GPU with the wrong session key gets nothing.
+  EXPECT_THROW((void)crypto::open(cipher_with(3), ByteSpan(wire.data(), sealed0)),
+               CryptoError);
+}
+
+TEST_F(GpuOffloadTest, ChargesTimeAndScalesWithModel) {
+  GpuOffload small_gpu(platform_, GpuModel::v100(), cipher_with(4));
+  small_gpu.upload_weights(*net_);
+  sim::Stopwatch sw(platform_.clock());
+  small_gpu.charge_training_iteration(*net_, 32);
+  const auto small_ns = sw.elapsed();
+  EXPECT_GT(small_ns, 0.0);
+
+  Rng rng(2);
+  ml::Network big = ml::build_network(ml::make_cnn_config(3, 32, 32), rng);
+  GpuOffload big_gpu(platform_, GpuModel::v100(), cipher_with(4));
+  big_gpu.upload_weights(big);
+  sw.restart();
+  big_gpu.charge_training_iteration(big, 32);
+  EXPECT_GT(sw.elapsed(), small_ns);
+}
+
+TEST_F(GpuOffloadTest, FasterGpuMeansFasterIterations) {
+  GpuOffload fast(platform_, GpuModel::v100(), cipher_with(5));
+  GpuOffload slow(platform_, GpuModel::t4(), cipher_with(5));
+  fast.upload_weights(*net_);
+  slow.upload_weights(*net_);
+
+  sim::Stopwatch sw(platform_.clock());
+  fast.charge_training_iteration(*net_, 128);
+  const auto fast_ns = sw.elapsed();
+  sw.restart();
+  slow.charge_training_iteration(*net_, 128);
+  EXPECT_GT(sw.elapsed(), fast_ns);
+  EXPECT_GT(fast.stats().compute_ns, 0.0);
+  EXPECT_GT(fast.stats().transfer_ns, 0.0);
+}
+
+TEST_F(GpuOffloadTest, CpuIterationEstimateMatchesPlatformRate) {
+  GpuOffload gpu(platform_, GpuModel::v100(), cipher_with(6));
+  const double macs = 3.0 * static_cast<double>(net_->forward_macs()) * 128.0;
+  const double expected_ns =
+      macs / platform_.profile().compute_macs_per_s * 1e9;
+  EXPECT_NEAR(gpu.cpu_iteration_ns(*net_, 128), expected_ns, 1.0);
+}
+
+}  // namespace
+}  // namespace plinius

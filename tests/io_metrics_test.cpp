@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "ml/config.h"
+#include "ml/metrics.h"
+#include "ml/synth_digits.h"
+#include "sgx/untrusted_io.h"
+
+namespace plinius {
+namespace {
+
+// --- UntrustedIo (the ocall-wrapped stdio layer) ---------------------------------
+
+class UntrustedIoTest : public ::testing::Test {
+ protected:
+  UntrustedIoTest()
+      : fs_(clock_, storage::StorageCostModel::ext4_ssd()),
+        enclave_(clock_, sgx::SgxCostModel::hardware(), "io-test"),
+        io_(enclave_, fs_) {}
+
+  sim::Clock clock_;
+  storage::SimFileSystem fs_;
+  sgx::EnclaveRuntime enclave_;
+  sgx::UntrustedIo io_;
+};
+
+TEST_F(UntrustedIoTest, WriteReadRoundTrip) {
+  Bytes payload(10000);
+  Rng(1).fill(payload.data(), payload.size());
+  {
+    auto f = io_.fopen("weights.bin", "w");
+    EXPECT_EQ(f.fwrite(payload), payload.size());
+    f.fsync();
+  }
+  auto f = io_.fopen("weights.bin", "r");
+  EXPECT_EQ(f.size(), payload.size());
+  Bytes back(payload.size());
+  EXPECT_EQ(f.fread(back), payload.size());
+  EXPECT_EQ(back, payload);
+  // Sequential position: a second fread hits EOF.
+  Bytes more(10);
+  EXPECT_EQ(f.fread(more), 0u);
+}
+
+TEST_F(UntrustedIoTest, OpenModes) {
+  EXPECT_THROW((void)io_.fopen("missing", "r"), StorageError);
+  EXPECT_THROW((void)io_.fopen("x", "r+w"), StorageError);
+
+  const Bytes a(100, 1), b(50, 2);
+  {
+    auto f = io_.fopen("log", "w");
+    f.fwrite(a);
+  }
+  {
+    auto f = io_.fopen("log", "a");  // append positions at EOF
+    EXPECT_EQ(f.ftell(), 100u);
+    f.fwrite(b);
+  }
+  auto f = io_.fopen("log", "r");
+  EXPECT_EQ(f.size(), 150u);
+  {
+    // "w" truncates.
+    auto g = io_.fopen("log", "w");
+    (void)g;
+  }
+  EXPECT_EQ(io_.fopen("log", "r").size(), 0u);
+}
+
+TEST_F(UntrustedIoTest, SeekAndPartialReads) {
+  Bytes payload(256);
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = static_cast<std::uint8_t>(i);
+  {
+    auto f = io_.fopen("data", "w");
+    f.fwrite(payload);
+  }
+  auto f = io_.fopen("data", "r");
+  f.fseek(200);
+  Bytes tail(100);
+  EXPECT_EQ(f.fread(tail), 56u);  // short read at EOF
+  EXPECT_EQ(tail[0], 200);
+  EXPECT_THROW(f.fseek(1000), StorageError);
+}
+
+TEST_F(UntrustedIoTest, EveryCallCrossesTheBoundary) {
+  const auto before = enclave_.stats().ocalls;
+  (void)io_.exists("nope");
+  EXPECT_EQ(enclave_.stats().ocalls, before + 1);
+
+  auto f = io_.fopen("f", "w");  // +1
+  Bytes big(100 * 1024);          // 100 KiB = 7 edge-buffer chunks
+  f.fwrite(big);
+  EXPECT_GE(enclave_.stats().ocalls, before + 2 + 7);
+  EXPECT_GT(clock_.now(), 0.0);
+}
+
+TEST_F(UntrustedIoTest, RemoveSemantics) {
+  EXPECT_FALSE(io_.remove("ghost"));
+  { auto f = io_.fopen("tmp", "w"); (void)f; }
+  EXPECT_TRUE(io_.exists("tmp"));
+  EXPECT_TRUE(io_.remove("tmp"));
+  EXPECT_FALSE(io_.exists("tmp"));
+}
+
+// --- ConfusionMatrix ----------------------------------------------------------------
+
+TEST(Confusion, CountsAndDerivedMetrics) {
+  ml::ConfusionMatrix cm(3);
+  // truth 0: 8 correct, 2 predicted as 1.
+  for (int i = 0; i < 8; ++i) cm.add(0, 0);
+  for (int i = 0; i < 2; ++i) cm.add(0, 1);
+  // truth 1: 5 correct.
+  for (int i = 0; i < 5; ++i) cm.add(1, 1);
+  // truth 2: 4 correct, 1 as 0.
+  for (int i = 0; i < 4; ++i) cm.add(2, 2);
+  cm.add(2, 0);
+
+  EXPECT_EQ(cm.total(), 20u);
+  EXPECT_EQ(cm.count(0, 1), 2u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 17.0 / 20.0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 0.8);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 8.0 / 9.0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 5.0 / 7.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 1.0);
+  EXPECT_GT(cm.macro_f1(), 0.8);
+  EXPECT_THROW(cm.add(3, 0), Error);
+  EXPECT_THROW((void)cm.count(0, 3), Error);
+
+  const std::string table = cm.to_string();
+  EXPECT_NE(table.find("truth"), std::string::npos);
+}
+
+TEST(Confusion, EmptyAndUnseenClasses) {
+  ml::ConfusionMatrix cm(2);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.0);  // never predicted
+  EXPECT_DOUBLE_EQ(cm.recall(1), 0.0);     // never occurred
+  EXPECT_THROW(ml::ConfusionMatrix(0), Error);
+}
+
+TEST(Confusion, EvaluateOnTrainedNetwork) {
+  ml::SynthDigitsOptions dopt;
+  dopt.train_count = 1024;
+  dopt.test_count = 300;
+  const auto digits = ml::make_synth_digits(dopt);
+
+  Rng rng(1);
+  ml::Network net = ml::build_network(ml::make_cnn_config(3, 8, 32), rng);
+  Rng br(2);
+  std::vector<float> bx(32 * ml::kDigitPixels), by(32 * ml::kDigitClasses);
+  for (int it = 0; it < 60; ++it) {
+    ml::sample_batch(digits.train, 32, br, bx.data(), by.data());
+    (void)net.train_batch(bx.data(), by.data(), 32);
+  }
+
+  const auto cm = ml::evaluate_confusion(net, digits.test);
+  EXPECT_EQ(cm.total(), 300u);
+  // Consistency with Network::accuracy.
+  const double acc = net.accuracy(digits.test.x.values.data(),
+                                  digits.test.y.values.data(), digits.test.size());
+  EXPECT_NEAR(cm.accuracy(), acc, 1e-12);
+  EXPECT_GT(cm.macro_f1(), 0.3);
+}
+
+}  // namespace
+}  // namespace plinius

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "common/rng.h"
+#include "ml/avgpool_layer.h"
+#include "ml/config.h"
+#include "ml/dropout_layer.h"
+#include "ml/network.h"
+#include "ml/schedule.h"
+#include "ml/softmax_layer.h"
+#include "ml/synth_digits.h"
+
+namespace plinius::ml {
+namespace {
+
+// --- learning-rate schedules ----------------------------------------------------
+
+TEST(LrSchedule, ConstantPolicy) {
+  LrSchedule s;
+  s.base_lr = 0.25f;
+  EXPECT_FLOAT_EQ(s.at(0), 0.25f);
+  EXPECT_FLOAT_EQ(s.at(100000), 0.25f);
+}
+
+TEST(LrSchedule, StepsPolicy) {
+  LrSchedule s;
+  s.policy = LrSchedule::Policy::kSteps;
+  s.base_lr = 1.0f;
+  s.steps = {100, 200};
+  s.scales = {0.5f, 0.2f};
+  EXPECT_FLOAT_EQ(s.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(s.at(99), 1.0f);
+  EXPECT_FLOAT_EQ(s.at(100), 0.5f);
+  EXPECT_FLOAT_EQ(s.at(199), 0.5f);
+  EXPECT_FLOAT_EQ(s.at(200), 0.1f);   // cumulative: 0.5 * 0.2
+}
+
+TEST(LrSchedule, StepsWithMissingScalesDefaultToTenth) {
+  LrSchedule s;
+  s.policy = LrSchedule::Policy::kSteps;
+  s.base_lr = 1.0f;
+  s.steps = {10};
+  EXPECT_FLOAT_EQ(s.at(10), 0.1f);
+}
+
+TEST(LrSchedule, ExpPolicyDecays) {
+  LrSchedule s;
+  s.policy = LrSchedule::Policy::kExp;
+  s.base_lr = 1.0f;
+  s.gamma = 0.9f;
+  EXPECT_FLOAT_EQ(s.at(0), 1.0f);
+  EXPECT_NEAR(s.at(10), std::pow(0.9f, 10.0f), 1e-6);
+  EXPECT_LT(s.at(50), s.at(10));
+}
+
+TEST(LrSchedule, PolyPolicyReachesZero) {
+  LrSchedule s;
+  s.policy = LrSchedule::Policy::kPoly;
+  s.base_lr = 1.0f;
+  s.power = 2.0f;
+  s.max_iterations = 100;
+  EXPECT_FLOAT_EQ(s.at(0), 1.0f);
+  EXPECT_NEAR(s.at(50), 0.25f, 1e-6);
+  EXPECT_FLOAT_EQ(s.at(100), 0.0f);
+  EXPECT_FLOAT_EQ(s.at(500), 0.0f);  // clamped past max
+}
+
+TEST(LrSchedule, BurnInRampsUp) {
+  LrSchedule s;
+  s.base_lr = 1.0f;
+  s.burn_in = 100;
+  s.burn_power = 1.0f;
+  EXPECT_NEAR(s.at(0), 0.01f, 1e-6);
+  EXPECT_NEAR(s.at(49), 0.5f, 1e-6);
+  EXPECT_FLOAT_EQ(s.at(100), 1.0f);
+}
+
+TEST(LrSchedule, PolicyNames) {
+  EXPECT_EQ(LrSchedule::policy_from_name("constant"), LrSchedule::Policy::kConstant);
+  EXPECT_EQ(LrSchedule::policy_from_name("steps"), LrSchedule::Policy::kSteps);
+  EXPECT_EQ(LrSchedule::policy_from_name("exp"), LrSchedule::Policy::kExp);
+  EXPECT_EQ(LrSchedule::policy_from_name("poly"), LrSchedule::Policy::kPoly);
+  EXPECT_THROW(LrSchedule::policy_from_name("cosine"), MlError);
+}
+
+TEST(LrSchedule, ParsedFromConfig) {
+  const auto cfg = ModelConfig::parse(
+      "[net]\nlearning_rate=0.5\npolicy=steps\nsteps=10,20\nscales=0.1,0.5\n"
+      "burn_in=5\nheight=6\nwidth=6\nchannels=1\n[softmax]\n");
+  const auto s = cfg.lr_schedule();
+  EXPECT_EQ(s.policy, LrSchedule::Policy::kSteps);
+  EXPECT_FLOAT_EQ(s.base_lr, 0.5f);
+  ASSERT_EQ(s.steps.size(), 2u);
+  EXPECT_EQ(s.steps[1], 20u);
+  ASSERT_EQ(s.scales.size(), 2u);
+  EXPECT_FLOAT_EQ(s.scales[1], 0.5f);
+  EXPECT_EQ(s.burn_in, 5u);
+
+  EXPECT_THROW((void)ModelConfig::parse("[net]\nsteps=1,x\n[softmax]\n").lr_schedule(),
+               MlError);
+}
+
+TEST(LrSchedule, AppliedDuringTraining) {
+  // A poly schedule must change hyper().learning_rate across iterations.
+  const auto cfg = ModelConfig::parse(
+      "[net]\nbatch=4\nlearning_rate=0.1\npolicy=poly\nmax_batches=50\npower=1\n"
+      "height=28\nwidth=28\nchannels=1\n"
+      "[connected]\noutput=10\n\n[softmax]\n");
+  Rng rng(1);
+  Network net = build_network(cfg, rng);
+
+  SynthDigitsOptions dopt;
+  dopt.train_count = 32;
+  dopt.test_count = 1;
+  const auto d = make_synth_digits(dopt);
+  std::vector<float> bx(4 * kDigitPixels), by(4 * kDigitClasses);
+  Rng br(2);
+  sample_batch(d.train, 4, br, bx.data(), by.data());
+
+  (void)net.train_batch(bx.data(), by.data(), 4);
+  const float lr0 = net.hyper().learning_rate;
+  for (int i = 0; i < 25; ++i) (void)net.train_batch(bx.data(), by.data(), 4);
+  EXPECT_LT(net.hyper().learning_rate, lr0);
+}
+
+// --- dropout ----------------------------------------------------------------------
+
+TEST(Dropout, InferencePassThrough) {
+  DropoutLayer layer(Shape{4, 1, 1}, 0.5f, 1);
+  layer.prepare(2);
+  const float in[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  layer.forward(in, 2, /*train=*/false);
+  for (int i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(layer.output()[i], in[i]);
+}
+
+TEST(Dropout, TrainingZeroesAndScales) {
+  DropoutLayer layer(Shape{1000, 1, 1}, 0.5f, 7);
+  layer.prepare(1);
+  std::vector<float> in(1000, 2.0f);
+  layer.forward(in.data(), 1, /*train=*/true);
+  int zeros = 0, scaled = 0;
+  for (const float v : layer.output()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 4.0f);  // 2.0 / (1 - 0.5)
+      ++scaled;
+    }
+  }
+  EXPECT_NEAR(zeros, 500, 60);
+  EXPECT_EQ(zeros + scaled, 1000);
+  // Expected value preserved (inverted dropout).
+  const double sum = std::accumulate(layer.output().begin(), layer.output().end(), 0.0);
+  EXPECT_NEAR(sum / 1000.0, 2.0, 0.3);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  DropoutLayer layer(Shape{100, 1, 1}, 0.3f, 3);
+  layer.prepare(1);
+  std::vector<float> in(100, 1.0f);
+  layer.forward(in.data(), 1, /*train=*/true);
+  std::fill(layer.delta().begin(), layer.delta().end(), 1.0f);
+  std::vector<float> in_delta(100, 0.0f);
+  layer.backward(in.data(), in_delta.data(), 1);
+  for (int i = 0; i < 100; ++i) {
+    // Gradient flows exactly where the activation survived.
+    if (layer.output()[i] == 0.0f) {
+      EXPECT_FLOAT_EQ(in_delta[i], 0.0f);
+    } else {
+      EXPECT_GT(in_delta[i], 1.0f);
+    }
+  }
+}
+
+TEST(Dropout, RejectsBadProbability) {
+  EXPECT_THROW(DropoutLayer(Shape{4, 1, 1}, 1.0f, 1), Error);
+  EXPECT_THROW(DropoutLayer(Shape{4, 1, 1}, -0.1f, 1), Error);
+  EXPECT_NO_THROW(DropoutLayer(Shape{4, 1, 1}, 0.0f, 1));
+}
+
+// --- average pooling ----------------------------------------------------------------
+
+TEST(AvgPool, GlobalAveragesWholePlane) {
+  AvgPoolLayer layer(Shape{2, 2, 2}, AvgPoolConfig{});
+  EXPECT_EQ(layer.output_shape(), (Shape{2, 1, 1}));
+  layer.prepare(1);
+  const float in[] = {1, 2, 3, 4, 10, 20, 30, 40};
+  layer.forward(in, 1, true);
+  EXPECT_FLOAT_EQ(layer.output()[0], 2.5f);
+  EXPECT_FLOAT_EQ(layer.output()[1], 25.0f);
+
+  layer.delta()[0] = 4.0f;
+  layer.delta()[1] = 8.0f;
+  float in_delta[8] = {};
+  layer.backward(in, in_delta, 1);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(in_delta[i], 1.0f);
+  for (int i = 4; i < 8; ++i) EXPECT_FLOAT_EQ(in_delta[i], 2.0f);
+}
+
+TEST(AvgPool, WindowedPooling) {
+  AvgPoolLayer layer(Shape{1, 4, 4}, AvgPoolConfig{2, 2});
+  EXPECT_EQ(layer.output_shape(), (Shape{1, 2, 2}));
+  layer.prepare(1);
+  std::vector<float> in(16);
+  std::iota(in.begin(), in.end(), 0.0f);  // 0..15 row-major
+  layer.forward(in.data(), 1, true);
+  // Top-left window: {0,1,4,5} -> 2.5
+  EXPECT_FLOAT_EQ(layer.output()[0], 2.5f);
+  EXPECT_FLOAT_EQ(layer.output()[1], 4.5f);
+  EXPECT_FLOAT_EQ(layer.output()[2], 10.5f);
+  EXPECT_FLOAT_EQ(layer.output()[3], 12.5f);
+}
+
+TEST(AvgPool, GradientDistributesEqually) {
+  AvgPoolLayer layer(Shape{1, 2, 2}, AvgPoolConfig{2, 2});
+  layer.prepare(1);
+  const float in[] = {1, 2, 3, 4};
+  layer.forward(in, 1, true);
+  layer.delta()[0] = 8.0f;
+  float in_delta[4] = {};
+  layer.backward(in, in_delta, 1);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(in_delta[i], 2.0f);
+}
+
+TEST(AvgPool, RejectsBadWindow) {
+  EXPECT_THROW(AvgPoolLayer(Shape{1, 2, 2}, AvgPoolConfig{4, 2}), MlError);
+  EXPECT_THROW(AvgPoolLayer(Shape{1, 4, 4}, AvgPoolConfig{2, 0}), MlError);
+}
+
+// --- config integration ----------------------------------------------------------------
+
+TEST(ConfigExtensions, BuildsDropoutAndAvgpool) {
+  const auto cfg = ModelConfig::parse(
+      "[net]\nbatch=4\nheight=28\nwidth=28\nchannels=1\n"
+      "[convolutional]\nfilters=4\nstride=2\n\n"
+      "[dropout]\nprobability=0.25\n\n"
+      "[avgpool]\n\n"
+      "[connected]\noutput=10\n\n[softmax]\n");
+  Rng rng(1);
+  Network net = build_network(cfg, rng);
+  EXPECT_EQ(net.num_layers(), 5u);
+  EXPECT_STREQ(net.layer(1).type(), "dropout");
+  EXPECT_STREQ(net.layer(2).type(), "avgpool");
+  EXPECT_EQ(net.layer(2).output_shape(), (Shape{4, 1, 1}));
+}
+
+TEST(ConfigExtensions, TrainingWithDropoutAndAvgpoolLearns) {
+  const auto cfg = ModelConfig::parse(
+      "[net]\nbatch=32\nlearning_rate=0.1\nheight=28\nwidth=28\nchannels=1\n"
+      "[convolutional]\nfilters=8\nstride=2\n\n"
+      "[convolutional]\nfilters=16\nstride=2\n\n"
+      "[dropout]\nprobability=0.1\n\n"
+      "[avgpool]\nsize=2\nstride=2\n\n"
+      "[connected]\noutput=10\n\n[softmax]\n");
+  Rng rng(3);
+  Network net = build_network(cfg, rng);
+
+  SynthDigitsOptions dopt;
+  dopt.train_count = 1024;
+  dopt.test_count = 256;
+  const auto d = make_synth_digits(dopt);
+  Rng br(4);
+  std::vector<float> bx(32 * kDigitPixels), by(32 * kDigitClasses);
+  float early = 0, late = 0;
+  for (int it = 0; it < 120; ++it) {
+    sample_batch(d.train, 32, br, bx.data(), by.data());
+    const float loss = net.train_batch(bx.data(), by.data(), 32);
+    ASSERT_TRUE(std::isfinite(loss));
+    if (it < 10) early += loss;
+    if (it >= 110) late += loss;
+  }
+  EXPECT_LT(late, early);
+  const double acc =
+      net.accuracy(d.test.x.values.data(), d.test.y.values.data(), d.test.size());
+  EXPECT_GT(acc, 0.4);
+}
+
+}  // namespace
+}  // namespace plinius::ml

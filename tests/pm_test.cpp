@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "pm/device.h"
+
+namespace plinius::pm {
+namespace {
+
+class PmDeviceTest : public ::testing::Test {
+ protected:
+  sim::Clock clock_;
+  PmDevice dev_{clock_, 64 * 1024, PmLatencyModel::optane(), /*crash_seed=*/1};
+};
+
+TEST_F(PmDeviceTest, SizeRoundedToCacheLine) {
+  sim::Clock c;
+  PmDevice d(c, 100, PmLatencyModel::optane());
+  EXPECT_EQ(d.size(), 128u);
+}
+
+TEST_F(PmDeviceTest, RejectsZeroSize) {
+  sim::Clock c;
+  EXPECT_THROW(PmDevice(c, 0, PmLatencyModel::optane()), Error);
+}
+
+TEST_F(PmDeviceTest, StoreVisibleThroughLoad) {
+  const char msg[] = "hello pm";
+  dev_.store(128, msg, sizeof(msg));
+  char back[sizeof(msg)];
+  dev_.load(128, back, sizeof(back));
+  EXPECT_STREQ(back, msg);
+}
+
+TEST_F(PmDeviceTest, OutOfRangeAccessThrows) {
+  char byte = 0;
+  EXPECT_THROW(dev_.store(dev_.size(), &byte, 1), PmError);
+  EXPECT_THROW(dev_.store(dev_.size() - 1, &byte, 2), PmError);
+  EXPECT_THROW(dev_.load(dev_.size(), &byte, 1), PmError);
+  EXPECT_NO_THROW(dev_.store(dev_.size() - 1, &byte, 1));
+}
+
+TEST_F(PmDeviceTest, UnflushedStoreLostOnCrash) {
+  const std::uint32_t v = 0xdeadbeef;
+  dev_.store(0, &v, sizeof(v));
+  dev_.crash();
+  std::uint32_t back = 1;
+  dev_.load(0, &back, sizeof(back));
+  EXPECT_EQ(back, 0u);  // device starts zeroed; the store never persisted
+}
+
+TEST_F(PmDeviceTest, ClflushPersistsWithoutFence) {
+  const std::uint32_t v = 0xdeadbeef;
+  dev_.store(0, &v, sizeof(v));
+  dev_.flush(0, sizeof(v), FlushKind::kClflush);
+  // No fence: clflush is strongly ordered (the paper's clflush+nop combo).
+  dev_.crash();
+  std::uint32_t back = 0;
+  dev_.load(0, &back, sizeof(back));
+  EXPECT_EQ(back, v);
+}
+
+TEST_F(PmDeviceTest, ClflushOptRequiresFence) {
+  // Without the fence, persistence of a clflushopt'd line is *not guaranteed*
+  // (it persists with probability 1/2 in the model). With the fence it is.
+  const std::uint64_t v = 0x1122334455667788ULL;
+  dev_.store(0, &v, sizeof(v));
+  dev_.flush(0, sizeof(v), FlushKind::kClflushOpt);
+  dev_.fence(FenceKind::kSfence);
+  dev_.crash();
+  std::uint64_t back = 0;
+  dev_.load(0, &back, sizeof(back));
+  EXPECT_EQ(back, v);
+}
+
+TEST(PmCrash, UnfencedClflushOptSometimesLost) {
+  // Across many seeds, an unfenced clflushopt must be lost at least once and
+  // survive at least once — that nondeterminism is what fences eliminate.
+  int survived = 0, lost = 0;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    sim::Clock clock;
+    PmDevice dev(clock, 4096, PmLatencyModel::optane(), seed);
+    const std::uint32_t v = 0xabcd1234;
+    dev.store(0, &v, sizeof(v));
+    dev.flush(0, sizeof(v), FlushKind::kClflushOpt);
+    dev.crash();  // no fence!
+    std::uint32_t back = 0;
+    dev.load(0, &back, sizeof(back));
+    (back == v ? survived : lost)++;
+  }
+  EXPECT_GT(survived, 0);
+  EXPECT_GT(lost, 0);
+}
+
+TEST_F(PmDeviceTest, StoreAfterFlushBeforeFencePersistsFlushedContent) {
+  // The fence persists what was flushed, not what was stored afterwards.
+  const std::uint32_t first = 0x11111111, second = 0x22222222;
+  dev_.store(0, &first, sizeof(first));
+  dev_.flush(0, sizeof(first), FlushKind::kClflushOpt);
+  dev_.store(0, &second, sizeof(second));  // dirties the line again
+  dev_.fence(FenceKind::kSfence);
+  dev_.crash();
+  std::uint32_t back = 0;
+  dev_.load(0, &back, sizeof(back));
+  EXPECT_EQ(back, first);
+}
+
+TEST_F(PmDeviceTest, ReflushAfterStoreUpdatesPending) {
+  const std::uint32_t first = 0x11111111, second = 0x22222222;
+  dev_.store(0, &first, sizeof(first));
+  dev_.flush(0, sizeof(first), FlushKind::kClflushOpt);
+  dev_.store(0, &second, sizeof(second));
+  dev_.flush(0, sizeof(second), FlushKind::kClflushOpt);  // newest content wins
+  dev_.fence(FenceKind::kSfence);
+  dev_.crash();
+  std::uint32_t back = 0;
+  dev_.load(0, &back, sizeof(back));
+  EXPECT_EQ(back, second);
+}
+
+TEST_F(PmDeviceTest, CrashRestoresVolatileFromPersistent) {
+  const std::uint32_t committed = 0xAAAAAAAA;
+  dev_.store(64, &committed, sizeof(committed));
+  dev_.flush(64, sizeof(committed), FlushKind::kClflush);
+
+  const std::uint32_t uncommitted = 0xBBBBBBBB;
+  dev_.store(64, &uncommitted, sizeof(uncommitted));
+  dev_.crash();
+
+  std::uint32_t back = 0;
+  dev_.load(64, &back, sizeof(back));
+  EXPECT_EQ(back, committed);
+}
+
+TEST_F(PmDeviceTest, QuiescentTracksCleanliness) {
+  EXPECT_TRUE(dev_.quiescent());
+  const std::uint8_t b = 7;
+  dev_.store(0, &b, 1);
+  EXPECT_FALSE(dev_.quiescent());
+  dev_.flush(0, 1, FlushKind::kClflushOpt);
+  EXPECT_FALSE(dev_.quiescent());  // pending, not yet fenced
+  dev_.fence(FenceKind::kSfence);
+  EXPECT_TRUE(dev_.quiescent());
+}
+
+TEST_F(PmDeviceTest, MultiLineRangeFlush) {
+  std::uint8_t buf[1000];
+  Rng(5).fill(buf, sizeof(buf));
+  dev_.store(30, buf, sizeof(buf));  // crosses 17 cache lines, misaligned
+  dev_.flush(30, sizeof(buf), FlushKind::kClflushOpt);
+  dev_.fence(FenceKind::kSfence);
+  dev_.crash();
+  std::uint8_t back[1000];
+  dev_.load(30, back, sizeof(back));
+  EXPECT_EQ(0, memcmp(buf, back, sizeof(buf)));
+}
+
+TEST_F(PmDeviceTest, PersistentImagePeek) {
+  const std::uint32_t v = 0x5555AAAA;
+  dev_.store(0, &v, sizeof(v));
+  std::uint32_t persisted = 1;
+  std::memcpy(&persisted, dev_.persistent_image(), sizeof(persisted));
+  EXPECT_EQ(persisted, 0u);  // not yet flushed
+  dev_.flush(0, sizeof(v), FlushKind::kClflush);
+  std::memcpy(&persisted, dev_.persistent_image(), sizeof(persisted));
+  EXPECT_EQ(persisted, v);
+}
+
+TEST_F(PmDeviceTest, StatsCountOperations) {
+  const std::uint8_t b[128] = {};
+  dev_.store(0, b, sizeof(b));
+  dev_.flush(0, sizeof(b), FlushKind::kClflushOpt);
+  dev_.fence(FenceKind::kSfence);
+  const auto& s = dev_.stats();
+  EXPECT_EQ(s.stores, 1u);
+  EXPECT_EQ(s.bytes_stored, 128u);
+  EXPECT_EQ(s.flushes, 1u);
+  EXPECT_EQ(s.lines_flushed, 2u);
+  EXPECT_EQ(s.fences, 1u);
+  dev_.reset_stats();
+  EXPECT_EQ(dev_.stats().stores, 0u);
+}
+
+TEST_F(PmDeviceTest, TimeAdvancesWithOperations) {
+  const auto t0 = clock_.now();
+  std::uint8_t buf[4096];
+  Rng(1).fill(buf, sizeof(buf));
+  dev_.store(0, buf, sizeof(buf));
+  const auto t1 = clock_.now();
+  EXPECT_GT(t1, t0);
+  dev_.flush(0, sizeof(buf), FlushKind::kClflushOpt);
+  dev_.fence(FenceKind::kSfence);
+  const auto t2 = clock_.now();
+  EXPECT_GT(t2, t1);
+}
+
+TEST_F(PmDeviceTest, ClflushCostsMoreThanClflushOptPerLine) {
+  std::uint8_t buf[4096];
+  Rng(2).fill(buf, sizeof(buf));
+
+  sim::Clock c1, c2;
+  PmDevice d1(c1, 8192, PmLatencyModel::optane());
+  PmDevice d2(c2, 8192, PmLatencyModel::optane());
+  d1.store(0, buf, sizeof(buf));
+  d2.store(0, buf, sizeof(buf));
+
+  sim::Stopwatch s1(c1);
+  d1.flush(0, sizeof(buf), FlushKind::kClflush);
+  d1.fence(FenceKind::kNop);
+  const auto clflush_time = s1.elapsed();
+
+  sim::Stopwatch s2(c2);
+  d2.flush(0, sizeof(buf), FlushKind::kClflushOpt);
+  d2.fence(FenceKind::kSfence);
+  const auto clflushopt_time = s2.elapsed();
+
+  EXPECT_GT(clflush_time, clflushopt_time);
+}
+
+TEST_F(PmDeviceTest, ClwbBehavesLikeClflushOptForPersistence) {
+  const std::uint64_t v = 0x77;
+  dev_.store(0, &v, sizeof(v));
+  dev_.flush(0, sizeof(v), FlushKind::kClwb);
+  EXPECT_FALSE(dev_.quiescent());  // needs the fence
+  dev_.fence(FenceKind::kSfence);
+  EXPECT_TRUE(dev_.quiescent());
+  dev_.crash();
+  std::uint64_t back = 0;
+  dev_.load(0, &back, sizeof(back));
+  EXPECT_EQ(back, v);
+}
+
+TEST_F(PmDeviceTest, ClwbSlightlyCheaperThanClflushOpt) {
+  std::uint8_t buf[4096];
+  Rng(9).fill(buf, sizeof(buf));
+  sim::Clock c1, c2;
+  PmDevice d1(c1, 8192, PmLatencyModel::optane());
+  PmDevice d2(c2, 8192, PmLatencyModel::optane());
+  d1.store(0, buf, sizeof(buf));
+  d2.store(0, buf, sizeof(buf));
+  sim::Stopwatch s1(c1);
+  d1.flush(0, sizeof(buf), FlushKind::kClwb);
+  const auto clwb_ns = s1.elapsed();
+  sim::Stopwatch s2(c2);
+  d2.flush(0, sizeof(buf), FlushKind::kClflushOpt);
+  EXPECT_LT(clwb_ns, s2.elapsed());
+}
+
+TEST_F(PmDeviceTest, FlushingCleanLinesIsFree) {
+  dev_.flush(0, 4096, FlushKind::kClflushOpt);
+  EXPECT_EQ(dev_.stats().lines_flushed, 0u);
+}
+
+TEST_F(PmDeviceTest, SaveAndLoadImage) {
+  const char msg[] = "persisted across processes";
+  dev_.store(256, msg, sizeof(msg));
+  dev_.flush(256, sizeof(msg), FlushKind::kClflush);
+  const std::string path = ::testing::TempDir() + "/pm_image.bin";
+  dev_.save_image(path);
+
+  sim::Clock c2;
+  PmDevice dev2(c2, dev_.size(), PmLatencyModel::optane());
+  dev2.load_image(path);
+  char back[sizeof(msg)];
+  dev2.load(256, back, sizeof(back));
+  EXPECT_STREQ(back, msg);
+  std::remove(path.c_str());
+}
+
+TEST_F(PmDeviceTest, LoadImageMissingFileThrows) {
+  EXPECT_THROW(dev_.load_image("/nonexistent/pm_image.bin"), PmError);
+}
+
+// Property-style sweep: random store/flush/fence sequences; after a crash,
+// every line must equal either its last fenced content or (for pending
+// lines) one of the two legal values — never garbage.
+class PmRandomizedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PmRandomizedTest, CrashNeverYieldsTornState) {
+  sim::Clock clock;
+  constexpr std::size_t kSize = 16 * 1024;
+  PmDevice dev(clock, kSize, PmLatencyModel::optane(), GetParam());
+  Rng rng(GetParam() * 1000 + 17);
+
+  // Shadow model: for each line, the set of values that may legally survive.
+  constexpr std::size_t kLines = kSize / kCacheLine;
+  std::vector<std::vector<std::vector<std::uint8_t>>> legal(kLines);
+  std::vector<std::vector<std::uint8_t>> current(kLines,
+                                                 std::vector<std::uint8_t>(kCacheLine, 0));
+  for (std::size_t l = 0; l < kLines; ++l) {
+    legal[l].push_back(current[l]);  // initial zeroes are persistent
+  }
+
+  for (int op = 0; op < 300; ++op) {
+    const std::size_t line = rng.below(kLines);
+    const int action = static_cast<int>(rng.below(3));
+    if (action == 0) {
+      std::vector<std::uint8_t> data(kCacheLine);
+      rng.fill(data.data(), data.size());
+      dev.store(line * kCacheLine, data.data(), data.size());
+      current[line] = data;
+    } else if (action == 1) {
+      dev.flush(line * kCacheLine, kCacheLine, FlushKind::kClflushOpt);
+      // Until the fence, both old and new content are legal outcomes.
+      legal[line].push_back(current[line]);
+    } else {
+      dev.fence(FenceKind::kSfence);
+      // After a fence every previously flushed line's newest flushed value
+      // is the only legal one; approximate by keeping the last pushed value
+      // of every line that has more than one candidate.
+      for (auto& cands : legal) {
+        if (cands.size() > 1) cands.erase(cands.begin(), cands.end() - 1);
+      }
+    }
+  }
+  dev.crash();
+
+  for (std::size_t l = 0; l < kLines; ++l) {
+    const std::uint8_t* actual = dev.persistent_image() + l * kCacheLine;
+    bool matched = false;
+    for (const auto& cand : legal[l]) {
+      if (std::memcmp(actual, cand.data(), kCacheLine) == 0) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << "line " << l << " has torn/illegal content, seed "
+                         << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PmRandomizedTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
+
+}  // namespace
+}  // namespace plinius::pm

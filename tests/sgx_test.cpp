@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "sgx/attestation.h"
+#include "sgx/enclave.h"
+#include "sgx/model.h"
+
+namespace plinius::sgx {
+namespace {
+
+class EnclaveTest : public ::testing::Test {
+ protected:
+  sim::Clock clock_;
+  EnclaveRuntime enclave_{clock_, SgxCostModel::hardware(), "test-enclave", 0xABCD};
+};
+
+TEST_F(EnclaveTest, EcallChargesTwoTransitions) {
+  const double expected = 2 * 13100.0 / 3.8;
+  sim::Stopwatch sw(clock_);
+  enclave_.charge_ecall();
+  EXPECT_NEAR(sw.elapsed(), expected, 1.0);
+  EXPECT_EQ(enclave_.stats().ecalls, 1u);
+}
+
+TEST_F(EnclaveTest, SimulationModeTransitionsAreCheap) {
+  sim::Clock clock;
+  EnclaveRuntime sim_enclave(clock, SgxCostModel::simulation(), "sim");
+  sim::Stopwatch sw(clock);
+  sim_enclave.charge_ecall();
+  const auto sim_cost = sw.elapsed();
+
+  sim::Stopwatch sw2(clock_);
+  enclave_.charge_ecall();
+  EXPECT_GT(sw2.elapsed(), 20 * sim_cost);
+}
+
+TEST_F(EnclaveTest, OcallIoChunksAndCharges) {
+  const std::size_t bytes = 100 * 1024;  // 100 KiB over 16 KiB chunks = 7 ocalls
+  const std::size_t calls = enclave_.charge_ocall_io(bytes, /*into_enclave=*/true);
+  EXPECT_EQ(calls, 7u);
+  EXPECT_EQ(enclave_.stats().ocalls, 7u);
+  EXPECT_EQ(enclave_.stats().bytes_copied_in, bytes);
+}
+
+TEST_F(EnclaveTest, MemoryAccounting) {
+  EXPECT_EQ(enclave_.enclave_memory_used(), 0u);
+  enclave_.add_enclave_memory(1000);
+  enclave_.add_enclave_memory(500);
+  EXPECT_EQ(enclave_.enclave_memory_used(), 1500u);
+  enclave_.release_enclave_memory(1500);
+  EXPECT_EQ(enclave_.enclave_memory_used(), 0u);
+  EXPECT_THROW(enclave_.release_enclave_memory(1), Error);
+}
+
+TEST_F(EnclaveTest, EnclaveBufferIsRaii) {
+  {
+    EnclaveBuffer buf(enclave_, 4096);
+    EXPECT_EQ(enclave_.enclave_memory_used(), 4096u);
+  }
+  EXPECT_EQ(enclave_.enclave_memory_used(), 0u);
+}
+
+TEST_F(EnclaveTest, NoFaultsBelowEpcLimit) {
+  enclave_.add_enclave_memory(50 * 1024 * 1024);
+  EXPECT_EQ(enclave_.fault_probability(), 0.0);
+  sim::Stopwatch sw(clock_);
+  enclave_.touch_enclave(10 * 1024 * 1024);
+  EXPECT_EQ(sw.elapsed(), 0.0);
+}
+
+TEST_F(EnclaveTest, FaultProbabilityRampsToThrashing) {
+  const std::size_t epc = SgxCostModel::hardware().epc_usable_bytes;
+  // Just over the limit: partial faulting (ramp to full thrash at +15%).
+  enclave_.add_enclave_memory(epc + epc * 3 / 100);
+  EXPECT_NEAR(enclave_.fault_probability(), 0.2, 0.01);
+  enclave_.release_enclave_memory(enclave_.enclave_memory_used());
+  // Sequential sweeps defeat LRU: 2x the EPC faults on every page.
+  enclave_.add_enclave_memory(2 * epc);
+  EXPECT_NEAR(enclave_.fault_probability(), 1.0, 1e-9);
+}
+
+TEST_F(EnclaveTest, TouchBeyondEpcChargesPageFaults) {
+  const std::size_t epc = SgxCostModel::hardware().epc_usable_bytes;
+  enclave_.add_enclave_memory(2 * epc);
+  sim::Stopwatch sw(clock_);
+  enclave_.touch_enclave(8 * 1024 * 1024);
+  // 2048 pages x 1.0 fault prob x page_fault_ns.
+  EXPECT_NEAR(sw.elapsed(), 2048 * SgxCostModel::hardware().page_fault_ns, 1e5);
+  EXPECT_GT(enclave_.stats().epc_faults, 0u);
+}
+
+TEST_F(EnclaveTest, SimulationModeNeverFaults) {
+  sim::Clock clock;
+  EnclaveRuntime sim_enclave(clock, SgxCostModel::simulation(), "sim");
+  sim_enclave.add_enclave_memory(1_GiB);
+  EXPECT_EQ(sim_enclave.fault_probability(), 0.0);
+}
+
+TEST_F(EnclaveTest, CopyInSlowerThanCopyOut) {
+  sim::Stopwatch sw(clock_);
+  enclave_.copy_into_enclave(1_MiB);
+  const auto in_ns = sw.elapsed();
+  sw.restart();
+  enclave_.copy_out_of_enclave(1_MiB);
+  EXPECT_GT(in_ns, sw.elapsed());
+}
+
+TEST_F(EnclaveTest, EnclaveCryptoSlowerThanNative) {
+  sim::Stopwatch sw(clock_);
+  enclave_.charge_crypto(1_MiB);
+  const auto enclave_ns = sw.elapsed();
+  sw.restart();
+  enclave_.charge_native_crypto(1_MiB);
+  EXPECT_GT(enclave_ns, sw.elapsed());
+}
+
+TEST_F(EnclaveTest, ReadRandDeterministicPerPlatform) {
+  sim::Clock c1, c2;
+  EnclaveRuntime e1(c1, SgxCostModel::hardware(), "x", 7);
+  EnclaveRuntime e2(c2, SgxCostModel::hardware(), "x", 7);
+  Bytes a(32), b(32);
+  e1.read_rand(a);
+  e2.read_rand(b);
+  EXPECT_EQ(a, b);
+  e1.read_rand(a);
+  EXPECT_NE(a, b);  // stream advances
+}
+
+TEST_F(EnclaveTest, MeasurementDependsOnEnclaveName) {
+  sim::Clock c;
+  EnclaveRuntime other(c, SgxCostModel::hardware(), "other-enclave", 0xABCD);
+  EXPECT_NE(enclave_.measurement(), other.measurement());
+}
+
+// --- sealing -----------------------------------------------------------------
+
+TEST_F(EnclaveTest, SealUnsealRoundTrip) {
+  const Bytes secret = {1, 2, 3, 4, 5};
+  const Bytes sealed = enclave_.seal_data(secret);
+  EXPECT_NE(sealed, secret);
+  EXPECT_EQ(enclave_.unseal_data(sealed), secret);
+}
+
+TEST_F(EnclaveTest, UnsealFailsAcrossPlatforms) {
+  const Bytes secret = {9, 8, 7};
+  const Bytes sealed = enclave_.seal_data(secret);
+  sim::Clock c;
+  EnclaveRuntime other_platform(c, SgxCostModel::hardware(), "test-enclave", 0xBEEF);
+  EXPECT_THROW((void)other_platform.unseal_data(sealed), CryptoError);
+}
+
+TEST_F(EnclaveTest, UnsealFailsAcrossEnclaves) {
+  const Bytes secret = {9, 8, 7};
+  const Bytes sealed = enclave_.seal_data(secret);
+  sim::Clock c;
+  EnclaveRuntime other_enclave(c, SgxCostModel::hardware(), "evil-enclave", 0xABCD);
+  EXPECT_THROW((void)other_enclave.unseal_data(sealed), CryptoError);
+}
+
+TEST_F(EnclaveTest, MrSignerPolicyAllowsUpgradedEnclave) {
+  // v2 of the enclave (different MRENCLAVE, same signer) can unseal data
+  // sealed under kMrSigner but not under kMrEnclave.
+  const Bytes secret = {1, 2, 3};
+  const Bytes by_enclave = enclave_.seal_data(secret, SealPolicy::kMrEnclave);
+  const Bytes by_signer = enclave_.seal_data(secret, SealPolicy::kMrSigner);
+
+  sim::Clock c;
+  EnclaveRuntime v2(c, SgxCostModel::hardware(), "test-enclave-v2", 0xABCD,
+                    "plinius-vendor");
+  EXPECT_NE(v2.measurement(), enclave_.measurement());
+  EXPECT_EQ(v2.signer(), enclave_.signer());
+  EXPECT_THROW((void)v2.unseal_data(by_enclave, SealPolicy::kMrEnclave), CryptoError);
+  EXPECT_EQ(v2.unseal_data(by_signer, SealPolicy::kMrSigner), secret);
+}
+
+TEST_F(EnclaveTest, MrSignerPolicyRejectsOtherVendor) {
+  const Bytes secret = {4, 5, 6};
+  const Bytes sealed = enclave_.seal_data(secret, SealPolicy::kMrSigner);
+  sim::Clock c;
+  EnclaveRuntime other_vendor(c, SgxCostModel::hardware(), "test-enclave", 0xABCD,
+                              "evil-vendor");
+  EXPECT_THROW((void)other_vendor.unseal_data(sealed, SealPolicy::kMrSigner),
+               CryptoError);
+  // Policies are not interchangeable either.
+  EXPECT_THROW((void)enclave_.unseal_data(sealed, SealPolicy::kMrEnclave), CryptoError);
+}
+
+TEST_F(EnclaveTest, SameEnclaveSamePlatformUnsealsAfterRestart) {
+  const Bytes secret = {42};
+  const Bytes sealed = enclave_.seal_data(secret);
+  sim::Clock c;
+  EnclaveRuntime restarted(c, SgxCostModel::hardware(), "test-enclave", 0xABCD);
+  EXPECT_EQ(restarted.unseal_data(sealed), secret);
+}
+
+// --- remote attestation & key provisioning ------------------------------------
+
+class AttestationTest : public ::testing::Test {
+ protected:
+  AttestationTest() {
+    service_.register_platform(0xABCD);
+    training_key_.assign(16, 0);
+    Rng(99).fill(training_key_.data(), training_key_.size());
+  }
+
+  sim::Clock clock_;
+  EnclaveRuntime enclave_{clock_, SgxCostModel::hardware(), "plinius", 0xABCD};
+  AttestationService service_;
+  Bytes training_key_;
+};
+
+TEST_F(AttestationTest, FullProvisioningFlow) {
+  DataOwner owner(service_, enclave_.measurement(), training_key_, 1);
+  EnclaveAttestationSession session(enclave_);
+
+  const Nonce challenge = owner.make_challenge();
+  const Report report = session.respond(challenge);
+  EXPECT_TRUE(service_.verify(report));
+
+  const Bytes wrapped = owner.wrap_key_for(report);
+  EXPECT_EQ(session.receive_wrapped_key(wrapped), training_key_);
+}
+
+TEST_F(AttestationTest, WrongMeasurementRejected) {
+  Measurement wrong{};
+  wrong.fill(0x11);
+  DataOwner owner(service_, wrong, training_key_, 1);
+  EnclaveAttestationSession session(enclave_);
+  const Report report = session.respond(owner.make_challenge());
+  EXPECT_THROW((void)owner.wrap_key_for(report), SgxError);
+}
+
+TEST_F(AttestationTest, UnregisteredPlatformRejected) {
+  sim::Clock c;
+  EnclaveRuntime rogue(c, SgxCostModel::hardware(), "plinius", 0x6666);  // not registered
+  DataOwner owner(service_, rogue.measurement(), training_key_, 1);
+  EnclaveAttestationSession session(rogue);
+  const Report report = session.respond(owner.make_challenge());
+  EXPECT_FALSE(service_.verify(report));
+  EXPECT_THROW((void)owner.wrap_key_for(report), SgxError);
+}
+
+TEST_F(AttestationTest, ForgedReportMacRejected) {
+  DataOwner owner(service_, enclave_.measurement(), training_key_, 1);
+  EnclaveAttestationSession session(enclave_);
+  Report report = session.respond(owner.make_challenge());
+  report.mac[0] ^= 0x01;
+  EXPECT_FALSE(service_.verify(report));
+}
+
+TEST_F(AttestationTest, TamperedWrappedKeyRejected) {
+  DataOwner owner(service_, enclave_.measurement(), training_key_, 1);
+  EnclaveAttestationSession session(enclave_);
+  const Report report = session.respond(owner.make_challenge());
+  Bytes wrapped = owner.wrap_key_for(report);
+  wrapped[wrapped.size() / 2] ^= 0xFF;
+  EXPECT_THROW((void)session.receive_wrapped_key(wrapped), CryptoError);
+}
+
+TEST_F(AttestationTest, KeyBeforeChallengeRejected) {
+  EnclaveAttestationSession session(enclave_);
+  EXPECT_THROW((void)session.receive_wrapped_key(Bytes(44)), SgxError);
+  DataOwner owner(service_, enclave_.measurement(), training_key_, 1);
+  EXPECT_THROW((void)owner.wrap_key_for(Report{}), SgxError);
+}
+
+TEST_F(AttestationTest, SessionKeysDifferAcrossRuns) {
+  DataOwner owner(service_, enclave_.measurement(), training_key_, 1);
+
+  EnclaveAttestationSession s1(enclave_);
+  const Bytes w1 = owner.wrap_key_for(s1.respond(owner.make_challenge()));
+  EnclaveAttestationSession s2(enclave_);
+  const Bytes w2 = owner.wrap_key_for(s2.respond(owner.make_challenge()));
+  // Fresh nonces both sides: ciphertexts must differ even for the same key.
+  EXPECT_NE(w1, w2);
+  EXPECT_EQ(s2.receive_wrapped_key(w2), training_key_);
+}
+
+}  // namespace
+}  // namespace plinius::sgx

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "ml/config.h"
+#include "ml/synth_digits.h"
+#include "spot/simulator.h"
+#include "spot/trace.h"
+
+namespace plinius::spot {
+namespace {
+
+TEST(SpotTrace, CsvRoundTrip) {
+  SpotTrace t;
+  t.entries = {{0, 0.09}, {300, 0.0951}, {600, 0.12}};
+  const auto again = SpotTrace::parse_csv(t.to_csv());
+  ASSERT_EQ(again.size(), 3u);
+  EXPECT_DOUBLE_EQ(again.entries[1].price, 0.0951);
+  EXPECT_DOUBLE_EQ(again.entries[2].timestamp_s, 600);
+}
+
+TEST(SpotTrace, ParseRejectsGarbage) {
+  EXPECT_THROW(SpotTrace::parse_csv(""), Error);
+  EXPECT_THROW(SpotTrace::parse_csv("justonefield\n"), Error);
+  EXPECT_THROW(SpotTrace::parse_csv("t,p\n1,2\nbad,line,here\nmore,bad\n"), Error);
+  // Header is tolerated.
+  EXPECT_NO_THROW(SpotTrace::parse_csv("timestamp,price\n0,0.09\n"));
+}
+
+TEST(SpotTrace, SyntheticIsDeterministicWithSpikes) {
+  const auto a = SpotTrace::synthetic(500, 7);
+  const auto b = SpotTrace::synthetic(500, 7);
+  ASSERT_EQ(a.size(), 500u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.entries[i].price, b.entries[i].price);
+  }
+  // 5-minute spacing.
+  EXPECT_DOUBLE_EQ(a.entries[1].timestamp_s - a.entries[0].timestamp_s, 300.0);
+  // Prices hover around base but occasionally exceed the paper's bid.
+  int above_bid = 0;
+  for (const auto& e : a.entries) {
+    EXPECT_GT(e.price, 0.05);
+    EXPECT_LT(e.price, 0.2);
+    above_bid += e.price > 0.0955;
+  }
+  EXPECT_GT(above_bid, 0);
+  EXPECT_LT(above_bid, 250);  // excursions, not the norm
+}
+
+class SpotSimTest : public ::testing::Test {
+ protected:
+  SpotSimTest() : config_(ml::make_cnn_config(2, 4, 8)) {
+    ml::SynthDigitsOptions opt;
+    opt.train_count = 128;
+    opt.test_count = 1;
+    data_ = make_synth_digits(opt).train;
+  }
+
+  ml::ModelConfig config_;
+  ml::Dataset data_;
+};
+
+TEST_F(SpotSimTest, CompletesWithoutInterruptionWhenBidAlwaysWins) {
+  Platform platform(MachineProfile::emlsgx_pm(), 48 * 1024 * 1024);
+  SpotTrace calm;
+  for (int i = 0; i < 20; ++i) {
+    calm.entries.push_back({i * 300.0, 0.05});  // always below bid
+  }
+  SpotRunOptions opt;
+  opt.target_iterations = 40;
+  opt.iterations_per_tick = 10;
+  const auto result = run_spot_training(platform, config_, data_, calm, opt);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.interruptions, 0u);
+  EXPECT_EQ(result.executed_iterations, 40u);
+  EXPECT_EQ(result.losses.size(), 40u);
+  // Exactly 4 running ticks (10 iterations each) reach the target.
+  EXPECT_EQ(result.state_curve, (std::vector<int>{1, 1, 1, 1}));
+}
+
+TEST_F(SpotSimTest, ResilientRunSurvivesInterruptionsWithoutRedoingWork) {
+  Platform platform(MachineProfile::emlsgx_pm(), 48 * 1024 * 1024);
+  SpotTrace trace;
+  // run 2 ticks, outbid 2 ticks, run to completion.
+  const double lo = 0.05, hi = 0.2;
+  for (const double p : {lo, lo, hi, hi, lo, lo, lo, lo, lo, lo}) {
+    trace.entries.push_back({trace.entries.size() * 300.0, p});
+  }
+  SpotRunOptions opt;
+  opt.target_iterations = 50;
+  opt.iterations_per_tick = 10;
+  const auto result = run_spot_training(platform, config_, data_, trace, opt);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.interruptions, 1u);
+  // Mirroring means no iteration is ever redone: exactly 50 executed.
+  EXPECT_EQ(result.executed_iterations, 50u);
+  EXPECT_EQ(result.final_model_iteration, 50u);
+  // State curve shows the outage.
+  ASSERT_GE(result.state_curve.size(), 4u);
+  EXPECT_EQ(result.state_curve[2], 0);
+  EXPECT_EQ(result.state_curve[3], 0);
+}
+
+TEST_F(SpotSimTest, NonResilientRunRedoesWork) {
+  Platform platform(MachineProfile::emlsgx_pm(), 48 * 1024 * 1024);
+  SpotTrace trace;
+  const double lo = 0.05, hi = 0.2;
+  for (const double p : {lo, lo, hi, lo, lo, lo, lo, lo, lo, lo, lo, lo}) {
+    trace.entries.push_back({trace.entries.size() * 300.0, p});
+  }
+  SpotRunOptions opt;
+  opt.target_iterations = 50;
+  opt.iterations_per_tick = 10;
+  opt.trainer.backend = CheckpointBackend::kNone;
+  const auto result = run_spot_training(platform, config_, data_, trace, opt);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.interruptions, 1u);
+  // 20 iterations were lost to the kill and redone: 70 executed for 50.
+  EXPECT_EQ(result.executed_iterations, 70u);
+}
+
+TEST_F(SpotSimTest, IncompleteWhenTraceTooHostile) {
+  Platform platform(MachineProfile::emlsgx_pm(), 48 * 1024 * 1024);
+  SpotTrace hostile;
+  for (int i = 0; i < 5; ++i) hostile.entries.push_back({i * 300.0, 0.5});
+  SpotRunOptions opt;
+  opt.target_iterations = 50;
+  const auto result = run_spot_training(platform, config_, data_, hostile, opt);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.executed_iterations, 0u);
+  EXPECT_EQ(result.state_curve, (std::vector<int>{0, 0, 0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace plinius::spot

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "storage/filesystem.h"
+#include "storage/fio.h"
+
+namespace plinius::storage {
+namespace {
+
+class SsdFsTest : public ::testing::Test {
+ protected:
+  sim::Clock clock_;
+  SimFileSystem fs_{clock_, StorageCostModel::ext4_ssd()};
+};
+
+TEST_F(SsdFsTest, CreateOpenExistsRemove) {
+  EXPECT_FALSE(fs_.exists("a"));
+  fs_.create("a");
+  EXPECT_TRUE(fs_.exists("a"));
+  EXPECT_NO_THROW(fs_.open("a"));
+  fs_.remove("a");
+  EXPECT_FALSE(fs_.exists("a"));
+  EXPECT_THROW(fs_.open("a"), StorageError);
+  EXPECT_THROW(fs_.remove("a"), StorageError);
+}
+
+TEST_F(SsdFsTest, WriteReadRoundTrip) {
+  auto& f = fs_.create("data");
+  Bytes payload(10000);
+  Rng(1).fill(payload.data(), payload.size());
+  f.pwrite(0, payload);
+  EXPECT_EQ(f.size(), payload.size());
+
+  Bytes back(payload.size());
+  f.pread(0, back);
+  EXPECT_EQ(back, payload);
+}
+
+TEST_F(SsdFsTest, AppendGrowsFile) {
+  auto& f = fs_.create("log");
+  const Bytes a(100, 1), b(50, 2);
+  f.append(a);
+  f.append(b);
+  EXPECT_EQ(f.size(), 150u);
+  Bytes back(50);
+  f.pread(100, back);
+  EXPECT_EQ(back, Bytes(50, 2));
+}
+
+TEST_F(SsdFsTest, ReadPastEofThrows) {
+  auto& f = fs_.create("small", 10);
+  Bytes buf(11);
+  EXPECT_THROW(f.pread(0, buf), StorageError);
+  Bytes ok(10);
+  EXPECT_NO_THROW(f.pread(0, ok));
+}
+
+TEST_F(SsdFsTest, TruncateShrinks) {
+  auto& f = fs_.create("t", 100);
+  f.truncate(40);
+  EXPECT_EQ(f.size(), 40u);
+}
+
+TEST_F(SsdFsTest, FsyncClearsDirtyBytes) {
+  auto& f = fs_.create("d");
+  f.pwrite(0, Bytes(1000, 7));
+  EXPECT_EQ(f.dirty_bytes(), 1000u);
+  f.fsync();
+  EXPECT_EQ(f.dirty_bytes(), 0u);
+}
+
+TEST_F(SsdFsTest, FsyncPaysDeviceWriteCost) {
+  auto& f = fs_.create("d");
+  f.pwrite(0, Bytes(1_MiB, 7));
+  sim::Stopwatch sw(clock_);
+  f.fsync();
+  // 1 MiB at 0.46 GiB/s is ~2.1 ms; must dominate the base cost.
+  EXPECT_GT(sw.elapsed(), 1.5e6);
+}
+
+TEST_F(SsdFsTest, CachedReadFasterThanCold) {
+  auto& f = fs_.create("c", 1_MiB);
+  fs_.drop_caches();
+  Bytes buf(1_MiB);
+
+  sim::Stopwatch cold(clock_);
+  f.pread(0, buf);
+  const auto cold_ns = cold.elapsed();
+
+  sim::Stopwatch warm(clock_);
+  f.pread(0, buf);
+  const auto warm_ns = warm.elapsed();
+
+  EXPECT_GT(cold_ns, 5 * warm_ns);
+
+  fs_.drop_caches();
+  sim::Stopwatch recold(clock_);
+  f.pread(0, buf);
+  EXPECT_GT(recold.elapsed(), 5 * warm_ns);
+}
+
+TEST(DaxFs, WriteIsSynchronouslyDurable) {
+  sim::Clock clock;
+  SimFileSystem fs(clock, StorageCostModel::ext4_dax_pm());
+  auto& f = fs.create("pm");
+  sim::Stopwatch sw(clock);
+  f.pwrite(0, Bytes(1_MiB, 3));
+  const auto write_ns = sw.elapsed();
+  // DAX write pays media bandwidth immediately (≥ 1 MiB / 2.1 GiB/s ≈ 0.46 ms).
+  EXPECT_GT(write_ns, 0.4e6);
+  EXPECT_EQ(f.dirty_bytes(), 0u);
+
+  sw.restart();
+  f.fsync();
+  EXPECT_LT(sw.elapsed(), 10000.0);  // fsync is metadata-only on DAX
+}
+
+TEST(StorageModels, PerServerSsdProfilesOrdered) {
+  // The sgx-emlPM workstation's SATA SSD is strictly slower than the
+  // emlSGX-PM server's NVMe drive (see docs/COST_MODELS.md).
+  const auto nvme = StorageCostModel::ext4_ssd();
+  const auto sata = StorageCostModel::ext4_ssd_sata();
+  EXPECT_LT(sata.device_read_gib_s, nvme.device_read_gib_s);
+  EXPECT_LT(sata.device_write_gib_s, nvme.device_write_gib_s);
+  EXPECT_GE(sata.fsync_base_ns, nvme.fsync_base_ns);
+  EXPECT_FALSE(sata.dax);
+}
+
+TEST(StorageModels, DaxRamdiskBetweenOptaneAndTmpfs) {
+  const auto pm = StorageCostModel::ext4_dax_pm();
+  const auto ram = StorageCostModel::ext4_dax_ramdisk();
+  const auto tmpfs = StorageCostModel::tmpfs_ram();
+  EXPECT_GT(ram.device_write_gib_s, pm.device_write_gib_s);
+  EXPECT_LE(ram.device_read_gib_s, tmpfs.device_read_gib_s + 1.0);
+  EXPECT_TRUE(ram.dax);
+}
+
+TEST(StorageModels, RelativeOrderingMatchesFig2) {
+  // Write path: SSD << DAX-PM < tmpfs; read path: SSD << DAX-PM <= tmpfs.
+  const auto ssd = StorageCostModel::ext4_ssd();
+  const auto pm = StorageCostModel::ext4_dax_pm();
+  const auto ram = StorageCostModel::tmpfs_ram();
+  EXPECT_LT(ssd.device_write_gib_s, pm.device_write_gib_s);
+  EXPECT_LT(pm.device_write_gib_s, ram.device_write_gib_s);
+  EXPECT_LT(ssd.device_read_gib_s, pm.device_read_gib_s);
+  EXPECT_LE(pm.device_read_gib_s, ram.device_read_gib_s);
+}
+
+// --- FIO engine --------------------------------------------------------------
+
+FioResult fio(StorageCostModel model, FioJob job) {
+  sim::Clock clock;
+  SimFileSystem fs(clock, model);
+  return run_fio(fs, job);
+}
+
+FioJob small_job(FioJob::Op op, FioJob::Pattern pat) {
+  FioJob job;
+  job.op = op;
+  job.pattern = pat;
+  job.file_size = 8_MiB;  // keep unit tests fast; the bench runs 512 MiB
+  return job;
+}
+
+TEST(Fio, RejectsMisalignedFileSize) {
+  sim::Clock clock;
+  SimFileSystem fs(clock, StorageCostModel::tmpfs_ram());
+  FioJob job;
+  job.file_size = 4097;
+  EXPECT_THROW(run_fio(fs, job), Error);
+}
+
+TEST(Fio, SsdWriteWithFsyncIsSlowest) {
+  const auto ssd = fio(StorageCostModel::ext4_ssd(),
+                       small_job(FioJob::Op::kWrite, FioJob::Pattern::kSequential));
+  const auto pm = fio(StorageCostModel::ext4_dax_pm(),
+                      small_job(FioJob::Op::kWrite, FioJob::Pattern::kSequential));
+  const auto ram = fio(StorageCostModel::tmpfs_ram(),
+                       small_job(FioJob::Op::kWrite, FioJob::Pattern::kSequential));
+  EXPECT_LT(ssd.throughput_mib_s, pm.throughput_mib_s);
+  EXPECT_LT(pm.throughput_mib_s, ram.throughput_mib_s);
+  // Per-block fsync on SSD collapses throughput to tens of MiB/s.
+  EXPECT_LT(ssd.throughput_mib_s, 100.0);
+  EXPECT_GT(pm.throughput_mib_s, 500.0);
+}
+
+TEST(Fio, RandomReadSlowerThanSequentialOnSsd) {
+  const auto seq = fio(StorageCostModel::ext4_ssd(),
+                       small_job(FioJob::Op::kRead, FioJob::Pattern::kSequential));
+  const auto rand = fio(StorageCostModel::ext4_ssd(),
+                        small_job(FioJob::Op::kRead, FioJob::Pattern::kRandom));
+  // Every 4 KiB random read pays the access latency.
+  EXPECT_GT(seq.throughput_mib_s, 2 * rand.throughput_mib_s);
+}
+
+TEST(Fio, PmDaxReadNearRamSpeed) {
+  const auto pm = fio(StorageCostModel::ext4_dax_pm(),
+                      small_job(FioJob::Op::kRead, FioJob::Pattern::kSequential));
+  const auto ram = fio(StorageCostModel::tmpfs_ram(),
+                       small_job(FioJob::Op::kRead, FioJob::Pattern::kSequential));
+  EXPECT_GT(pm.throughput_mib_s, 1000.0);           // order of GB/s
+  EXPECT_GT(pm.throughput_mib_s, ram.throughput_mib_s * 0.3);
+}
+
+TEST(Fio, ReportsIoCount) {
+  const auto r = fio(StorageCostModel::tmpfs_ram(),
+                     small_job(FioJob::Op::kRead, FioJob::Pattern::kSequential));
+  EXPECT_EQ(r.ios, 8_MiB / 4096);
+  EXPECT_GT(r.elapsed_ns, 0.0);
+}
+
+}  // namespace
+}  // namespace plinius::storage

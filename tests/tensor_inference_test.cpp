@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "crypto/envelope.h"
+#include "ml/config.h"
+#include "ml/synth_digits.h"
+#include "plinius/inference.h"
+#include "plinius/platform.h"
+#include "plinius/tensor_mirror.h"
+#include "plinius/trainer.h"
+#include "romulus/romulus.h"
+
+namespace plinius {
+namespace {
+
+crypto::AesGcm test_gcm() {
+  Bytes key(16);
+  Rng(55).fill(key.data(), key.size());
+  return crypto::AesGcm(key);
+}
+
+class TensorMirrorTest : public ::testing::Test {
+ protected:
+  TensorMirrorTest()
+      : platform_(MachineProfile::sgx_emlpm(), 16 * 1024 * 1024),
+        rom_(platform_.pm(), 0, 7 * 1024 * 1024,
+             romulus::PwbPolicy::clflushopt_sfence(), true),
+        mirror_(rom_, platform_.enclave(), test_gcm()) {
+    weights_.resize(1000);
+    biases_.resize(64);
+    bn_stats_.resize(128);
+    Rng rng(1);
+    for (auto& v : weights_) v = rng.normal();
+    for (auto& v : biases_) v = rng.normal();
+    for (auto& v : bn_stats_) v = rng.normal();
+  }
+
+  std::vector<NamedTensor> tensor_set() {
+    return {{"conv1/weights", weights_},
+            {"conv1/biases", biases_},
+            {"conv1/bn", bn_stats_}};
+  }
+
+  Platform platform_;
+  romulus::Romulus rom_;
+  TensorMirror mirror_;
+  std::vector<float> weights_, biases_, bn_stats_;
+};
+
+TEST_F(TensorMirrorTest, AllocRoundTrip) {
+  EXPECT_FALSE(mirror_.exists());
+  auto tensors = tensor_set();
+  mirror_.alloc(tensors);
+  EXPECT_TRUE(mirror_.exists());
+  EXPECT_EQ(mirror_.tensor_count(), 3u);
+  EXPECT_EQ(mirror_.version(), 0u);
+  EXPECT_THROW(mirror_.alloc(tensors), PmError);
+
+  mirror_.mirror_out(tensors, 7);
+  EXPECT_EQ(mirror_.version(), 7u);
+
+  // Scramble the in-enclave tensors, restore, and compare.
+  const auto saved_w = weights_;
+  const auto saved_b = biases_;
+  Rng rng(9);
+  for (auto& v : weights_) v = rng.normal();
+  for (auto& v : biases_) v = rng.normal();
+  auto restored = tensor_set();
+  EXPECT_EQ(mirror_.mirror_in(restored), 7u);
+  EXPECT_EQ(weights_, saved_w);
+  EXPECT_EQ(biases_, saved_b);
+}
+
+TEST_F(TensorMirrorTest, OrderIndependentMatchByName) {
+  auto tensors = tensor_set();
+  mirror_.alloc(tensors);
+  mirror_.mirror_out(tensors, 1);
+
+  const auto saved = bn_stats_;
+  std::fill(bn_stats_.begin(), bn_stats_.end(), 0.0f);
+  std::vector<NamedTensor> reordered = {{"conv1/bn", bn_stats_},
+                                        {"conv1/biases", biases_},
+                                        {"conv1/weights", weights_}};
+  EXPECT_EQ(mirror_.mirror_in(reordered), 1u);
+  EXPECT_EQ(bn_stats_, saved);
+}
+
+TEST_F(TensorMirrorTest, RejectsBadSets) {
+  auto tensors = tensor_set();
+  mirror_.alloc(tensors);
+
+  std::vector<NamedTensor> unknown = {{"conv1/weights", weights_},
+                                      {"conv1/biases", biases_},
+                                      {"wrong/name", bn_stats_}};
+  EXPECT_THROW(mirror_.mirror_out(unknown, 1), MlError);
+  EXPECT_THROW((void)mirror_.mirror_in(unknown), MlError);
+
+  std::vector<float> wrong_size(10);
+  std::vector<NamedTensor> resized = {{"conv1/weights", wrong_size},
+                                      {"conv1/biases", biases_},
+                                      {"conv1/bn", bn_stats_}};
+  EXPECT_THROW(mirror_.mirror_out(resized, 1), MlError);
+
+  std::vector<NamedTensor> too_few = {{"conv1/weights", weights_}};
+  EXPECT_THROW(mirror_.mirror_out(too_few, 1), MlError);
+}
+
+TEST_F(TensorMirrorTest, RejectsDuplicateAndLongNames) {
+  std::vector<NamedTensor> dup = {{"t", weights_}, {"t", biases_}};
+  EXPECT_THROW(mirror_.alloc(dup), MlError);
+  std::vector<NamedTensor> long_name = {
+      {std::string(60, 'x'), weights_}};
+  EXPECT_THROW(mirror_.alloc(long_name), MlError);
+  std::vector<NamedTensor> empty;
+  EXPECT_THROW(mirror_.alloc(empty), Error);
+}
+
+TEST_F(TensorMirrorTest, SurvivesCrash) {
+  auto tensors = tensor_set();
+  mirror_.alloc(tensors);
+  mirror_.mirror_out(tensors, 3);
+  const auto saved = weights_;
+
+  platform_.pm().crash();
+  romulus::Romulus recovered(platform_.pm(), 0, 7 * 1024 * 1024,
+                             romulus::PwbPolicy::clflushopt_sfence());
+  TensorMirror mirror2(recovered, platform_.enclave(), test_gcm());
+  std::fill(weights_.begin(), weights_.end(), 0.0f);
+  auto restored = tensor_set();
+  EXPECT_EQ(mirror2.mirror_in(restored), 3u);
+  EXPECT_EQ(weights_, saved);
+}
+
+TEST_F(TensorMirrorTest, TamperDetected) {
+  auto tensors = tensor_set();
+  mirror_.alloc(tensors);
+  mirror_.mirror_out(tensors, 1);
+  for (std::size_t off = 256; off < 64 * 1024; off += 256) {
+    rom_.main_base()[off] ^= 0x01;
+  }
+  auto restored = tensor_set();
+  EXPECT_THROW((void)mirror_.mirror_in(restored), Error);
+}
+
+// --- secure inference -----------------------------------------------------------
+
+class InferenceTest : public ::testing::Test {
+ protected:
+  InferenceTest() : platform_(MachineProfile::emlsgx_pm(), 64 * 1024 * 1024) {
+    ml::SynthDigitsOptions opt;
+    opt.train_count = 2048;
+    opt.test_count = 512;
+    digits_ = ml::make_synth_digits(opt);
+  }
+
+  Platform platform_;
+  ml::SynthDigits digits_;
+};
+
+TEST_F(InferenceTest, SealedQueryRoundTrip) {
+  Trainer trainer(platform_, ml::make_cnn_config(3, 8, 64), TrainerOptions{});
+  trainer.load_dataset(digits_.train);
+  (void)trainer.train(80);
+
+  const crypto::AesGcm gcm{trainer.data_key()};
+  InferenceService service(platform_, trainer.network(), gcm);
+  EXPECT_EQ(service.input_size(), ml::kDigitPixels);
+
+  // Client side: seal a test image, query, open the sealed prediction.
+  Rng client_iv(77);
+  int correct = 0;
+  const int n = 64;
+  for (int i = 0; i < n; ++i) {
+    const float* img = digits_.test.x.row(i);
+    const auto sealed_query = crypto::seal(
+        gcm, client_iv,
+        ByteSpan(reinterpret_cast<const std::uint8_t*>(img),
+                 ml::kDigitPixels * sizeof(float)));
+    const Bytes sealed_reply = service.classify_sealed(sealed_query);
+    const std::size_t pred = InferenceService::open_prediction(gcm, sealed_reply);
+
+    const float* truth = digits_.test.y.row(i);
+    std::size_t label = 0;
+    for (std::size_t c = 1; c < ml::kDigitClasses; ++c) {
+      if (truth[c] > truth[label]) label = c;
+    }
+    correct += pred == label;
+  }
+  EXPECT_GT(correct, n * 3 / 4);  // trained model classifies well
+  EXPECT_EQ(service.stats().queries, static_cast<std::uint64_t>(n));
+  EXPECT_GT(service.stats().total_ns, 0.0);
+}
+
+TEST_F(InferenceTest, TamperedQueryRejected) {
+  Trainer trainer(platform_, ml::make_cnn_config(2, 4, 32), TrainerOptions{});
+  trainer.load_dataset(digits_.train);
+  (void)trainer.train(2);
+
+  const crypto::AesGcm gcm{trainer.data_key()};
+  InferenceService service(platform_, trainer.network(), gcm);
+  Rng iv(1);
+  Bytes query = crypto::seal(
+      gcm, iv,
+      ByteSpan(reinterpret_cast<const std::uint8_t*>(digits_.test.x.row(0)),
+               ml::kDigitPixels * sizeof(float)));
+  query[40] ^= 0xFF;
+  EXPECT_THROW((void)service.classify_sealed(query), CryptoError);
+  EXPECT_THROW((void)service.classify_sealed(ByteSpan(query.data(), 10)), CryptoError);
+}
+
+TEST_F(InferenceTest, WrongKeyClientRejected) {
+  Trainer trainer(platform_, ml::make_cnn_config(2, 4, 32), TrainerOptions{});
+  trainer.load_dataset(digits_.train);
+  (void)trainer.train(2);
+
+  const crypto::AesGcm gcm{trainer.data_key()};
+  InferenceService service(platform_, trainer.network(), gcm);
+  Bytes rogue_key(16, 0x66);
+  const crypto::AesGcm rogue(rogue_key);
+  Rng iv(1);
+  const Bytes query = crypto::seal(
+      rogue, iv,
+      ByteSpan(reinterpret_cast<const std::uint8_t*>(digits_.test.x.row(0)),
+               ml::kDigitPixels * sizeof(float)));
+  EXPECT_THROW((void)service.classify_sealed(query), CryptoError);
+}
+
+TEST_F(InferenceTest, EvaluateMatchesNetworkAccuracy) {
+  Trainer trainer(platform_, ml::make_cnn_config(3, 8, 64), TrainerOptions{});
+  trainer.load_dataset(digits_.train);
+  (void)trainer.train(60);
+  const crypto::AesGcm gcm{trainer.data_key()};
+  InferenceService service(platform_, trainer.network(), gcm);
+  const double acc = service.evaluate(digits_.test);
+  EXPECT_GT(acc, 0.5);
+  EXPECT_LE(acc, 1.0);
+}
+
+}  // namespace
+}  // namespace plinius
