@@ -28,9 +28,9 @@ void BM_AesGcmSeal(benchmark::State& state) {
   rng.fill(plain.data(), plain.size());
   const crypto::AesGcm gcm(key);
   Bytes out(crypto::sealed_size(n));
-  Rng iv_rng(2);
+  crypto::IvSequence iv_seq(2);
   for (auto _ : state) {
-    crypto::seal_into(gcm, iv_rng, plain, out);
+    crypto::seal_into(gcm, iv_seq, plain, out);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * n));
@@ -44,8 +44,8 @@ void BM_AesGcmOpen(benchmark::State& state) {
   rng.fill(key.data(), key.size());
   rng.fill(plain.data(), plain.size());
   const crypto::AesGcm gcm(key);
-  Rng iv_rng(2);
-  const Bytes sealed = crypto::seal(gcm, iv_rng, plain);
+  crypto::IvSequence iv_seq(2);
+  const Bytes sealed = crypto::seal(gcm, iv_seq, plain);
   Bytes out(n);
   for (auto _ : state) {
     benchmark::DoNotOptimize(crypto::open_into(gcm, sealed, out));

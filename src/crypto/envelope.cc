@@ -1,5 +1,7 @@
 #include "crypto/envelope.h"
 
+#include <limits>
+
 #include "common/error.h"
 
 namespace plinius::crypto {
@@ -9,7 +11,20 @@ std::size_t unsealed_size(std::size_t sealed_len) {
   return sealed_len - kSealOverhead;
 }
 
-void seal_into(const AesGcm& gcm, Rng& iv_rng, ByteSpan plain, MutableByteSpan out) {
+void IvSequence::next(std::uint8_t iv[kGcmIvSize]) {
+  if (counter_ == std::numeric_limits<std::uint64_t>::max()) {
+    throw CryptoError("IvSequence: counter exhausted (rotate the key)");
+  }
+  for (int i = 0; i < 4; ++i) {
+    iv[i] = static_cast<std::uint8_t>(salt_ >> (8 * (3 - i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    iv[4 + i] = static_cast<std::uint8_t>(counter_ >> (8 * (7 - i)));
+  }
+  ++counter_;
+}
+
+void seal_into(const AesGcm& gcm, IvSequence& ivs, ByteSpan plain, MutableByteSpan out) {
   if (out.size() != sealed_size(plain.size())) {
     throw CryptoError("seal_into: output size mismatch");
   }
@@ -17,7 +32,7 @@ void seal_into(const AesGcm& gcm, Rng& iv_rng, ByteSpan plain, MutableByteSpan o
   std::uint8_t* ct = out.data() + kGcmIvSize;
   std::uint8_t* tag = out.data() + kGcmIvSize + plain.size();
 
-  iv_rng.fill(iv, kGcmIvSize);
+  ivs.next(iv);
   gcm.encrypt(ByteSpan(iv, kGcmIvSize), {}, plain, MutableByteSpan(ct, plain.size()), tag);
 }
 
@@ -30,9 +45,9 @@ bool open_into(const AesGcm& gcm, ByteSpan sealed, MutableByteSpan plain) {
   return gcm.decrypt(ByteSpan(iv, kGcmIvSize), {}, ByteSpan(ct, pt_len), plain, tag);
 }
 
-Bytes seal(const AesGcm& gcm, Rng& iv_rng, ByteSpan plain) {
+Bytes seal(const AesGcm& gcm, IvSequence& ivs, ByteSpan plain) {
   Bytes out(sealed_size(plain.size()));
-  seal_into(gcm, iv_rng, plain, MutableByteSpan(out.data(), out.size()));
+  seal_into(gcm, ivs, plain, MutableByteSpan(out.data(), out.size()));
   return out;
 }
 

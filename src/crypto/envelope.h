@@ -18,16 +18,50 @@ namespace plinius::crypto {
 /// shorter than the fixed overhead.
 [[nodiscard]] std::size_t unsealed_size(std::size_t sealed_len);
 
-/// Encrypts `plain` into `out` (IV || CT || MAC). `iv_rng` supplies the fresh
-/// 12-byte IV (the enclave runtime passes its sgx_read_rand-backed generator).
-void seal_into(const AesGcm& gcm, Rng& iv_rng, ByteSpan plain, MutableByteSpan out);
+/// Deterministic GCM IV source: salt (4 B) || monotonic counter (8 B), the
+/// NIST SP 800-38D §8.2.1 "fixed field + invocation field" construction.
+///
+/// A *random* 96-bit IV per seal risks birthday collisions after ~2^48
+/// seals and, worse, makes sealed images irreproducible. A counter never
+/// repeats within one sequence; the salt separates sequences that share a
+/// key (e.g. the same sealing key across process restarts — draw the salt
+/// from the enclave RNG via salted()). Collisions now require two
+/// sequences on one key to share a salt, a birthday bound over the handful
+/// of sequence *instances* rather than over millions of seals.
+class IvSequence {
+ public:
+  explicit IvSequence(std::uint32_t salt = 0) noexcept : salt_(salt) {}
+
+  /// A sequence with a random salt drawn from `rng` (callers pass the
+  /// enclave's sgx_read_rand-backed generator).
+  [[nodiscard]] static IvSequence salted(Rng& rng) noexcept {
+    return IvSequence(static_cast<std::uint32_t>(rng.next()));
+  }
+
+  /// Writes the next IV (big-endian salt || counter) into `iv[0..11]` and
+  /// advances the counter. Throws CryptoError if the counter would wrap —
+  /// 2^64 seals under one key is far past the key's usage limit anyway.
+  void next(std::uint8_t iv[kGcmIvSize]);
+
+  [[nodiscard]] std::uint32_t salt() const noexcept { return salt_; }
+  /// Number of IVs issued so far (== the next counter value).
+  [[nodiscard]] std::uint64_t issued() const noexcept { return counter_; }
+
+ private:
+  std::uint32_t salt_;
+  std::uint64_t counter_ = 0;
+};
+
+/// Encrypts `plain` into `out` (IV || CT || MAC). `ivs` supplies the fresh
+/// 12-byte IV; keep one IvSequence per key so IVs never repeat.
+void seal_into(const AesGcm& gcm, IvSequence& ivs, ByteSpan plain, MutableByteSpan out);
 
 /// Decrypts `sealed` into `plain`. Returns false (and zeroes `plain`) when
 /// the MAC does not verify — i.e. the PM/disk copy was corrupted or tampered.
 [[nodiscard]] bool open_into(const AesGcm& gcm, ByteSpan sealed, MutableByteSpan plain);
 
 /// Convenience allocating variants.
-[[nodiscard]] Bytes seal(const AesGcm& gcm, Rng& iv_rng, ByteSpan plain);
+[[nodiscard]] Bytes seal(const AesGcm& gcm, IvSequence& ivs, ByteSpan plain);
 [[nodiscard]] Bytes open(const AesGcm& gcm, ByteSpan sealed);  // throws CryptoError on MAC failure
 
 }  // namespace plinius::crypto

@@ -13,6 +13,7 @@ SsdCheckpointer::SsdCheckpointer(storage::SimFileSystem& fs,
       enclave_(&enclave),
       io_(enclave, fs),
       gcm_(std::move(gcm)),
+      iv_seq_(crypto::IvSequence::salted(enclave.rng())),
       path_(std::move(path)) {}
 
 bool SsdCheckpointer::exists() const { return fs_->exists(path_); }
@@ -27,7 +28,7 @@ void SsdCheckpointer::save(ml::Network& net) {
   enclave_->touch_enclave(blob.size());
   enclave_->charge_plain_copy(blob.size());        // gather into the staging blob
   enclave_->charge_crypto(blob.size());
-  Bytes sealed = crypto::seal(gcm_, enclave_->rng(), blob);
+  Bytes sealed = crypto::seal(gcm_, iv_seq_, blob);
   stats_.encrypt_ns += enc.elapsed();
 
   // Write step: ocall-wrapped fwrite to the SSD, then flush + fsync

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/clock.h"
+#include "crypto/envelope.h"
 #include "crypto/gcm.h"
 #include "ml/network.h"
 #include "sgx/enclave.h"
@@ -57,6 +58,7 @@ class SsdCheckpointer {
   sgx::EnclaveRuntime* enclave_;
   sgx::UntrustedIo io_;
   crypto::AesGcm gcm_;
+  crypto::IvSequence iv_seq_;
   std::string path_;
   CheckpointStats stats_;
 };

@@ -7,7 +7,10 @@
 namespace plinius {
 
 GpuOffload::GpuOffload(Platform& platform, GpuModel gpu, crypto::AesGcm session_cipher)
-    : platform_(&platform), gpu_(std::move(gpu)), cipher_(std::move(session_cipher)) {}
+    : platform_(&platform),
+      gpu_(std::move(gpu)),
+      cipher_(std::move(session_cipher)),
+      iv_seq_(crypto::IvSequence::salted(platform.enclave().rng())) {}
 
 void GpuOffload::upload_weights(ml::Network& net) {
   auto& enclave = platform_->enclave();
@@ -23,7 +26,7 @@ void GpuOffload::upload_weights(ml::Network& net) {
       const ByteSpan plain = float_bytes(buf.values);
       enclave.touch_enclave(plain.size());
       enclave.charge_crypto(plain.size());
-      const Bytes sealed = crypto::seal(cipher_, enclave.rng(), plain);
+      const Bytes sealed = crypto::seal(cipher_, iv_seq_, plain);
       blob.insert(blob.end(), sealed.begin(), sealed.end());
     }
   }

@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "common/clock.h"
+#include "crypto/envelope.h"
 #include "crypto/gcm.h"
 #include "ml/network.h"
 #include "plinius/platform.h"
@@ -76,6 +77,7 @@ class GpuOffload {
   Platform* platform_;
   GpuModel gpu_;
   crypto::AesGcm cipher_;
+  crypto::IvSequence iv_seq_;
   GpuOffloadStats stats_;
   Bytes last_upload_;
   bool weights_resident_ = false;

@@ -12,7 +12,7 @@ InferenceService::InferenceService(Platform& platform, ml::Network& net,
     : platform_(&platform),
       net_(&net),
       gcm_(std::move(gcm)),
-      reply_iv_rng_(platform.enclave().rng().next()) {}
+      reply_iv_(crypto::IvSequence::salted(platform.enclave().rng())) {}
 
 std::size_t InferenceService::input_size() const {
   return net_->input_shape().size();
@@ -54,7 +54,7 @@ Bytes InferenceService::classify_sealed(ByteSpan sealed_sample) {
   std::uint8_t pred_bytes[8];
   std::memcpy(pred_bytes, &pred, sizeof(pred));
   enclave.charge_crypto(sizeof(pred_bytes));
-  Bytes reply = crypto::seal(gcm_, reply_iv_rng_, ByteSpan(pred_bytes, 8));
+  Bytes reply = crypto::seal(gcm_, reply_iv_, ByteSpan(pred_bytes, 8));
   enclave.copy_out_of_enclave(reply.size());
   return reply;
 }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <span>
 
+#include "crypto/envelope.h"
 #include "crypto/gcm.h"
 #include "ml/data.h"
 #include "ml/network.h"
@@ -53,7 +54,7 @@ class InferenceService {
   crypto::AesGcm gcm_;
   InferenceStats stats_;
   std::vector<float> sample_scratch_;
-  Rng reply_iv_rng_;
+  crypto::IvSequence reply_iv_;
 };
 
 }  // namespace plinius

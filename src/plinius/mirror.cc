@@ -9,7 +9,10 @@ namespace plinius {
 
 MirrorModel::MirrorModel(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave,
                          crypto::AesGcm gcm)
-    : rom_(&rom), enclave_(&enclave), gcm_(std::move(gcm)) {}
+    : rom_(&rom),
+      enclave_(&enclave),
+      gcm_(std::move(gcm)),
+      iv_seq_(crypto::IvSequence::salted(enclave.rng())) {}
 
 bool MirrorModel::exists() const {
   const std::uint64_t off = rom_->root(kRootSlot);
@@ -94,7 +97,7 @@ void MirrorModel::mirror_out(ml::Network& net, std::uint64_t iteration) {
         enclave_->touch_enclave(plain.size());
         enclave_->charge_crypto(plain.size());
         scratch_.resize(node.buf_sealed_len[b]);
-        crypto::seal_into(gcm_, enclave_->rng(), plain,
+        crypto::seal_into(gcm_, iv_seq_, plain,
                           MutableByteSpan(scratch_.data(), scratch_.size()));
         encrypt_this_call += enc.elapsed();
 
@@ -164,6 +167,51 @@ std::uint64_t MirrorModel::mirror_in(ml::Network& net) {
   }
 
   net.set_iterations(hdr.iteration);
+  return hdr.iteration;
+}
+
+std::uint64_t MirrorModel::verify_integrity(ml::Network& net) {
+  const Header hdr = header();
+  if (hdr.num_layers != net.num_layers()) {
+    throw MlError("MirrorModel::verify_integrity: layer count mismatch");
+  }
+
+  Bytes plain_scratch;
+  std::uint64_t node_off = hdr.head;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    if (node_off == 0) throw PmError("MirrorModel::verify_integrity: truncated layer list");
+    if (node_off > rom_->main_size() ||
+        sizeof(LayerNode) > rom_->main_size() - node_off) {
+      throw PmError("MirrorModel::verify_integrity: layer node offset out of range");
+    }
+    const auto node = rom_->read<LayerNode>(node_off);
+    const auto buffers = net.layer(i).parameters();
+    if (node.num_buffers != buffers.size()) {
+      throw MlError("MirrorModel::verify_integrity: buffer count mismatch");
+    }
+    for (std::size_t b = 0; b < buffers.size(); ++b) {
+      const std::size_t sealed_len = node.buf_sealed_len[b];
+      if (sealed_len != crypto::sealed_size(buffers[b].values.size_bytes())) {
+        throw MlError("MirrorModel::verify_integrity: buffer size mismatch");
+      }
+      if (node.buf_off[b] > rom_->main_size() ||
+          sealed_len > rom_->main_size() - node.buf_off[b]) {
+        throw PmError("MirrorModel::verify_integrity: buffer offset out of range");
+      }
+      scratch_.resize(sealed_len);
+      std::memcpy(scratch_.data(), rom_->main_base() + node.buf_off[b], sealed_len);
+      plain_scratch.resize(buffers[b].values.size_bytes());
+      if (!crypto::open_into(gcm_, scratch_,
+                             MutableByteSpan(plain_scratch.data(), plain_scratch.size()))) {
+        throw CryptoError("MirrorModel::verify_integrity: authentication failed for layer " +
+                          std::to_string(i) + " buffer " + buffers[b].name);
+      }
+    }
+    node_off = node.next;
+  }
+  if (node_off != 0) {
+    throw PmError("MirrorModel::verify_integrity: layer list longer than the model");
+  }
   return hdr.iteration;
 }
 

@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "common/clock.h"
+#include "crypto/envelope.h"
 #include "crypto/gcm.h"
 #include "ml/network.h"
 #include "romulus/romulus.h"
@@ -61,6 +62,13 @@ class MirrorModel {
   /// Iteration recorded by the last mirror_out (0 if none).
   [[nodiscard]] std::uint64_t iteration() const;
 
+  /// Deep integrity check for crash-recovery sweeps: header magic, layer
+  /// list well-formedness against `net`'s layout, buffer offsets in range,
+  /// and authentication of every sealed buffer — without touching `net`'s
+  /// weights (decryption goes to scratch). Returns the recorded iteration;
+  /// throws PmError/MlError/CryptoError on any violation.
+  std::uint64_t verify_integrity(ml::Network& net);
+
   /// Total PM bytes of encryption metadata (28 B per sealed buffer).
   [[nodiscard]] std::size_t encryption_metadata_bytes() const;
 
@@ -87,6 +95,7 @@ class MirrorModel {
   romulus::Romulus* rom_;
   sgx::EnclaveRuntime* enclave_;
   crypto::AesGcm gcm_;
+  crypto::IvSequence iv_seq_;
   MirrorStats stats_;
   Bytes scratch_;
 };

@@ -9,7 +9,11 @@ namespace plinius {
 
 PmDataStore::PmDataStore(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave,
                          crypto::AesGcm gcm, bool encrypted)
-    : rom_(&rom), enclave_(&enclave), gcm_(std::move(gcm)), encrypted_(encrypted) {}
+    : rom_(&rom),
+      enclave_(&enclave),
+      gcm_(std::move(gcm)),
+      iv_seq_(crypto::IvSequence::salted(enclave.rng())),
+      encrypted_(encrypted) {}
 
 bool PmDataStore::exists() const {
   const std::uint64_t off = rom_->root(kRootSlot);
@@ -59,7 +63,7 @@ void PmDataStore::load(const ml::Dataset& data) {
         // Records are sealed under the provisioned data key (the data owner
         // ships them encrypted; re-sealing here is equivalent and keeps the
         // demo self-contained).
-        crypto::seal_into(gcm_, enclave_->rng(), plain_bytes,
+        crypto::seal_into(gcm_, iv_seq_, plain_bytes,
                           MutableByteSpan(record.data(), record.size()));
       } else {
         std::memcpy(record.data(), plain_bytes.data(), plain_len);

@@ -14,6 +14,7 @@
 
 #include "common/clock.h"
 #include "common/rng.h"
+#include "crypto/envelope.h"
 #include "crypto/gcm.h"
 #include "ml/data.h"
 #include "romulus/romulus.h"
@@ -73,6 +74,7 @@ class PmDataStore {
   romulus::Romulus* rom_;
   sgx::EnclaveRuntime* enclave_;
   crypto::AesGcm gcm_;
+  crypto::IvSequence iv_seq_;
   bool encrypted_;
   PmDataStats stats_;
   Bytes scratch_;

@@ -11,7 +11,10 @@ namespace plinius {
 
 TensorMirror::TensorMirror(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave,
                            crypto::AesGcm gcm)
-    : rom_(&rom), enclave_(&enclave), gcm_(std::move(gcm)) {}
+    : rom_(&rom),
+      enclave_(&enclave),
+      gcm_(std::move(gcm)),
+      iv_seq_(crypto::IvSequence::salted(enclave.rng())) {}
 
 bool TensorMirror::exists() const {
   const std::uint64_t off = rom_->root(kRootSlot);
@@ -95,7 +98,7 @@ void TensorMirror::mirror_out(std::span<const NamedTensor> tensors,
       enclave_->touch_enclave(entry->plain_len);
       enclave_->charge_crypto(entry->plain_len);
       scratch_.resize(entry->sealed_len);
-      crypto::seal_into(gcm_, enclave_->rng(),
+      crypto::seal_into(gcm_, iv_seq_,
                         float_bytes(std::span<const float>(t.values)),
                         MutableByteSpan(scratch_.data(), scratch_.size()));
       rom_->tx_store(entry->sealed_off, scratch_.data(), scratch_.size());

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/envelope.h"
 #include "crypto/gcm.h"
 #include "romulus/romulus.h"
 #include "sgx/enclave.h"
@@ -75,6 +76,7 @@ class TensorMirror {
   romulus::Romulus* rom_;
   sgx::EnclaveRuntime* enclave_;
   crypto::AesGcm gcm_;
+  crypto::IvSequence iv_seq_;
   Bytes scratch_;
 };
 

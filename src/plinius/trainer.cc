@@ -107,6 +107,17 @@ void Trainer::load_dataset(const ml::Dataset& dataset) {
   if (!data_->exists()) data_->load(dataset);
 }
 
+void Trainer::verify_persistent_state() {
+  expects(rom_ != nullptr, "Trainer: no persistent region attached");
+  if (rom_->header_state() != romulus::Romulus::State::kIdle) {
+    throw PmError("Trainer::verify_persistent_state: header not quiescent");
+  }
+  rom_->validate_allocator();
+  if (options_.backend == CheckpointBackend::kPmMirror && mirror_->exists()) {
+    (void)mirror_->verify_integrity(net_);
+  }
+}
+
 std::uint64_t Trainer::resume_or_init() {
   initialized_ = true;
   switch (options_.backend) {

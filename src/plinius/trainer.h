@@ -93,6 +93,12 @@ class Trainer {
   /// The per-platform persistent data key (unsealed or freshly generated).
   [[nodiscard]] const Bytes& data_key() const noexcept { return key_; }
 
+  /// Deep invariant check over the trainer's persistent state, for
+  /// crash-recovery sweeps: Romulus header quiescent, allocator metadata
+  /// self-consistent, and (PM-mirror backend) every sealed mirror buffer
+  /// authenticates. Throws PmError/CryptoError/MlError on any violation.
+  void verify_persistent_state();
+
  private:
   void obtain_key();
 

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/error.h"
+#include "pm/faultpoint.h"
 
 namespace plinius::pm {
 
@@ -45,9 +46,16 @@ void PmDevice::store(std::size_t offset, const void* src, std::size_t len) {
   std::memcpy(volatile_.get() + offset, src, len);
 }
 
+void PmDevice::attach_fault_injector(FaultInjector* injector) {
+  expects(injector == nullptr || injector_ == nullptr,
+          "PmDevice: a fault injector is already attached");
+  injector_ = injector;
+}
+
 void PmDevice::record_store(std::size_t offset, std::size_t len) {
   if (len == 0) return;
   check_range(offset, len);
+  if (injector_ != nullptr) injector_->on_op(FaultOp::kStore, offset, len);
   const std::size_t first = offset / kCacheLine;
   const std::size_t last = (offset + len - 1) / kCacheLine;
   for (std::size_t line = first; line <= last; ++line) {
@@ -89,6 +97,7 @@ void PmDevice::commit_line(std::size_t line, const std::uint8_t* snapshot) {
 void PmDevice::flush(std::size_t offset, std::size_t len, FlushKind kind) {
   if (len == 0) return;
   check_range(offset, len);
+  if (injector_ != nullptr) injector_->on_op(FaultOp::kFlush, offset, len);
   ++stats_.flushes;
 
   const std::size_t first = offset / kCacheLine;
@@ -138,6 +147,9 @@ void PmDevice::flush(std::size_t offset, std::size_t len, FlushKind kind) {
 }
 
 void PmDevice::fence(FenceKind kind) {
+  // Nop fences count as crash points too: the clflush+nop policy's "fence"
+  // sites are protocol boundaries even though the hardware does nothing.
+  if (injector_ != nullptr) injector_->on_op(FaultOp::kFence, 0, 0);
   ++stats_.fences;
   if (kind == FenceKind::kNop) return;
   clock_->advance(model_.sfence_ns);
@@ -152,13 +164,17 @@ void PmDevice::fence(FenceKind kind) {
   pending_snapshots_.clear();
 }
 
-void PmDevice::crash() {
+void PmDevice::crash(CrashOutcome outcome) {
   ++stats_.crashes;
   // Weakly-ordered flushes that were not fenced may or may not have reached
-  // the ADR-protected write-pending queue: commit each with probability 1/2.
+  // the ADR-protected write-pending queue: commit each with probability 1/2
+  // (or deterministically, when a sweep pins the coin flip).
   for (const std::size_t line : pending_list_) {
     if (!test_bit(pending_bits_, line)) continue;
-    if (crash_rng_.next() & 1) {
+    const bool persists = outcome == CrashOutcome::kPersistAll ||
+                          (outcome == CrashOutcome::kSeededRandom &&
+                           (crash_rng_.next() & 1));
+    if (persists) {
       const auto it = pending_snapshots_.find(line);
       commit_line(line, it != pending_snapshots_.end() ? it->second.data() : nullptr);
     }
@@ -183,12 +199,42 @@ void PmDevice::save_image(const std::string& path) const {
 }
 
 void PmDevice::load_image(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw PmError("PmDevice::load_image: cannot open " + path);
+  // An image from a differently-sized arena must be rejected in both
+  // directions: a short file would leave stale tail bytes posing as
+  // persisted state, a long one would be silently truncated.
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  if (file_size != size_) {
+    throw PmError("PmDevice::load_image: image " + path + " is " +
+                  std::to_string(file_size) + " bytes, arena is " +
+                  std::to_string(size_));
+  }
+  in.seekg(0, std::ios::beg);
   in.read(reinterpret_cast<char*>(persistent_.get()), static_cast<std::streamsize>(size_));
   if (in.gcount() != static_cast<std::streamsize>(size_)) {
     throw PmError("PmDevice::load_image: short read from " + path);
   }
+  std::memcpy(volatile_.get(), persistent_.get(), size_);
+  std::fill(dirty_bits_.begin(), dirty_bits_.end(), 0);
+  std::fill(pending_bits_.begin(), pending_bits_.end(), 0);
+  dirty_count_ = 0;
+  pending_count_ = 0;
+  pending_list_.clear();
+  pending_snapshots_.clear();
+}
+
+Bytes PmDevice::snapshot_persistent() const {
+  return Bytes(persistent_.get(), persistent_.get() + size_);
+}
+
+void PmDevice::restore_persistent(ByteSpan image) {
+  if (image.size() != size_) {
+    throw PmError("PmDevice::restore_persistent: image is " +
+                  std::to_string(image.size()) + " bytes, arena is " +
+                  std::to_string(size_));
+  }
+  std::memcpy(persistent_.get(), image.data(), size_);
   std::memcpy(volatile_.get(), persistent_.get(), size_);
   std::fill(dirty_bits_.begin(), dirty_bits_.end(), 0);
   std::fill(pending_bits_.begin(), pending_bits_.end(), 0);

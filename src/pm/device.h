@@ -32,6 +32,8 @@
 
 namespace plinius::pm {
 
+class FaultInjector;
+
 inline constexpr std::size_t kCacheLine = 64;
 
 /// Counters exposed for tests and the SPS benchmark.
@@ -79,8 +81,14 @@ class PmDevice {
   /// Orders/commits outstanding weak flushes.
   void fence(FenceKind kind);
 
+  /// What happens to flushed-but-unfenced (pending) lines on a crash.
+  /// kSeededRandom is the default hardware model; the two deterministic
+  /// extremes exist so fault-injection sweeps can exercise both outcomes of
+  /// the per-line coin flip.
+  enum class CrashOutcome { kSeededRandom, kPersistAll, kDropAll };
+
   /// Simulated power failure: see the file comment for semantics.
-  void crash();
+  void crash(CrashOutcome outcome = CrashOutcome::kSeededRandom);
 
   /// True if every line is clean (flushed and fenced) — i.e. volatile and
   /// persistent images agree.
@@ -103,6 +111,18 @@ class PmDevice {
   /// emulating the DAX-mmapped file surviving across process lifetimes.
   void save_image(const std::string& path) const;
   void load_image(const std::string& path);
+
+  /// In-memory equivalents of save_image/load_image, used by crash-point
+  /// sweeps to rewind a workload thousands of times without file I/O.
+  /// restore_persistent rejects images whose size differs from the arena.
+  [[nodiscard]] Bytes snapshot_persistent() const;
+  void restore_persistent(ByteSpan image);
+
+  /// Registers (or, with nullptr, removes) the fault injector whose op
+  /// counter every store/flush/fence reports to. Owned by the caller;
+  /// see pm/faultpoint.h.
+  void attach_fault_injector(FaultInjector* injector);
+  [[nodiscard]] FaultInjector* fault_injector() const noexcept { return injector_; }
 
  private:
   void commit_line(std::size_t line, const std::uint8_t* snapshot);
@@ -129,6 +149,7 @@ class PmDevice {
 
   Rng crash_rng_;
   PmStats stats_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace plinius::pm

@@ -1,0 +1,103 @@
+#include "pm/faultpoint.h"
+
+#include "common/error.h"
+
+namespace plinius::pm {
+
+const char* to_string(FaultOp op) noexcept {
+  switch (op) {
+    case FaultOp::kStore: return "store";
+    case FaultOp::kFlush: return "flush";
+    case FaultOp::kFence: return "fence";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(PmDevice& dev) : dev_(&dev) {
+  dev_->attach_fault_injector(this);
+}
+
+FaultInjector::~FaultInjector() { dev_->attach_fault_injector(nullptr); }
+
+void FaultInjector::reset() noexcept {
+  counts_ = FaultOpCounts{};
+  last_op_.clear();
+}
+
+void FaultInjector::arm(std::uint64_t crash_at_op) {
+  expects(crash_at_op > 0, "FaultInjector::arm: crash point is 1-based");
+  crash_at_op_ = crash_at_op;
+}
+
+void FaultInjector::on_op(FaultOp op, std::size_t offset, std::size_t len) {
+  const std::uint64_t n = counts_.total() + 1;
+  if (crash_at_op_ != 0 && n == crash_at_op_) {
+    // Crash *before* the op executes: ops 1..N-1 happened, op N never did.
+    // Self-disarm so recovery/verification code running after the unwind is
+    // not re-triggered.
+    crash_at_op_ = 0;
+    throw SimulatedCrash("fault point: before op " + std::to_string(n) + " (" +
+                         to_string(op) + " off=" + std::to_string(offset) +
+                         " len=" + std::to_string(len) + ")");
+  }
+  switch (op) {
+    case FaultOp::kStore: ++counts_.stores; break;
+    case FaultOp::kFlush: ++counts_.flushes; break;
+    case FaultOp::kFence: ++counts_.fences; break;
+  }
+  last_op_.assign(to_string(op));
+  last_op_ += " #" + std::to_string(n) + " off=" + std::to_string(offset) +
+              " len=" + std::to_string(len);
+}
+
+CrashSweepReport sweep_crash_points(PmDevice& dev,
+                                    const std::function<void()>& workload,
+                                    const std::function<void()>& verify,
+                                    const CrashSweepOptions& opts) {
+  expects(opts.stride > 0, "sweep_crash_points: stride must be positive");
+  FaultInjector fi(dev);
+  const Bytes initial = dev.snapshot_persistent();
+
+  // Counting run: the workload must complete when no crash is injected.
+  fi.reset();
+  workload();
+  CrashSweepReport report;
+  report.workload_ops = fi.counts();
+  const std::uint64_t total = report.workload_ops.total();
+
+  const PmDevice::CrashOutcome outcomes[] = {PmDevice::CrashOutcome::kPersistAll,
+                                             PmDevice::CrashOutcome::kDropAll};
+  const bool outcome_on[] = {opts.sweep_persist_all, opts.sweep_drop_all};
+  for (int o = 0; o < 2; ++o) {
+    if (!outcome_on[o]) continue;
+    std::uint64_t done = 0;
+    for (std::uint64_t n = 1; n <= total; n += opts.stride) {
+      if (opts.max_points != 0 && done >= opts.max_points) {
+        report.truncated = true;
+        break;
+      }
+      dev.restore_persistent(initial);
+      fi.reset();
+      fi.arm(n);
+      bool fired = false;
+      try {
+        workload();
+      } catch (const SimulatedCrash&) {
+        fired = true;
+      }
+      fi.disarm();
+      if (fired) {
+        dev.crash(outcomes[o]);
+        ++report.crashes;
+      }
+      verify();
+      ++report.points;
+      ++done;
+    }
+  }
+
+  dev.restore_persistent(initial);
+  return report;
+}
+
+}  // namespace plinius::pm

@@ -1,0 +1,127 @@
+// Crash-point fault injection for the PM stack.
+//
+// The entire premise of Plinius is that a power failure at *any* instant
+// leaves the PM mirror recoverable. Hand-picked crash sites cannot
+// establish that; systematic enumeration can. A FaultInjector attaches to a
+// PmDevice and numbers every persistence-relevant operation — store, flush,
+// fence — with a global op counter. Arming the injector at op N makes the
+// device throw SimulatedCrash immediately *before* op N executes, so a
+// sweep over N = 1..K exercises the state the hardware could expose at
+// every instruction boundary of a workload.
+//
+// The residual nondeterminism — whether a flushed-but-unfenced line reached
+// the ADR-protected write-pending queue — is swept explicitly: the harness
+// crashes the device once with every pending line persisted and once with
+// every pending line dropped (PmDevice::CrashOutcome), the two extremes
+// that bound all 2^p per-line outcomes for the invariants we check (each
+// line independently persists or not; our invariants are per-recovery-path,
+// and the recovery paths only branch on fenced data).
+//
+// sweep_crash_points() packages the standard loop: run the workload once to
+// count ops, then for each crash point and each pending-line outcome,
+// restore the initial persistent image, re-run the workload until the
+// injected crash fires, power-fail the device, and hand control to a
+// verification callback (which typically re-attaches Romulus — running
+// recovery — and asserts invariants).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+#include "pm/device.h"
+
+namespace plinius::pm {
+
+/// Persistence-relevant device operation kinds, as counted by the injector.
+enum class FaultOp { kStore, kFlush, kFence };
+
+[[nodiscard]] const char* to_string(FaultOp op) noexcept;
+
+/// Per-kind op counts for a counted workload run.
+struct FaultOpCounts {
+  std::uint64_t stores = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t fences = 0;
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return stores + flushes + fences;
+  }
+};
+
+/// Attaches to a PmDevice for its lifetime (detaches in the destructor).
+/// At most one injector can be attached to a device at a time.
+class FaultInjector {
+ public:
+  explicit FaultInjector(PmDevice& dev);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Ops observed since the last reset().
+  [[nodiscard]] std::uint64_t ops() const noexcept { return counts_.total(); }
+  [[nodiscard]] const FaultOpCounts& counts() const noexcept { return counts_; }
+
+  /// Human-readable description of the op the counter last saw (diagnostic
+  /// for sweep failures: "which op did we crash before?").
+  [[nodiscard]] const std::string& last_op() const noexcept { return last_op_; }
+
+  /// Zeroes the counter; keeps the armed trigger (if any).
+  void reset() noexcept;
+
+  /// Throws SimulatedCrash immediately before op number `crash_at_op`
+  /// (1-based, counted from the last reset()) executes. The trigger
+  /// self-disarms when it fires.
+  void arm(std::uint64_t crash_at_op);
+  void disarm() noexcept { crash_at_op_ = 0; }
+  [[nodiscard]] bool armed() const noexcept { return crash_at_op_ != 0; }
+
+  /// Device-side hook; called by PmDevice before each effectful op.
+  void on_op(FaultOp op, std::size_t offset, std::size_t len);
+
+ private:
+  PmDevice* dev_;
+  FaultOpCounts counts_;
+  std::uint64_t crash_at_op_ = 0;  // 0 = disarmed
+  std::string last_op_;
+};
+
+struct CrashSweepOptions {
+  /// Crash outcomes for flushed-but-unfenced lines to sweep. Both default
+  /// on: each crash point is exercised with every pending line persisted
+  /// and with every pending line dropped.
+  bool sweep_persist_all = true;
+  bool sweep_drop_all = true;
+  /// Sweep every `stride`-th crash point (1 = exhaustive).
+  std::uint64_t stride = 1;
+  /// Cap on crash points per outcome (0 = no cap). When the cap truncates
+  /// the sweep, the report says so — silent partial coverage would read as
+  /// "verified everywhere".
+  std::uint64_t max_points = 0;
+};
+
+struct CrashSweepReport {
+  FaultOpCounts workload_ops;     // ops of one uninterrupted workload run
+  std::uint64_t points = 0;       // (crash point, outcome) pairs exercised
+  std::uint64_t crashes = 0;      // injected crashes that actually fired
+  bool truncated = false;         // max_points cut the enumeration short
+  [[nodiscard]] bool exhaustive() const noexcept { return !truncated; }
+};
+
+/// Enumerates every crash point of `workload` (see file comment).
+///
+/// `workload` must be deterministic in its device-op sequence and must run
+/// to completion when no crash is injected; it is re-invoked from the same
+/// initial persistent image for every crash point, so it should itself
+/// re-attach any Romulus instance (running recovery) rather than capturing
+/// one attached outside. `verify` runs after each injected crash +
+/// power-failure and should throw (e.g. via gtest ASSERT wrappers or
+/// PmError) on any invariant violation. The device is left restored to the
+/// initial image afterwards.
+CrashSweepReport sweep_crash_points(PmDevice& dev,
+                                    const std::function<void()>& workload,
+                                    const std::function<void()>& verify,
+                                    const CrashSweepOptions& opts = {});
+
+}  // namespace plinius::pm

@@ -1,6 +1,8 @@
 #include "romulus/romulus.h"
 
 #include <cstring>
+#include <string>
+#include <unordered_set>
 
 #include "common/error.h"
 
@@ -155,9 +157,28 @@ void Romulus::abandon_transaction() noexcept {
   if (current_ == this) current_ = nullptr;
 }
 
+void Romulus::abort_transaction() {
+  if (tx_depth_ == 0) return;  // already aborted at an inner nesting level
+  tx_depth_ = 0;
+  log_.clear();
+  if (current_ == this) current_ = nullptr;
+  // The body's partial stores may have torn main; back still holds the last
+  // consistent state (fence 1 guaranteed MUTATING was durable before any
+  // user store, so back was never touched). Restore main from back exactly
+  // as the MUTATING branch of recover() would after a power failure, then
+  // return the header to IDLE. If a simulated crash fires inside this
+  // rollback, the header is still MUTATING and re-attach recovery redoes it.
+  copy_back_to_main_full();
+  set_state(State::kIdle);
+  pfence();
+}
+
 void Romulus::tx_store(std::size_t offset, const void* src, std::size_t len) {
   expects(in_transaction(), "Romulus::tx_store outside a transaction");
-  if (offset + len > main_size_) throw PmError("Romulus::tx_store out of range");
+  // Two-sided check: `offset + len` would wrap for len near SIZE_MAX.
+  if (offset > main_size_ || len > main_size_ - offset) {
+    throw PmError("Romulus::tx_store out of range");
+  }
   dev_->store(main_offset() + offset, src, len);
   pwb(main_offset() + offset, len);
   charge_log_append();
@@ -166,7 +187,9 @@ void Romulus::tx_store(std::size_t offset, const void* src, std::size_t len) {
 
 void Romulus::tx_record(std::size_t offset, std::size_t len) {
   expects(in_transaction(), "Romulus::tx_record outside a transaction");
-  if (offset + len > main_size_) throw PmError("Romulus::tx_record out of range");
+  if (offset > main_size_ || len > main_size_ - offset) {
+    throw PmError("Romulus::tx_record out of range");
+  }
   dev_->record_store(main_offset() + offset, len);
   pwb(main_offset() + offset, len);
   charge_log_append();
@@ -245,6 +268,10 @@ struct AllocMeta {
 std::size_t Romulus::pmalloc(std::size_t size) {
   expects(in_transaction(), "Romulus::pmalloc outside a transaction");
   expects(size > 0, "Romulus::pmalloc: zero size");
+  if (size > main_size_) {
+    // Also guards the align_up below against wrapping for huge sizes.
+    throw PmError("Romulus::pmalloc: request exceeds the persistent heap");
+  }
   const std::size_t need = align_up(size + kBlockHeader, pm::kCacheLine);
 
   auto meta = read<AllocMeta>(kAllocMetaOffset);
@@ -313,6 +340,56 @@ void Romulus::pmfree(std::size_t offset) {
 
 std::size_t Romulus::allocated_bytes() const {
   return read<AllocMeta>(kAllocMetaOffset).in_use;
+}
+
+void Romulus::validate_allocator() const {
+  const auto meta = read<AllocMeta>(kAllocMetaOffset);
+  const auto fail = [](const std::string& why) {
+    throw PmError("Romulus::validate_allocator: " + why);
+  };
+  if (meta.bump < kHeapStart || meta.bump > main_size_) fail("bump out of range");
+  if ((meta.bump - kHeapStart) % pm::kCacheLine != 0) fail("bump misaligned");
+
+  // Pass 1: the free list — in-range, aligned, acyclic, sane sizes.
+  std::unordered_set<std::uint64_t> free_blocks;
+  for (std::uint64_t cur = meta.free_head; cur != 0;) {
+    if (cur < kHeapStart || cur >= meta.bump) fail("free block outside the heap");
+    if ((cur - kHeapStart) % pm::kCacheLine != 0) fail("free block misaligned");
+    if (!free_blocks.insert(cur).second) fail("free-list cycle");
+    const auto size = read<std::uint64_t>(cur);
+    if (size < pm::kCacheLine || size % pm::kCacheLine != 0) {
+      fail("free block has a corrupt size");
+    }
+    if (size > meta.bump - cur) fail("free block overruns bump");
+    cur = read<std::uint64_t>(cur + 8);
+  }
+
+  // Pass 2: the heap is a contiguous tiling of blocks [kHeapStart, bump);
+  // each block is either on the free list or accounted in in_use, and every
+  // free-list entry sits on a block boundary (no double-linked half-blocks).
+  std::uint64_t used_bytes = 0;
+  std::uint64_t free_bytes = 0;
+  std::size_t free_seen = 0;
+  for (std::uint64_t off = kHeapStart; off != meta.bump;) {
+    if (off > meta.bump) fail("heap walk overruns bump");
+    const auto size = read<std::uint64_t>(off);
+    if (size < pm::kCacheLine || size % pm::kCacheLine != 0) {
+      fail("block has a corrupt size");
+    }
+    if (size > meta.bump - off) fail("block overruns bump");
+    if (free_blocks.contains(off)) {
+      free_bytes += size;
+      ++free_seen;
+    } else {
+      used_bytes += size;
+    }
+    off += size;
+  }
+  if (free_seen != free_blocks.size()) fail("free block off any block boundary");
+  if (used_bytes != meta.in_use) fail("in_use does not match live blocks");
+  if (used_bytes + free_bytes != meta.bump - kHeapStart) {
+    fail("used + free bytes do not tile the heap");
+  }
 }
 
 }  // namespace plinius::romulus

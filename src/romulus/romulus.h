@@ -80,22 +80,25 @@ class Romulus {
   [[nodiscard]] static std::size_t region_bytes(std::size_t main_size);
 
   // --- transactions ----------------------------------------------------------
-  /// Runs `body` as a durable transaction. If body throws, the exception
-  /// propagates after the transaction is *committed up to the stores made*
-  /// (Romulus has no abort path — like the original, partial transactions
-  /// are prevented by crashing, not by rollback of live code).
+  /// Runs `body` as a durable transaction. If body throws anything other
+  /// than SimulatedCrash, the transaction is *aborted*: main is rolled back
+  /// from the back copy (the same restoration the MUTATING branch of
+  /// recovery performs) and the header returns to IDLE, so subsequent reads
+  /// and transactions see the pre-transaction state. The exception then
+  /// propagates.
   template <typename F>
   void run_transaction(F&& body) {
     begin_transaction();
     try {
       body();
     } catch (const SimulatedCrash&) {
-      // A simulated power failure mid-transaction must not commit: the
-      // process "died". Recovery happens when the region is re-attached.
+      // A simulated power failure mid-transaction must not commit — and
+      // must not roll back either: the process "died" with the header in
+      // MUTATING. Recovery happens when the region is re-attached.
       abandon_transaction();
       throw;
     } catch (...) {
-      end_transaction();
+      abort_transaction();
       throw;
     }
     end_transaction();
@@ -103,8 +106,15 @@ class Romulus {
 
   void begin_transaction();
   void end_transaction();
-  /// Drops in-flight transaction bookkeeping without committing (simulated
-  /// process death). The region is left in MUTATING state for recovery.
+  /// Rolls back an in-flight transaction: main is restored from back, the
+  /// header returns to IDLE, and the volatile log is dropped. No-op when no
+  /// transaction is open (so the flat-nesting unwind can call it at every
+  /// level). The committed pre-transaction state is intact afterwards.
+  void abort_transaction();
+  /// Drops in-flight transaction bookkeeping without committing *or*
+  /// rolling back (simulated process death). The region is left in
+  /// MUTATING state with main possibly torn; only recover() — run when the
+  /// region is re-attached — makes it readable again.
   void abandon_transaction() noexcept;
   [[nodiscard]] bool in_transaction() const noexcept { return tx_depth_ > 0; }
 
@@ -158,6 +168,21 @@ class Romulus {
   /// attaching to an existing region — e.g. after PmDevice::crash()).
   void recover();
 
+  /// Tri-state consistency flag recorded in the persistent header.
+  enum class State : std::uint64_t { kIdle = 0, kMutating = 1, kCopying = 2 };
+
+  /// The header state as currently visible through the volatile image.
+  /// Outside a transaction this must be kIdle; fault-injection harnesses
+  /// assert exactly that after recovery.
+  [[nodiscard]] State header_state() const { return state(); }
+
+  /// Walks the allocator metadata (bump, free_head, in_use) and the free
+  /// list, throwing PmError on any inconsistency: out-of-range or
+  /// misaligned offsets, free-list cycles, overlapping free blocks, or
+  /// accounting that does not satisfy  in_use + free bytes == bump-allocated
+  /// bytes. Crash-recovery sweeps call this after every re-attach.
+  void validate_allocator() const;
+
   /// The Romulus instance owning the current open transaction on this
   /// thread (used by persist<T> interposition), or nullptr.
   [[nodiscard]] static Romulus* current() noexcept;
@@ -167,8 +192,6 @@ class Romulus {
   [[nodiscard]] std::size_t offset_of(const void* p) const;
 
  private:
-  enum class State : std::uint64_t { kIdle = 0, kMutating = 1, kCopying = 2 };
-
   struct Header {  // lives at region_offset, 64-byte aligned fields
     std::uint64_t magic;
     std::uint64_t state;

@@ -110,7 +110,8 @@ DataOwner::DataOwner(const AttestationService& service, Measurement expected_mre
     : service_(&service),
       expected_(expected_mrenclave),
       training_key_(std::move(training_key)),
-      rng_(nonce_seed) {}
+      rng_(nonce_seed),
+      wrap_iv_(crypto::IvSequence::salted(rng_)) {}
 
 Nonce DataOwner::make_challenge() {
   Nonce nonce{};
@@ -129,7 +130,7 @@ Bytes DataOwner::wrap_key_for(const Report& report) {
       service_->derive_session_key(report, *outstanding_challenge_);
   outstanding_challenge_.reset();
   const crypto::AesGcm cipher(session_key);
-  return crypto::seal(cipher, rng_, training_key_);
+  return crypto::seal(cipher, wrap_iv_, training_key_);
 }
 
 }  // namespace plinius::sgx

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "crypto/envelope.h"
 #include "sgx/enclave.h"
 
 namespace plinius::sgx {
@@ -94,6 +95,7 @@ class DataOwner {
   Measurement expected_;
   Bytes training_key_;
   Rng rng_;
+  crypto::IvSequence wrap_iv_;
   std::optional<Nonce> outstanding_challenge_;
 };
 

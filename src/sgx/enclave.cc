@@ -23,7 +23,8 @@ EnclaveRuntime::EnclaveRuntime(sim::Clock& clock, SgxCostModel model,
     : clock_(&clock),
       model_(model),
       platform_seed_(platform_seed),
-      rng_(platform_seed ^ 0xEC1A7EULL) {
+      rng_(platform_seed ^ 0xEC1A7EULL),
+      seal_iv_(crypto::IvSequence::salted(rng_)) {
   // MRENCLAVE: hash of the enclave identity (stands in for measuring the
   // enclave binary pages at ECREATE/EADD time).
   crypto::Sha256 h;
@@ -153,7 +154,7 @@ crypto::AesGcm EnclaveRuntime::sealing_cipher(SealPolicy policy) const {
 Bytes EnclaveRuntime::seal_data(ByteSpan plain, SealPolicy policy) {
   charge_crypto(plain.size());
   const crypto::AesGcm cipher = sealing_cipher(policy);
-  return crypto::seal(cipher, rng_, plain);
+  return crypto::seal(cipher, seal_iv_, plain);
 }
 
 Bytes EnclaveRuntime::unseal_data(ByteSpan sealed, SealPolicy policy) {

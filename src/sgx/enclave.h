@@ -18,6 +18,7 @@
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/rng.h"
+#include "crypto/envelope.h"
 #include "crypto/gcm.h"
 #include "sgx/model.h"
 
@@ -124,6 +125,7 @@ class EnclaveRuntime {
   std::uint64_t platform_seed_;
   std::size_t heap_used_ = 0;
   Rng rng_;
+  crypto::IvSequence seal_iv_;
   EnclaveStats stats_;
 };
 

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <set>
+
 #include "common/bytes.h"
 #include "common/error.h"
 #include "common/rng.h"
@@ -347,44 +350,88 @@ TEST(Envelope, RoundTrip) {
   Bytes plain(12345);
   rng.fill(plain.data(), plain.size());
 
-  Rng iv_rng(11);
-  const Bytes sealed = seal(gcm, iv_rng, plain);
+  IvSequence iv_seq(11);
+  const Bytes sealed = seal(gcm, iv_seq, plain);
   EXPECT_EQ(sealed.size(), plain.size() + 28);
   EXPECT_EQ(open(gcm, sealed), plain);
 }
 
 TEST(Envelope, FreshIvPerSeal) {
-  Rng rng(12), iv_rng(13);
+  Rng rng(12);
+  IvSequence iv_seq(13);
   Bytes key(16), plain(32);
   rng.fill(key.data(), 16);
   rng.fill(plain.data(), plain.size());
   AesGcm gcm(key);
-  const Bytes s1 = seal(gcm, iv_rng, plain);
-  const Bytes s2 = seal(gcm, iv_rng, plain);
+  const Bytes s1 = seal(gcm, iv_seq, plain);
+  const Bytes s2 = seal(gcm, iv_seq, plain);
   // Same plaintext, different IV => different ciphertext.
   EXPECT_NE(s1, s2);
 }
 
 TEST(Envelope, OpenThrowsOnCorruption) {
-  Rng rng(14), iv_rng(15);
+  Rng rng(14);
+  IvSequence iv_seq(15);
   Bytes key(16), plain(64);
   rng.fill(key.data(), 16);
   rng.fill(plain.data(), plain.size());
   AesGcm gcm(key);
-  Bytes sealed = seal(gcm, iv_rng, plain);
+  Bytes sealed = seal(gcm, iv_seq, plain);
   sealed[20] ^= 0xFF;
   EXPECT_THROW(open(gcm, sealed), CryptoError);
 }
 
 TEST(Envelope, WrongKeyFails) {
-  Rng rng(16), iv_rng(17);
+  Rng rng(16);
+  IvSequence iv_seq(17);
   Bytes key1(16), key2(16), plain(64);
   rng.fill(key1.data(), 16);
   rng.fill(key2.data(), 16);
   rng.fill(plain.data(), plain.size());
   AesGcm gcm1(key1), gcm2(key2);
-  const Bytes sealed = seal(gcm1, iv_rng, plain);
+  const Bytes sealed = seal(gcm1, iv_seq, plain);
   EXPECT_THROW(open(gcm2, sealed), CryptoError);
+}
+
+TEST(Envelope, IvSequenceNeverRepeatsAcrossSeals) {
+  // Satellite #4: the sealed envelope's first kGcmIvSize bytes are the IV.
+  // Two seals under the same sequence must never share one.
+  Rng rng(18);
+  Bytes key(16), plain(48);
+  rng.fill(key.data(), 16);
+  rng.fill(plain.data(), plain.size());
+  AesGcm gcm(key);
+  IvSequence iv_seq(0xA5A5A5A5u);
+  std::set<Bytes> ivs;
+  for (int i = 0; i < 256; ++i) {
+    const Bytes sealed = seal(gcm, iv_seq, plain);
+    ASSERT_GE(sealed.size(), kGcmIvSize);
+    Bytes iv(sealed.begin(), sealed.begin() + kGcmIvSize);
+    EXPECT_TRUE(ivs.insert(std::move(iv)).second) << "IV reused at seal " << i;
+  }
+  EXPECT_EQ(iv_seq.issued(), 256u);
+}
+
+TEST(Envelope, IvSequenceLayoutIsSaltThenCounter) {
+  // NIST SP 800-38D deterministic construction: fixed field (salt, 4B BE)
+  // followed by the invocation counter (8B BE).
+  IvSequence iv_seq(0x01020304u);
+  std::uint8_t iv[kGcmIvSize];
+  iv_seq.next(iv);
+  const std::uint8_t expect0[kGcmIvSize] = {1, 2, 3, 4, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_EQ(std::memcmp(iv, expect0, kGcmIvSize), 0);
+  iv_seq.next(iv);
+  const std::uint8_t expect1[kGcmIvSize] = {1, 2, 3, 4, 0, 0, 0, 0, 0, 0, 0, 1};
+  EXPECT_EQ(std::memcmp(iv, expect1, kGcmIvSize), 0);
+  EXPECT_EQ(iv_seq.salt(), 0x01020304u);
+  EXPECT_EQ(iv_seq.issued(), 2u);
+}
+
+TEST(Envelope, SaltedSequencesFromDistinctRngsDiffer) {
+  Rng a(21), b(22);
+  const IvSequence sa = IvSequence::salted(a);
+  const IvSequence sb = IvSequence::salted(b);
+  EXPECT_NE(sa.salt(), sb.salt());
 }
 
 // --- SHA-256 / HMAC ----------------------------------------------------------

@@ -142,11 +142,11 @@ TEST(Fuzz, SealedEnvelopeRejectsAllMutations) {
   Bytes key(16);
   rng.fill(key.data(), key.size());
   const crypto::AesGcm gcm(key);
-  Rng iv_rng(304);
+  crypto::IvSequence iv_seq(304);
 
   Bytes plain(257);
   rng.fill(plain.data(), plain.size());
-  const Bytes sealed = crypto::seal(gcm, iv_rng, plain);
+  const Bytes sealed = crypto::seal(gcm, iv_seq, plain);
 
   int rejected = 0;
   for (int trial = 0; trial < 200; ++trial) {

@@ -274,6 +274,51 @@ TEST_F(PmDeviceTest, LoadImageMissingFileThrows) {
   EXPECT_THROW(dev_.load_image("/nonexistent/pm_image.bin"), PmError);
 }
 
+TEST_F(PmDeviceTest, LoadImageRejectsSizeMismatchBothWays) {
+  const char msg[] = "sized image";
+  dev_.store(0, msg, sizeof(msg));
+  dev_.flush(0, sizeof(msg), FlushKind::kClflush);
+  const std::string path = ::testing::TempDir() + "/pm_image_sized.bin";
+  dev_.save_image(path);
+
+  sim::Clock c2;
+  PmDevice smaller(c2, dev_.size() / 2, PmLatencyModel::optane());
+  EXPECT_THROW(smaller.load_image(path), PmError);  // image larger than arena
+
+  sim::Clock c3;
+  PmDevice bigger(c3, dev_.size() * 2, PmLatencyModel::optane());
+  EXPECT_THROW(bigger.load_image(path), PmError);  // image smaller than arena
+
+  // An exact match still loads.
+  sim::Clock c4;
+  PmDevice exact(c4, dev_.size(), PmLatencyModel::optane());
+  exact.load_image(path);
+  char back[sizeof(msg)];
+  exact.load(0, back, sizeof(back));
+  EXPECT_STREQ(back, msg);
+  std::remove(path.c_str());
+}
+
+TEST_F(PmDeviceTest, SnapshotRestoreRoundTrip) {
+  const std::uint64_t v = 0xDEADBEEF;
+  dev_.store(64, &v, sizeof(v));
+  dev_.flush(64, sizeof(v), FlushKind::kClflush);
+  const Bytes snap = dev_.snapshot_persistent();
+  EXPECT_EQ(snap.size(), dev_.size());
+
+  const std::uint64_t w = 0xFACE;
+  dev_.store(64, &w, sizeof(w));
+  dev_.flush(64, sizeof(w), FlushKind::kClflush);
+
+  dev_.restore_persistent(snap);
+  std::uint64_t back = 0;
+  dev_.load(64, &back, sizeof(back));
+  EXPECT_EQ(back, v);
+
+  Bytes wrong(dev_.size() + 1);
+  EXPECT_THROW(dev_.restore_persistent(wrong), PmError);
+}
+
 // Property-style sweep: random store/flush/fence sequences; after a crash,
 // every line must equal either its last fenced content or (for pending
 // lines) one of the two legal values — never garbage.

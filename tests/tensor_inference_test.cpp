@@ -88,11 +88,15 @@ TEST_F(TensorMirrorTest, OrderIndependentMatchByName) {
 TEST_F(TensorMirrorTest, RejectsBadSets) {
   auto tensors = tensor_set();
   mirror_.alloc(tensors);
+  mirror_.mirror_out(tensors, 0);
 
   std::vector<NamedTensor> unknown = {{"conv1/weights", weights_},
                                       {"conv1/biases", biases_},
                                       {"wrong/name", bn_stats_}};
   EXPECT_THROW(mirror_.mirror_out(unknown, 1), MlError);
+  // The failed mirror_out aborted mid-transaction: the version bump and the
+  // partially sealed tensors must have been rolled back, not left torn.
+  EXPECT_EQ(mirror_.version(), 0u);
   EXPECT_THROW((void)mirror_.mirror_in(unknown), MlError);
 
   std::vector<float> wrong_size(10);
@@ -167,7 +171,7 @@ TEST_F(InferenceTest, SealedQueryRoundTrip) {
   EXPECT_EQ(service.input_size(), ml::kDigitPixels);
 
   // Client side: seal a test image, query, open the sealed prediction.
-  Rng client_iv(77);
+  crypto::IvSequence client_iv(77);
   int correct = 0;
   const int n = 64;
   for (int i = 0; i < n; ++i) {
@@ -198,7 +202,7 @@ TEST_F(InferenceTest, TamperedQueryRejected) {
 
   const crypto::AesGcm gcm{trainer.data_key()};
   InferenceService service(platform_, trainer.network(), gcm);
-  Rng iv(1);
+  crypto::IvSequence iv(1);
   Bytes query = crypto::seal(
       gcm, iv,
       ByteSpan(reinterpret_cast<const std::uint8_t*>(digits_.test.x.row(0)),
@@ -217,7 +221,7 @@ TEST_F(InferenceTest, WrongKeyClientRejected) {
   InferenceService service(platform_, trainer.network(), gcm);
   Bytes rogue_key(16, 0x66);
   const crypto::AesGcm rogue(rogue_key);
-  Rng iv(1);
+  crypto::IvSequence iv(1);
   const Bytes query = crypto::seal(
       rogue, iv,
       ByteSpan(reinterpret_cast<const std::uint8_t*>(digits_.test.x.row(0)),
