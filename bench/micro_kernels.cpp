@@ -7,11 +7,13 @@
 #include <benchmark/benchmark.h>
 
 #include "common/clock.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "crypto/envelope.h"
 #include "crypto/gcm.h"
 #include "crypto/sha256.h"
 #include "ml/gemm.h"
+#include "ml/gemm_reference.h"
 #include "ml/im2col.h"
 #include "pm/device.h"
 #include "romulus/romulus.h"
@@ -79,6 +81,51 @@ void BM_GemmNN(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_GemmNN)->Arg(64)->Arg(256);
+
+// The seed's scalar triple-loop kernel (ml/gemm_reference.cc), kept as the
+// baseline the blocked/SIMD/parallel kernel is measured against.
+void BM_GemmNNScalarRef(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> a(n * n), b(n * n), c(n * n, 0.0f);
+  Rng rng(4);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  for (auto _ : state) {
+    ml::reference::gemm_nn(n, n, n, 1.0f, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * n * n * n,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmNNScalarRef)->Arg(64)->Arg(256);
+
+// Host thread sweep of the blocked kernel (range(1) = thread count). The
+// results are bitwise identical at every point of the sweep — only the
+// wall-clock changes.
+void BM_GemmNNThreads(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const std::size_t saved = par::max_threads();
+  par::set_max_threads(threads);
+  std::vector<float> a(n * n), b(n * n), c(n * n, 0.0f);
+  Rng rng(4);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  for (auto _ : state) {
+    ml::gemm_nn(n, n, n, 1.0f, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * n * n * n,
+      benchmark::Counter::kIsRate);
+  par::set_max_threads(saved);
+}
+BENCHMARK(BM_GemmNNThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 8});
 
 void BM_Im2col(benchmark::State& state) {
   const std::size_t c = 16, h = 28, w = 28, k = 3;

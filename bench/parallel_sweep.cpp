@@ -1,0 +1,124 @@
+// Parallel-substrate sweep: the two axes of parallelism in one harness.
+//
+//   1. Host wall-clock: the blocked GEMM kernel at 1/2/4/8 host threads
+//      (real time, with a bitwise-identity check against the serial run),
+//      plus the seed's scalar reference kernel as the speedup baseline.
+//   2. Simulated time: mirror_out (encrypt/write split) and PM batch
+//      decryption as the enclave's TCS lane count sweeps 1/2/4/8, on both
+//      paper servers. Crypto work parallelizes over lanes (critical-path
+//      accounting); the Romulus commit and PM media time do not — the
+//      sweep shows the serial fraction taking over, Amdahl-style.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "ml/config.h"
+#include "ml/gemm.h"
+#include "ml/gemm_reference.h"
+#include "ml/synth_digits.h"
+#include "plinius/mirror.h"
+#include "plinius/platform.h"
+#include "plinius/pm_data.h"
+#include "plinius/trainer.h"
+
+namespace {
+
+using namespace plinius;
+
+double wall_ms(const std::function<void()>& fn, int reps) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count() / reps;
+}
+
+void host_gemm_sweep() {
+  constexpr std::size_t kN = 256;
+  constexpr int kReps = 8;
+  std::vector<float> a(kN * kN), b(kN * kN);
+  Rng rng(4);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  std::vector<float> c(kN * kN, 0.0f);
+
+  std::printf("\n===== host wall-clock: gemm_nn %zux%zux%zu =====\n", kN, kN, kN);
+  const double ref_ms = wall_ms(
+      [&] { ml::reference::gemm_nn(kN, kN, kN, 1.0f, a.data(), b.data(), c.data()); },
+      kReps);
+  std::printf("%-24s %10.2f ms  %8s\n", "scalar reference (seed)", ref_ms, "1.00x");
+
+  std::vector<float> serial;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    par::set_max_threads(threads);
+    std::fill(c.begin(), c.end(), 0.0f);
+    const double ms = wall_ms(
+        [&] { ml::gemm_nn(kN, kN, kN, 1.0f, a.data(), b.data(), c.data()); }, kReps);
+    // One clean accumulation for the bitwise check (the timing loop above
+    // accumulated into c repeatedly).
+    std::fill(c.begin(), c.end(), 0.0f);
+    ml::gemm_nn(kN, kN, kN, 1.0f, a.data(), b.data(), c.data());
+    const char* bitwise = "";
+    if (threads == 1) {
+      serial = c;
+    } else {
+      bitwise = std::memcmp(serial.data(), c.data(), c.size() * sizeof(float)) == 0
+                    ? "  [bitwise == serial]"
+                    : "  [MISMATCH vs serial!]";
+    }
+    std::printf("blocked, %zu thread%-13s %10.2f ms  %7.2fx%s\n", threads,
+                threads == 1 ? "" : "s", ms, ref_ms / ms, bitwise);
+  }
+  par::set_max_threads(1);
+}
+
+void simulated_tcs_sweep(const MachineProfile& profile) {
+  std::printf("\n===== simulated time vs TCS lanes: %s =====\n", profile.name.c_str());
+  std::printf("%-6s %14s %14s %14s %16s\n", "tcs", "encrypt(us)", "write(us)",
+              "save(us)", "batch-dec(us)");
+
+  ml::SynthDigitsOptions dopt;
+  dopt.train_count = 256;
+  dopt.test_count = 1;
+  const auto digits = ml::make_synth_digits(dopt);
+
+  for (const std::size_t tcs : {1u, 2u, 4u, 8u}) {
+    Platform platform(profile, 160u << 20);
+    platform.enclave().set_tcs_count(tcs);
+    Trainer trainer(platform, ml::make_cnn_config(5, 8, 64), TrainerOptions{});
+    trainer.load_dataset(digits.train);
+    (void)trainer.resume_or_init();
+
+    // One warm-up iteration fills every layer buffer, then measure a save.
+    (void)trainer.train(1);
+    trainer.mirror().reset_stats();
+    trainer.mirror().mirror_out(trainer.network(), 1);
+    const auto& ms = trainer.mirror().stats();
+
+    // One measured batch decryption from PM into the enclave.
+    std::vector<float> x(64 * trainer.data().x_cols()), y(64 * trainer.data().y_cols());
+    Rng batch_rng(7);
+    sim::Stopwatch sw(platform.clock());
+    trainer.data().sample_batch(64, batch_rng, x.data(), y.data());
+    const double dec_us = sw.elapsed() / 1e3;
+
+    std::printf("%-6zu %14.1f %14.1f %14.1f %16.1f\n", tcs, ms.encrypt_ns / 1e3,
+                ms.write_ns / 1e3, (ms.encrypt_ns + ms.write_ns) / 1e3, dec_us);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Parallel substrate sweep: host threads (real wall-clock) and\n");
+  std::printf("# simulated enclave TCS lanes (simulated time), independently.\n");
+
+  host_gemm_sweep();
+  simulated_tcs_sweep(MachineProfile::sgx_emlpm());
+  simulated_tcs_sweep(MachineProfile::emlsgx_pm());
+  return 0;
+}

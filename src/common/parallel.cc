@@ -1,0 +1,217 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace plinius::par {
+
+namespace {
+
+constexpr std::size_t kMaxThreads = 256;
+
+/// One in-flight parallel_for. Chunks are claimed with an atomic counter:
+/// the chunk -> index-range mapping is the static partition(), so dynamic
+/// claiming balances load without affecting which items share a chunk.
+struct Batch {
+  const std::function<void(Range)>* body = nullptr;
+  std::size_t n = 0;
+  std::size_t nchunks = 0;
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::size_t> done_chunks{0};
+  std::mutex err_mu;
+  std::exception_ptr error;
+
+  void run_chunks() {
+    for (;;) {
+      const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= nchunks) return;
+      try {
+        (*body)(partition(n, nchunks, c));
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(err_mu);
+        if (!error) error = std::current_exception();
+      }
+      done_chunks.fetch_add(1, std::memory_order_release);
+    }
+  }
+};
+
+thread_local bool t_in_worker = false;
+
+class Pool {
+ public:
+  explicit Pool(std::size_t workers) {
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  void submit(std::shared_ptr<Batch> batch) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      batch_ = std::move(batch);
+      ++generation_;
+    }
+    cv_.notify_all();
+  }
+
+  void retire() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    batch_ = nullptr;
+  }
+
+  [[nodiscard]] std::size_t workers() const noexcept { return threads_.size(); }
+
+ private:
+  void worker_loop() {
+    t_in_worker = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      // Each worker takes its own reference: a worker preempted between
+      // claiming a chunk index and testing it may touch the Batch after the
+      // submitter has already observed completion and moved on, so the Batch
+      // must outlive the slowest worker, not just the parallel_for call.
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        batch = batch_;
+      }
+      if (batch) batch->run_chunks();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> threads_;
+  std::shared_ptr<Batch> batch_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+std::size_t clamp_threads(std::size_t n) {
+  if (n < 1) return 1;
+  return n < kMaxThreads ? n : kMaxThreads;
+}
+
+std::size_t default_threads() {
+  if (const std::size_t env = threads_from_env(std::getenv("PLINIUS_THREADS"))) {
+    return clamp_threads(env);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return clamp_threads(hw == 0 ? 1 : hw);
+}
+
+// Pool state: guarded by a mutex so set_max_threads can swap the pool while
+// no parallel_for is running (dispatches are serialized on the same mutex).
+std::mutex g_pool_mu;
+std::size_t g_max_threads = 0;  // 0 = not yet initialized
+std::unique_ptr<Pool> g_pool;
+
+void ensure_pool_locked() {
+  if (g_max_threads == 0) g_max_threads = default_threads();
+  const std::size_t workers = g_max_threads - 1;  // caller participates
+  if (!g_pool || g_pool->workers() != workers) {
+    g_pool.reset();
+    if (workers > 0) g_pool = std::make_unique<Pool>(workers);
+  }
+}
+
+}  // namespace
+
+Range partition(std::size_t n, std::size_t nchunks, std::size_t chunk) {
+  expects(nchunks > 0 && chunk < nchunks, "partition: chunk index out of range");
+  return Range{chunk * n / nchunks, (chunk + 1) * n / nchunks};
+}
+
+std::size_t threads_from_env(const char* text) {
+  if (text == nullptr || *text == '\0') return 0;
+  // strtoull silently negates "-4"; only bare digits are a valid count.
+  if (*text < '0' || *text > '9') return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || v == 0) return 0;
+  return clamp_threads(static_cast<std::size_t>(v));
+}
+
+std::size_t max_threads() {
+  const std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_max_threads == 0) g_max_threads = default_threads();
+  return g_max_threads;
+}
+
+void set_max_threads(std::size_t n) {
+  const std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_max_threads = clamp_threads(n);
+  ensure_pool_locked();
+}
+
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(Range)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+
+  // Workers must not dispatch to the pool they run on: nested parallel_for
+  // executes inline (single chunk spanning the whole range).
+  if (t_in_worker) {
+    body(Range{0, n});
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(g_pool_mu);
+  ensure_pool_locked();
+  const std::size_t max_chunks = (n + grain - 1) / grain;
+  const std::size_t nchunks = g_max_threads < max_chunks ? g_max_threads : max_chunks;
+
+  if (nchunks <= 1 || g_pool == nullptr) {
+    lock.unlock();
+    body(Range{0, n});
+    return;
+  }
+
+  // Shared ownership with the workers: every claimed chunk completes before
+  // the spin below exits, but a worker can still execute its (empty) claim
+  // attempt after that — the shared_ptr keeps the Batch alive for it.
+  const auto batch = std::make_shared<Batch>();
+  batch->body = &body;
+  batch->n = n;
+  batch->nchunks = nchunks;
+  Pool& pool = *g_pool;
+  pool.submit(batch);
+  // The caller claims chunks too. While it does, it is "in a worker" for
+  // nesting purposes: a parallel_for reached from its chunk body must run
+  // inline (like on a pool worker) rather than re-enter the dispatch path —
+  // g_pool_mu is held for the whole dispatch and is not recursive.
+  t_in_worker = true;
+  batch->run_chunks();
+  t_in_worker = false;
+  while (batch->done_chunks.load(std::memory_order_acquire) < nchunks) {
+    std::this_thread::yield();
+  }
+  pool.retire();
+  lock.unlock();
+
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace plinius::par

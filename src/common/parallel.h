@@ -1,0 +1,71 @@
+// Parallel compute substrate: a persistent worker pool plus a
+// deterministically partitioned parallel_for.
+//
+// Design constraints (see docs/COST_MODELS.md, "Parallelism and simulated
+// time"):
+//
+//   * Determinism. parallel_for splits [0, n) into *contiguous* chunks with
+//     the static partition() below. Which worker executes which chunk is
+//     load-balanced at runtime, but chunks are disjoint, so any computation
+//     whose work items write disjoint outputs produces bitwise-identical
+//     results at every thread count. Simulated-time accounting never happens
+//     on worker threads — the sim::Clock is charged by the orchestrating
+//     thread, so host parallelism cannot perturb simulated results.
+//
+//   * One process-wide pool. Workers are started lazily on first use and
+//     kept for the process lifetime (SGX analogy: the enclave's TCS pool is
+//     sized at build time; threads enter via pre-allocated TCS slots rather
+//     than being spawned per call).
+//
+//   * Nested parallel_for runs inline on the calling worker — never a
+//     deadlock, and the partition of the *outer* loop is unchanged.
+//
+// Thread count: PLINIUS_THREADS (if set, clamped to [1, 256]) else
+// std::thread::hardware_concurrency(); override at runtime with
+// set_max_threads() (tests sweep 1/2/4/8 to assert invariance).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace plinius::par {
+
+/// Contiguous index range [begin, end).
+struct Range {
+  std::size_t begin;
+  std::size_t end;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+};
+
+/// The static partition shared by parallel_for and the SGX multi-TCS
+/// critical-path accounting (EnclaveRuntime::charge_parallel): chunk `c` of
+/// `nchunks` over `n` items is [c*n/nchunks, (c+1)*n/nchunks) — contiguous,
+/// complete, and balanced to within one item.
+[[nodiscard]] Range partition(std::size_t n, std::size_t nchunks, std::size_t chunk);
+
+/// Current maximum parallelism (>= 1).
+[[nodiscard]] std::size_t max_threads();
+
+/// Overrides the thread count (clamped to [1, 256]); resizes the pool.
+void set_max_threads(std::size_t n);
+
+/// Parses a PLINIUS_THREADS-style value; returns 0 when `text` is null,
+/// empty, or not a positive integer (caller falls back to the hardware
+/// count). Exposed for tests.
+[[nodiscard]] std::size_t threads_from_env(const char* text);
+
+/// Runs `body(range)` over a static partition of [0, n). The number of
+/// chunks is min(max_threads(), ceil(n / grain)); `grain` is the minimum
+/// work per chunk that justifies waking a worker. The calling thread
+/// participates. The first exception thrown by any chunk is rethrown on the
+/// caller after all chunks finish.
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(Range)>& body);
+
+/// Convenience: grain of 1 (every item is worth parallelizing).
+inline void parallel_for(std::size_t n, const std::function<void(Range)>& body) {
+  parallel_for(n, 1, body);
+}
+
+}  // namespace plinius::par

@@ -1,5 +1,6 @@
 #include "crypto/envelope.h"
 
+#include <cstring>
 #include <limits>
 
 #include "common/error.h"
@@ -25,15 +26,23 @@ void IvSequence::next(std::uint8_t iv[kGcmIvSize]) {
 }
 
 void seal_into(const AesGcm& gcm, IvSequence& ivs, ByteSpan plain, MutableByteSpan out) {
+  std::uint8_t iv[kGcmIvSize];
+  ivs.next(iv);
+  seal_into_iv(gcm, iv, plain, out);
+}
+
+void seal_into_iv(const AesGcm& gcm, const std::uint8_t iv[kGcmIvSize], ByteSpan plain,
+                  MutableByteSpan out) {
   if (out.size() != sealed_size(plain.size())) {
     throw CryptoError("seal_into: output size mismatch");
   }
-  std::uint8_t* iv = out.data();
+  std::uint8_t* out_iv = out.data();
   std::uint8_t* ct = out.data() + kGcmIvSize;
   std::uint8_t* tag = out.data() + kGcmIvSize + plain.size();
 
-  ivs.next(iv);
-  gcm.encrypt(ByteSpan(iv, kGcmIvSize), {}, plain, MutableByteSpan(ct, plain.size()), tag);
+  std::memcpy(out_iv, iv, kGcmIvSize);
+  gcm.encrypt(ByteSpan(out_iv, kGcmIvSize), {}, plain, MutableByteSpan(ct, plain.size()),
+              tag);
 }
 
 bool open_into(const AesGcm& gcm, ByteSpan sealed, MutableByteSpan plain) {

@@ -56,6 +56,14 @@ class IvSequence {
 /// 12-byte IV; keep one IvSequence per key so IVs never repeat.
 void seal_into(const AesGcm& gcm, IvSequence& ivs, ByteSpan plain, MutableByteSpan out);
 
+/// Seals with a caller-supplied IV. For parallel sealing sweeps: draw every
+/// IV from one IvSequence *serially* (preserving the per-key strictly
+/// monotonic counter), then run the seal_into_iv calls concurrently — the
+/// cipher is stateless and const, so tasks only share read-only state.
+/// Never pass an IV that did not come from the key's IvSequence.
+void seal_into_iv(const AesGcm& gcm, const std::uint8_t iv[kGcmIvSize], ByteSpan plain,
+                  MutableByteSpan out);
+
 /// Decrypts `sealed` into `plain`. Returns false (and zeroes `plain`) when
 /// the MAC does not verify — i.e. the PM/disk copy was corrupted or tampered.
 [[nodiscard]] bool open_into(const AesGcm& gcm, ByteSpan sealed, MutableByteSpan plain);

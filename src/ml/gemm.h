@@ -1,10 +1,24 @@
-// Small dense GEMM kernels, in the style Darknet uses for its convolutional
-// and connected layers (im2col + gemm). Row-major storage throughout.
+// Dense GEMM kernels for the convolutional and connected layers (im2col +
+// gemm, as Darknet). Row-major storage throughout.
 //
 // C[M x N] = alpha * op(A) * op(B) + C, where op is optional transposition.
-// The kernels are written for the compiler's auto-vectorizer (unit-stride
-// inner loops over C/B rows), which is plenty for the MNIST-scale models in
-// the paper's evaluation.
+//
+// Implementation (ml/gemm.cc): every variant is normalized to a row-major
+// M x K by K x N product — transposed operands are panel-packed into
+// contiguous row-major scratch first (this is also what fixed the old
+// gemm_tt's column-strided inner loop) — then a cache-blocked register-tiled
+// kernel runs parallelized over MR-row output tiles via par::parallel_for.
+//
+// Determinism contract: for each C element the K-dimension is accumulated in
+// a fixed order (KC blocks ascending, p ascending inside a block, one
+// register accumulator per element), and the parallel work unit is an
+// MR-row tile whose code path depends only on the matrix shape. Results are
+// therefore bitwise identical at every thread count, including 1.
+//
+// When the build enables AVX2/FMA for this translation unit (the default on
+// compilers that support it — see PLINIUS_GEMM_SIMD in src/CMakeLists.txt),
+// the kernels check CPU support at runtime and fall back to the scalar
+// reference kernels on hardware without AVX2.
 #pragma once
 
 #include <cstddef>
@@ -21,6 +35,10 @@ void gemm_nt(std::size_t m, std::size_t n, std::size_t k, float alpha, const flo
 
 /// C += alpha * A^T * B    (A: K x M, B: K x N)
 void gemm_tn(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+             const float* b, float* c);
+
+/// C += alpha * A^T * B^T  (A: K x M, B: N x K)
+void gemm_tt(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
              const float* b, float* c);
 
 /// General entry point mirroring Darknet's gemm(TA, TB, ...).

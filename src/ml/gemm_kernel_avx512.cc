@@ -1,0 +1,113 @@
+#include "ml/gemm_kernel_avx512.h"
+
+#include "common/error.h"
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+
+#include <array>
+#include <utility>
+#endif
+
+namespace plinius::ml::detail {
+
+#if defined(__AVX512F__)
+
+namespace {
+
+// K blocking, matching gemm.cc: the B panel slice a tile sweep streams
+// stays cache resident across the row tiles of the band.
+constexpr std::size_t kKc = 256;
+
+// One register tile: `Rows` x 16 C elements, one zmm accumulator per row.
+// The Masked variant selects live columns for the n % 16 remainder;
+// masked-off lanes load as zero and are never stored, so the remainder
+// computes the same per-element FMA sequence as a full tile. The common
+// full-width case uses plain loads — a runtime mask on the B load (which
+// feeds every FMA) measurably halves throughput even when it is all-ones.
+template <std::size_t Rows, bool Masked>
+void micro(std::size_t n, std::size_t k, float alpha, const float* a, const float* b,
+           float* c, std::size_t i0, std::size_t j0, std::size_t p0, std::size_t p1,
+           __mmask16 mask) {
+  __m512 acc[Rows];
+  for (std::size_t r = 0; r < Rows; ++r) acc[r] = _mm512_setzero_ps();
+  for (std::size_t p = p0; p < p1; ++p) {
+    const float* brow = b + p * n + j0;
+    const __m512 bv =
+        Masked ? _mm512_maskz_loadu_ps(mask, brow) : _mm512_loadu_ps(brow);
+    for (std::size_t r = 0; r < Rows; ++r) {
+      // Plain broadcast (no alpha) folds into the FMA as an EVEX embedded
+      // broadcast memory operand — one uop per row. Scaling A here instead
+      // costs a vmulss + vbroadcastss per row and halves throughput; alpha
+      // is applied once per C element at the update below.
+      const __m512 apart = _mm512_set1_ps(a[(i0 + r) * k + p]);
+      acc[r] = _mm512_fmadd_ps(apart, bv, acc[r]);
+    }
+  }
+  const __m512 av = _mm512_set1_ps(alpha);
+  for (std::size_t r = 0; r < Rows; ++r) {
+    float* crow = c + (i0 + r) * n + j0;
+    if constexpr (Masked) {
+      const __m512 cur = _mm512_maskz_loadu_ps(mask, crow);
+      _mm512_mask_storeu_ps(crow, mask, _mm512_fmadd_ps(av, acc[r], cur));
+    } else {
+      _mm512_storeu_ps(crow, _mm512_fmadd_ps(av, acc[r], _mm512_loadu_ps(crow)));
+    }
+  }
+}
+
+using MicroFn = void (*)(std::size_t, std::size_t, float, const float*, const float*,
+                         float*, std::size_t, std::size_t, std::size_t, std::size_t,
+                         __mmask16);
+
+// micro<1> .. micro<kMrAvx512>, indexed by rows - 1: the m % 16 row
+// remainder runs the same vector kernel with a narrower accumulator tile.
+template <bool Masked, std::size_t... I>
+constexpr std::array<MicroFn, sizeof...(I)> micro_table(std::index_sequence<I...>) {
+  return {{&micro<I + 1, Masked>...}};
+}
+constexpr auto kMicroFull =
+    micro_table<false>(std::make_index_sequence<kMrAvx512>{});
+constexpr auto kMicroMasked =
+    micro_table<true>(std::make_index_sequence<kMrAvx512>{});
+
+}  // namespace
+
+bool avx512_usable() {
+  static const bool ok = __builtin_cpu_supports("avx512f");
+  return ok;
+}
+
+void band_avx512(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                 const float* a, const float* b, float* c, std::size_t tile_begin,
+                 std::size_t tile_end) {
+  const std::size_t n_full = n - n % 16;
+  const auto tail_mask = static_cast<__mmask16>((1u << (n - n_full)) - 1u);
+  for (std::size_t p0 = 0; p0 < k; p0 += kKc) {
+    const std::size_t p1 = p0 + kKc < k ? p0 + kKc : k;
+    for (std::size_t t = tile_begin; t < tile_end; ++t) {
+      const std::size_t i0 = t * kMrAvx512;
+      const std::size_t rows = i0 + kMrAvx512 <= m ? kMrAvx512 : m - i0;
+      const MicroFn full = kMicroFull[rows - 1];
+      for (std::size_t j0 = 0; j0 < n_full; j0 += 16) {
+        full(n, k, alpha, a, b, c, i0, j0, p0, p1, static_cast<__mmask16>(0xFFFF));
+      }
+      if (n_full < n) {
+        kMicroMasked[rows - 1](n, k, alpha, a, b, c, i0, n_full, p0, p1, tail_mask);
+      }
+    }
+  }
+}
+
+#else  // !__AVX512F__
+
+bool avx512_usable() { return false; }
+
+void band_avx512(std::size_t, std::size_t, std::size_t, float, const float*,
+                 const float*, float*, std::size_t, std::size_t) {
+  throw Error("band_avx512 called but the AVX-512 kernel was not compiled in");
+}
+
+#endif
+
+}  // namespace plinius::ml::detail

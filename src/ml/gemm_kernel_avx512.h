@@ -1,0 +1,33 @@
+// AVX-512 GEMM band kernel, isolated in its own translation unit so it can
+// be compiled with -mavx512f while the rest of the library (including the
+// AVX2 kernels in gemm.cc and the scalar reference) keeps its own flags.
+//
+// Dispatch contract: callers must check avx512_usable() first — it is true
+// only when this TU was compiled with AVX-512 support AND the CPU reports
+// AVX512F at runtime. band_avx512 throws if called when not usable.
+//
+// Same determinism contract as the other kernels (see ml/gemm.h): one
+// accumulator per C element, K ascending within KC blocks, work split in
+// units of kMrAvx512 output rows whose code path depends only on the
+// matrix shape. Column remainders use masked 512-bit lanes and row
+// remainders use narrower register tiles — both are functions of the shape
+// alone, so results are bitwise identical at every thread count.
+#pragma once
+
+#include <cstddef>
+
+namespace plinius::ml::detail {
+
+/// Output rows per register tile (one zmm of 16 floats per row).
+inline constexpr std::size_t kMrAvx512 = 16;
+
+/// True when the AVX-512 kernel is compiled in and the CPU supports it.
+[[nodiscard]] bool avx512_usable();
+
+/// Computes C[tile_begin*kMrAvx512 .. tile_end*kMrAvx512) rows of
+/// C += alpha * A x B (row-major M x K by K x N), KC-blocked over K.
+void band_avx512(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                 const float* a, const float* b, float* c, std::size_t tile_begin,
+                 std::size_t tile_end);
+
+}  // namespace plinius::ml::detail

@@ -1,0 +1,69 @@
+#include "ml/gemm_reference.h"
+
+namespace plinius::ml::reference {
+
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+             const float* b, float* c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float apart = alpha * a[i * k + p];
+      const float* brow = b + p * n;
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += apart * brow[j];
+    }
+  }
+}
+
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+             const float* b, float* c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float sum = 0;
+      for (std::size_t p = 0; p < k; ++p) sum += arow[p] * brow[p];
+      c[i * n + j] += alpha * sum;
+    }
+  }
+}
+
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+             const float* b, float* c) {
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float apart = alpha * arow[i];
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += apart * brow[j];
+    }
+  }
+}
+
+// Written directly from the definition C[i][j] += alpha * sum_p At[i][p]*Bt[p][j]
+// with At[i][p] = A[p][i], Bt[p][j] = B[j][p]; deliberately naive.
+void gemm_tt(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+             const float* b, float* c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float sum = 0;
+      for (std::size_t p = 0; p < k; ++p) sum += a[p * m + i] * b[j * k + p];
+      c[i * n + j] += alpha * sum;
+    }
+  }
+}
+
+void gemm(bool ta, bool tb, std::size_t m, std::size_t n, std::size_t k, float alpha,
+          const float* a, const float* b, float* c) {
+  if (!ta && !tb) {
+    gemm_nn(m, n, k, alpha, a, b, c);
+  } else if (!ta && tb) {
+    gemm_nt(m, n, k, alpha, a, b, c);
+  } else if (ta && !tb) {
+    gemm_tn(m, n, k, alpha, a, b, c);
+  } else {
+    gemm_tt(m, n, k, alpha, a, b, c);
+  }
+}
+
+}  // namespace plinius::ml::reference

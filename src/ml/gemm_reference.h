@@ -1,0 +1,39 @@
+// Reference GEMM kernels: the original scalar triple loops this repo seeded
+// with (plus a trivially-correct gemm_tt written index-by-index from the
+// definition). They are kept for two purposes:
+//
+//   * oracle for tests: the blocked/parallel kernels in ml/gemm.h must match
+//     these to floating-point reassociation tolerance on all four transpose
+//     variants;
+//   * baseline for benchmarks: bench/micro_kernels and bench/parallel_sweep
+//     report the optimized kernels' speedup over exactly this code, compiled
+//     with the project's default flags (no extra SIMD options).
+//
+// Not used on any training path.
+#pragma once
+
+#include <cstddef>
+
+namespace plinius::ml::reference {
+
+/// C += alpha * A * B      (A: M x K, B: K x N)
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+             const float* b, float* c);
+
+/// C += alpha * A * B^T    (A: M x K, B: N x K)
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+             const float* b, float* c);
+
+/// C += alpha * A^T * B    (A: K x M, B: K x N)
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+             const float* b, float* c);
+
+/// C += alpha * A^T * B^T  (A: K x M, B: N x K)
+void gemm_tt(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+             const float* b, float* c);
+
+/// Dispatch mirroring ml::gemm(TA, TB, ...).
+void gemm(bool ta, bool tb, std::size_t m, std::size_t n, std::size_t k, float alpha,
+          const float* a, const float* b, float* c);
+
+}  // namespace plinius::ml::reference

@@ -1,8 +1,11 @@
 #include "plinius/mirror.h"
 
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "crypto/envelope.h"
 
 namespace plinius {
@@ -26,6 +29,15 @@ MirrorModel::Header MirrorModel::header() const {
 }
 
 std::uint64_t MirrorModel::iteration() const { return header().iteration; }
+
+MirrorModel::LayerNode MirrorModel::checked_node(std::uint64_t node_off,
+                                                 const char* ctx) const {
+  if (node_off > rom_->main_size() ||
+      sizeof(LayerNode) > rom_->main_size() - node_off) {
+    throw PmError(std::string(ctx) + ": layer node offset out of range");
+  }
+  return rom_->read<LayerNode>(node_off);
+}
 
 void MirrorModel::alloc(ml::Network& net) {
   if (exists()) throw PmError("MirrorModel::alloc: mirror already exists");
@@ -72,46 +84,74 @@ void MirrorModel::mirror_out(ml::Network& net, std::uint64_t iteration) {
   }
   ++stats_.saves;
   enclave_->charge_ecall();
-  sim::Stopwatch total(enclave_->clock());
-  sim::Nanos encrypt_this_call = 0;
 
-  rom_->run_transaction([&] {
-    rom_->tx_assign(rom_->root(kRootSlot) + offsetof(Header, iteration), iteration);
-
-    std::uint64_t node_off = hdr.head;
-    for (std::size_t i = 0; i < net.num_layers(); ++i) {
-      expects(node_off != 0, "MirrorModel: truncated layer list");
-      const auto node = rom_->read<LayerNode>(node_off);
-      const auto buffers = net.layer(i).parameters();
-      if (node.num_buffers != buffers.size()) {
-        throw MlError("MirrorModel::mirror_out: buffer count mismatch");
+  // Phase 1 (serial): walk the PM layer list, validate it against the model,
+  // and build the seal task list. IVs are drawn from the key's sequence here,
+  // in list order, so the counter stays strictly monotonic no matter how the
+  // sealing tasks are scheduled below.
+  struct SealTask {
+    ByteSpan plain;
+    std::uint64_t pm_off;
+    std::size_t sealed_len;
+    std::size_t scratch_off;
+    std::uint8_t iv[crypto::kGcmIvSize];
+  };
+  std::vector<SealTask> tasks;
+  std::vector<sim::Nanos> costs;
+  std::size_t scratch_bytes = 0;
+  std::uint64_t node_off = hdr.head;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    expects(node_off != 0, "MirrorModel: truncated layer list");
+    const LayerNode node = checked_node(node_off, "MirrorModel::mirror_out");
+    const auto buffers = net.layer(i).parameters();
+    if (node.num_buffers != buffers.size()) {
+      throw MlError("MirrorModel::mirror_out: buffer count mismatch");
+    }
+    for (std::size_t b = 0; b < buffers.size(); ++b) {
+      const ByteSpan plain = float_bytes(buffers[b].values);
+      if (node.buf_sealed_len[b] != crypto::sealed_size(plain.size())) {
+        throw MlError("MirrorModel::mirror_out: buffer size mismatch");
       }
-      for (std::size_t b = 0; b < buffers.size(); ++b) {
-        const ByteSpan plain = float_bytes(buffers[b].values);
-        if (node.buf_sealed_len[b] != crypto::sealed_size(plain.size())) {
-          throw MlError("MirrorModel::mirror_out: buffer size mismatch");
-        }
-
-        // Encrypt step: read the (EPC-resident) weights and seal them.
-        sim::Stopwatch enc(enclave_->clock());
-        enclave_->touch_enclave(plain.size());
-        enclave_->charge_crypto(plain.size());
-        scratch_.resize(node.buf_sealed_len[b]);
-        crypto::seal_into(gcm_, iv_seq_, plain,
-                          MutableByteSpan(scratch_.data(), scratch_.size()));
-        encrypt_this_call += enc.elapsed();
-
-        // Write step: transactional store into the PM mirror buffer.
-        rom_->tx_store(node.buf_off[b], scratch_.data(), scratch_.size());
+      if (node.buf_off[b] > rom_->main_size() ||
+          node.buf_sealed_len[b] > rom_->main_size() - node.buf_off[b]) {
+        throw PmError("MirrorModel::mirror_out: corrupt buffer offset in PM");
       }
-      node_off = node.next;
+      SealTask task{plain, node.buf_off[b], node.buf_sealed_len[b], scratch_bytes, {}};
+      iv_seq_.next(task.iv);
+      scratch_bytes += task.sealed_len;
+      // Encrypt cost: touch the (EPC-resident) weights + one GCM pass.
+      costs.push_back(enclave_->touch_task_ns(plain.size()) +
+                      enclave_->crypto_task_ns(plain.size()));
+      tasks.push_back(task);
+    }
+    node_off = node.next;
+  }
+
+  // Phase 2: seal every buffer concurrently into disjoint scratch slices.
+  scratch_.resize(scratch_bytes);
+  par::parallel_for(tasks.size(), [&](par::Range r) {
+    for (std::size_t t = r.begin; t < r.end; ++t) {
+      const SealTask& task = tasks[t];
+      crypto::seal_into_iv(gcm_, task.iv, task.plain,
+                           MutableByteSpan(scratch_.data() + task.scratch_off,
+                                           task.sealed_len));
     }
   });
+  // Simulated encryption time: critical path over the enclave's TCS lanes.
+  stats_.encrypt_ns += enclave_->charge_parallel(costs);
 
-  stats_.encrypt_ns += encrypt_this_call;
-  // Everything else in the save — PM stores, PWBs, fences and the Romulus
-  // twin-copy commit — is the "write" share of Table Ia.
-  stats_.write_ns += total.elapsed() - encrypt_this_call;
+  // Phase 3: commit. Romulus transactions are single-writer, so the sealed
+  // buffers and the iteration counter go to PM serially, atomically. The PM
+  // stores, PWBs, fences and the twin-copy commit are the "write" share of
+  // Table Ia.
+  sim::Stopwatch write_sw(enclave_->clock());
+  rom_->run_transaction([&] {
+    rom_->tx_assign(rom_->root(kRootSlot) + offsetof(Header, iteration), iteration);
+    for (const SealTask& task : tasks) {
+      rom_->tx_store(task.pm_off, scratch_.data() + task.scratch_off, task.sealed_len);
+    }
+  });
+  stats_.write_ns += write_sw.elapsed();
 }
 
 std::uint64_t MirrorModel::mirror_in(ml::Network& net) {
@@ -122,11 +162,26 @@ std::uint64_t MirrorModel::mirror_in(ml::Network& net) {
   ++stats_.restores;
   enclave_->charge_ecall();
 
+  // Phase 1 (serial): walk the PM layer list with the same range checks
+  // verify_integrity performs (node offsets and buffer extents are untrusted
+  // PM data), stage every sealed buffer into enclave scratch, and charge the
+  // reads. PM reads stay serial: the media bandwidth is shared, so lanes
+  // would not overlap them anyway.
+  struct OpenTask {
+    std::size_t scratch_off;
+    std::size_t sealed_len;
+    std::span<float> dest;
+    std::size_t layer;
+    std::string name;
+  };
+  std::vector<OpenTask> tasks;
+  std::vector<sim::Nanos> costs;
+  std::size_t scratch_bytes = 0;
   std::uint64_t node_off = hdr.head;
   for (std::size_t i = 0; i < net.num_layers(); ++i) {
     expects(node_off != 0, "MirrorModel: truncated layer list");
-    const auto node = rom_->read<LayerNode>(node_off);
-    auto buffers = net.layer(i).parameters();
+    const LayerNode node = checked_node(node_off, "MirrorModel::mirror_in");
+    const auto buffers = net.layer(i).parameters();
     if (node.num_buffers != buffers.size()) {
       throw MlError("MirrorModel::mirror_in: buffer count mismatch");
     }
@@ -139,31 +194,58 @@ std::uint64_t MirrorModel::mirror_in(ml::Network& net) {
           sealed_len > rom_->main_size() - node.buf_off[b]) {
         throw PmError("MirrorModel::mirror_in: corrupt buffer offset in PM");
       }
-
-      // Read step: PM -> enclave memory. In SGX simulation mode the enclave
-      // reads PM directly (no MEE crossing); on real SGX the sealed bytes
-      // are copied into EPC pages.
-      sim::Stopwatch rd(enclave_->clock());
-      rom_->device().charge_read(sealed_len);
-      if (enclave_->model().real_sgx) {
-        enclave_->copy_into_enclave(sealed_len);
-      }
-      scratch_.resize(sealed_len);
-      std::memcpy(scratch_.data(), rom_->main_base() + node.buf_off[b], sealed_len);
-      stats_.read_ns += rd.elapsed();
-
-      // Decrypt step: authenticate + decrypt into the layer's arrays.
-      sim::Stopwatch de(enclave_->clock());
-      enclave_->charge_crypto(sealed_len);
-      if (!crypto::open_into(gcm_, scratch_, float_bytes_mut(buffers[b].values))) {
-        throw CryptoError("MirrorModel::mirror_in: authentication failed for layer " +
-                          std::to_string(i) + " buffer " + buffers[b].name +
-                          " (PM mirror corrupted or tampered)");
-      }
-      enclave_->charge_plain_copy(buffers[b].values.size_bytes());
-      stats_.decrypt_ns += de.elapsed();
+      tasks.push_back({scratch_bytes, sealed_len, buffers[b].values, i,
+                       buffers[b].name});
+      scratch_bytes += sealed_len;
+      // Decrypt cost: one GCM pass + the plain copy into the layer arrays.
+      costs.push_back(enclave_->crypto_task_ns(sealed_len) +
+                      enclave_->plain_copy_ns(buffers[b].values.size_bytes()));
     }
     node_off = node.next;
+  }
+
+  sim::Stopwatch rd(enclave_->clock());
+  scratch_.resize(scratch_bytes);
+  for (const OpenTask& task : tasks) {
+    rom_->device().charge_read(task.sealed_len);
+    if (enclave_->model().real_sgx) {
+      enclave_->copy_into_enclave(task.sealed_len);
+    }
+  }
+  // The staging copies themselves (PM -> enclave scratch). Offsets into main
+  // were validated above; the walk is repeated because node layout, not task
+  // layout, addresses PM.
+  {
+    std::size_t t = 0;
+    std::uint64_t off = hdr.head;
+    for (std::size_t i = 0; i < net.num_layers(); ++i) {
+      const LayerNode node = checked_node(off, "MirrorModel::mirror_in");
+      for (std::size_t b = 0; b < node.num_buffers; ++b, ++t) {
+        std::memcpy(scratch_.data() + tasks[t].scratch_off,
+                    rom_->main_base() + node.buf_off[b], tasks[t].sealed_len);
+      }
+      off = node.next;
+    }
+  }
+  stats_.read_ns += rd.elapsed();
+
+  // Phase 2: authenticate + decrypt every buffer concurrently, straight into
+  // the layers' (disjoint) parameter arrays.
+  std::vector<std::uint8_t> auth_ok(tasks.size(), 0);
+  par::parallel_for(tasks.size(), [&](par::Range r) {
+    for (std::size_t t = r.begin; t < r.end; ++t) {
+      const OpenTask& task = tasks[t];
+      const ByteSpan sealed(scratch_.data() + task.scratch_off, task.sealed_len);
+      auth_ok[t] = crypto::open_into(gcm_, sealed, float_bytes_mut(task.dest)) ? 1 : 0;
+    }
+  });
+  stats_.decrypt_ns += enclave_->charge_parallel(costs);
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    if (!auth_ok[t]) {
+      throw CryptoError("MirrorModel::mirror_in: authentication failed for layer " +
+                        std::to_string(tasks[t].layer) + " buffer " + tasks[t].name +
+                        " (PM mirror corrupted or tampered)");
+    }
   }
 
   net.set_iterations(hdr.iteration);
@@ -180,11 +262,7 @@ std::uint64_t MirrorModel::verify_integrity(ml::Network& net) {
   std::uint64_t node_off = hdr.head;
   for (std::size_t i = 0; i < net.num_layers(); ++i) {
     if (node_off == 0) throw PmError("MirrorModel::verify_integrity: truncated layer list");
-    if (node_off > rom_->main_size() ||
-        sizeof(LayerNode) > rom_->main_size() - node_off) {
-      throw PmError("MirrorModel::verify_integrity: layer node offset out of range");
-    }
-    const auto node = rom_->read<LayerNode>(node_off);
+    const LayerNode node = checked_node(node_off, "MirrorModel::verify_integrity");
     const auto buffers = net.layer(i).parameters();
     if (node.num_buffers != buffers.size()) {
       throw MlError("MirrorModel::verify_integrity: buffer count mismatch");
@@ -220,7 +298,7 @@ std::size_t MirrorModel::encryption_metadata_bytes() const {
   std::size_t buffers = 0;
   std::uint64_t node_off = hdr.head;
   while (node_off != 0) {
-    const auto node = rom_->read<LayerNode>(node_off);
+    const LayerNode node = checked_node(node_off, "MirrorModel::encryption_metadata_bytes");
     buffers += node.num_buffers;
     node_off = node.next;
   }

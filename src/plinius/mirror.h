@@ -52,11 +52,22 @@ class MirrorModel {
 
   /// Algorithm 3, mirror_out: encrypts the enclave model's parameters into
   /// the PM mirror and records `iteration`, atomically.
+  ///
+  /// Sealing is parallel: per-buffer IVs are drawn from the key's
+  /// IvSequence serially (counter stays strictly monotonic — no IV reuse
+  /// across tasks), the AES-GCM passes run concurrently into disjoint
+  /// scratch slices via par::parallel_for, and the Romulus transaction then
+  /// commits the sealed buffers serially (transactions stay single-writer).
+  /// Simulated encryption time is the critical path over the enclave's TCS
+  /// lanes (EnclaveRuntime::charge_parallel).
   void mirror_out(ml::Network& net, std::uint64_t iteration);
 
   /// Algorithm 3, mirror_in: decrypts the PM mirror into the enclave model.
   /// Returns the recorded iteration (also set on `net`). Throws CryptoError
-  /// if any buffer fails authentication, MlError on layout mismatch.
+  /// if any buffer fails authentication (the model is partially restored in
+  /// that case and must not be used), MlError on layout mismatch, PmError
+  /// on out-of-range PM offsets. PM reads are serial (media bandwidth is
+  /// shared); decryption is parallel like mirror_out's sealing.
   std::uint64_t mirror_in(ml::Network& net);
 
   /// Iteration recorded by the last mirror_out (0 if none).
@@ -91,6 +102,10 @@ class MirrorModel {
   static constexpr std::uint64_t kMagic = 0x504C4D4952524F52ULL;  // "PLMIRROR"
 
   [[nodiscard]] Header header() const;
+  /// Reads a layer node after validating that [node_off, node_off +
+  /// sizeof(LayerNode)) lies inside the PM main region; throws PmError
+  /// (naming `ctx`) on a corrupt offset. All layer-list walks use this.
+  [[nodiscard]] LayerNode checked_node(std::uint64_t node_off, const char* ctx) const;
 
   romulus::Romulus* rom_;
   sgx::EnclaveRuntime* enclave_;

@@ -54,7 +54,10 @@ class Platform {
   [[nodiscard]] const MachineProfile& profile() const noexcept { return profile_; }
 
   /// Charges simulated time for `macs` multiply-accumulates of training
-  /// compute (plus the EPC paging the touched working set implies).
+  /// compute (plus the EPC paging the touched working set implies). The
+  /// MACs are modelled as data-parallel across the enclave's TCS lanes:
+  /// time = macs / (rate * tcs_count). See docs/COST_MODELS.md,
+  /// "Parallelism and simulated time".
   void charge_compute(double macs);
 
  private:

@@ -48,7 +48,10 @@ class PmDataStore {
   [[nodiscard]] bool encrypted() const;
 
   /// Samples `batch` records uniformly and decrypts them into the enclave
-  /// buffers (x_out: batch*x_cols floats, y_out: batch*y_cols).
+  /// buffers (x_out: batch*x_cols floats, y_out: batch*y_cols). Record
+  /// indices are drawn serially from `rng` (thread-count-invariant batches);
+  /// the per-record AES-GCM passes then run concurrently, with simulated
+  /// time advanced by the critical path over the enclave's TCS lanes.
   void sample_batch(std::size_t batch, Rng& rng, float* x_out, float* y_out);
 
   /// Reads one record by index (bounds-checked).

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "crypto/envelope.h"
 #include "crypto/sha256.h"
 
@@ -87,13 +88,17 @@ double EnclaveRuntime::fault_probability() const noexcept {
   return std::min(1.0, over / ramp);
 }
 
-void EnclaveRuntime::touch_enclave(std::size_t bytes) {
+sim::Nanos EnclaveRuntime::touch_task_ns(std::size_t bytes) {
   const double p = fault_probability();
-  if (p <= 0.0 || bytes == 0) return;
+  if (p <= 0.0 || bytes == 0) return 0;
   const double pages = static_cast<double>((bytes + kEpcPage - 1) / kEpcPage);
   const double faults = pages * p;
   stats_.epc_faults += static_cast<std::uint64_t>(std::llround(faults));
-  clock_->advance(faults * model_.page_fault_ns);
+  return faults * model_.page_fault_ns;
+}
+
+void EnclaveRuntime::touch_enclave(std::size_t bytes) {
+  clock_->advance(touch_task_ns(bytes));
 }
 
 void EnclaveRuntime::copy_into_enclave(std::size_t bytes) {
@@ -110,11 +115,14 @@ void EnclaveRuntime::copy_out_of_enclave(std::size_t bytes) {
   // are EPC-resident (the ocall staging interleaves with the producer).
 }
 
-void EnclaveRuntime::charge_crypto(std::size_t bytes) {
+sim::Nanos EnclaveRuntime::crypto_task_ns(std::size_t bytes) {
   stats_.crypto_bytes += bytes;
-  clock_->advance(model_.crypto_op_overhead_ns +
-                  sim::bandwidth_ns(static_cast<double>(bytes),
-                                    model_.enclave_crypto_gib_s));
+  return model_.crypto_op_overhead_ns +
+         sim::bandwidth_ns(static_cast<double>(bytes), model_.enclave_crypto_gib_s);
+}
+
+void EnclaveRuntime::charge_crypto(std::size_t bytes) {
+  clock_->advance(crypto_task_ns(bytes));
 }
 
 void EnclaveRuntime::charge_native_crypto(std::size_t bytes) {
@@ -122,8 +130,36 @@ void EnclaveRuntime::charge_native_crypto(std::size_t bytes) {
       sim::bandwidth_ns(static_cast<double>(bytes), model_.native_crypto_gib_s));
 }
 
+sim::Nanos EnclaveRuntime::plain_copy_ns(std::size_t bytes) const {
+  return sim::bandwidth_ns(static_cast<double>(bytes), 8.5);
+}
+
 void EnclaveRuntime::charge_plain_copy(std::size_t bytes) {
-  clock_->advance(sim::bandwidth_ns(static_cast<double>(bytes), 8.5));
+  clock_->advance(plain_copy_ns(bytes));
+}
+
+std::size_t EnclaveRuntime::tcs_count() const noexcept {
+  return model_.tcs_count < 1 ? 1 : model_.tcs_count;
+}
+
+void EnclaveRuntime::set_tcs_count(std::size_t n) noexcept {
+  model_.tcs_count = n < 1 ? 1 : n;
+}
+
+sim::Nanos EnclaveRuntime::charge_parallel(std::span<const sim::Nanos> task_costs) {
+  if (task_costs.empty()) return 0;
+  ++stats_.parallel_regions;
+  const std::size_t lanes =
+      tcs_count() < task_costs.size() ? tcs_count() : task_costs.size();
+  sim::Nanos critical_path = 0;
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const par::Range r = par::partition(task_costs.size(), lanes, lane);
+    sim::Nanos lane_ns = 0;
+    for (std::size_t t = r.begin; t < r.end; ++t) lane_ns += task_costs[t];
+    if (lane_ns > critical_path) critical_path = lane_ns;
+  }
+  clock_->advance(critical_path);
+  return critical_path;
 }
 
 void EnclaveRuntime::read_rand(MutableByteSpan out) {

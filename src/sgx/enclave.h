@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "common/bytes.h"
@@ -39,6 +40,7 @@ struct EnclaveStats {
   std::uint64_t bytes_copied_in = 0;
   std::uint64_t bytes_copied_out = 0;
   std::uint64_t crypto_bytes = 0;
+  std::uint64_t parallel_regions = 0;  // charge_parallel invocations
 };
 
 class EnclaveRuntime {
@@ -91,6 +93,36 @@ class EnclaveRuntime {
   /// boundary crossing, no paging): e.g. copying decrypted weights into the
   /// model's layer arrays.
   void charge_plain_copy(std::size_t bytes);
+
+  // --- multi-TCS critical-path accounting -------------------------------------
+  // A parallel phase (sealing sweep, batch decrypt, a data-parallel training
+  // step) is accounted in three steps: compute each task's cost with the
+  // *_task_ns accessors (they accumulate byte/fault stats but do NOT advance
+  // the clock), then make one charge_parallel call, which distributes the
+  // tasks over min(tcs_count, tasks) lanes using the same static partition
+  // as par::parallel_for and advances the clock by the most expensive lane —
+  // the critical path, not the sum. With tcs_count == 1 (the default) this
+  // degenerates to the serial sum, preserving the paper's single-threaded
+  // simulated results. Host thread count never enters the computation, so
+  // simulated time is identical at any PLINIUS_THREADS setting.
+
+  /// TCS entries available for concurrent in-enclave execution (>= 1).
+  [[nodiscard]] std::size_t tcs_count() const noexcept;
+  /// Reconfigures the simulated enclave's TCS pool (clamped to >= 1).
+  void set_tcs_count(std::size_t n) noexcept;
+
+  /// Cost of one in-enclave AES-GCM pass over `bytes` (per-call setup +
+  /// throughput); accumulates crypto byte stats, does not advance the clock.
+  [[nodiscard]] sim::Nanos crypto_task_ns(std::size_t bytes);
+  /// Cost of touching `bytes` of enclave-resident data at current EPC
+  /// pressure; accumulates fault stats, does not advance the clock.
+  [[nodiscard]] sim::Nanos touch_task_ns(std::size_t bytes);
+  /// Cost of a plain enclave-DRAM copy (pure; no stats, no clock).
+  [[nodiscard]] sim::Nanos plain_copy_ns(std::size_t bytes) const;
+
+  /// Advances the clock by the critical path of `task_costs` over the TCS
+  /// lanes and returns the advance. Zero tasks cost zero.
+  sim::Nanos charge_parallel(std::span<const sim::Nanos> task_costs);
 
   // --- SDK services -------------------------------------------------------------
   /// sgx_read_rand equivalent (deterministic per platform_seed).

@@ -33,6 +33,13 @@ struct SgxCostModel {
   double native_crypto_gib_s;     // AES-GCM throughput outside
   sim::Nanos crypto_op_overhead_ns;  // fixed per-call GCM setup (key/J0/tag)
   std::size_t ocall_chunk_bytes;  // edge-buffer granularity for ocall I/O
+  // Number of TCS entries the enclave is built with, i.e. how many threads
+  // can execute enclave code concurrently. Parallel phases (sealing sweeps,
+  // batch decryption, training compute) advance the simulated clock by the
+  // critical path over this many lanes (EnclaveRuntime::charge_parallel).
+  // Both profiles default to 1 — the paper's Plinius is single-threaded —
+  // so simulated results only shift when a caller raises it explicitly.
+  std::size_t tcs_count;
 
   /// Real SGX hardware (the paper's sgx-emlPM: Xeon E3-1270 @ 3.80 GHz).
   static SgxCostModel hardware(double ghz = 3.8);
