@@ -11,7 +11,7 @@ DistributedTrainer::DistributedTrainer(const MachineProfile& profile,
                                        std::size_t pm_bytes_per_worker,
                                        const ml::ModelConfig& config,
                                        ClusterOptions options)
-    : config_(config), options_(std::move(options)) {
+    : config_(config), options_(std::move(options)), net_rng_(options_.peer_net_seed) {
   expects(options_.workers >= 1, "DistributedTrainer: need at least one worker");
   expects(options_.sync_every >= 1, "DistributedTrainer: sync_every must be >= 1");
   platforms_.reserve(options_.workers);
@@ -35,6 +35,81 @@ void DistributedTrainer::ensure_worker(std::size_t w) {
     trainers_[w]->load_dataset(shards_[w]);  // no-op if still resident in PM
   }
   (void)trainers_[w]->resume_or_init();
+  const RecoveryReport& rec = trainers_[w]->last_recovery();
+  if (rec.dataset_lost && data_loaded_) {
+    trainers_[w]->load_dataset(shards_[w]);  // region was reformatted
+  }
+  // Local ladder bottomed out (fresh start): the worker lost all training
+  // progress — pull the current model from a healthy peer instead.
+  if (rec.tier == RecoveryTier::kFreshStart && options_.peer_provision) {
+    (void)reprovision_from_peer(w);
+  }
+}
+
+bool DistributedTrainer::reprovision_from_peer(std::size_t w) {
+  // Pick the most-advanced peer that is currently alive (do not construct
+  // new trainers here: ensure_worker would recurse).
+  std::size_t peer = w;
+  std::uint64_t best_iter = 0;
+  for (std::size_t p = 0; p < trainers_.size(); ++p) {
+    if (p == w || trainers_[p] == nullptr) continue;
+    const std::uint64_t iter = trainers_[p]->network().iterations();
+    if (iter > best_iter) {
+      best_iter = iter;
+      peer = p;
+    }
+  }
+  if (peer == w || best_iter == 0) return false;
+
+  // Sealed parameter transfer over the attested enclave-to-enclave channel
+  // (established as in Fig. 5), with seeded loss and exponential backoff.
+  const auto param_bytes = static_cast<double>(network(w).parameter_bytes());
+  sim::Nanos backoff = options_.peer_backoff_ns;
+  bool delivered = false;
+  for (std::size_t attempt = 0; attempt <= options_.peer_retries; ++attempt) {
+    platforms_[peer]->enclave().charge_crypto(
+        static_cast<std::size_t>(param_bytes));  // peer seals
+    const sim::Nanos wire =
+        sim::bandwidth_ns(param_bytes, options_.network_gib_s) + options_.rtt_ns;
+    platforms_[peer]->clock().advance(wire);
+    platforms_[w]->clock().advance(wire);
+    if (net_rng_.uniform() < options_.peer_loss_rate) {
+      ++stats_.peer_retries;
+      platforms_[w]->clock().advance(backoff);
+      backoff *= 2.0;
+      continue;
+    }
+    platforms_[w]->enclave().charge_crypto(
+        static_cast<std::size_t>(param_bytes));  // worker opens
+    delivered = true;
+    break;
+  }
+  if (!delivered) {
+    ++stats_.peer_provision_failures;
+    return false;
+  }
+
+  // Copy the peer's parameters into the worker's enclave model and persist
+  // them to the worker's local PM mirror.
+  ml::Network& src = trainers_[peer]->network();
+  ml::Network& dst = trainers_[w]->network();
+  for (std::size_t l = 0; l < src.num_layers(); ++l) {
+    const auto from = src.layer(l).parameters();
+    auto to = dst.layer(l).parameters();
+    expects(from.size() == to.size(),
+            "DistributedTrainer: parameter layout divergence");
+    for (std::size_t b = 0; b < from.size(); ++b) {
+      expects(from[b].values.size() == to[b].values.size(),
+              "DistributedTrainer: parameter shape divergence");
+      std::copy(from[b].values.begin(), from[b].values.end(),
+                to[b].values.begin());
+    }
+  }
+  dst.set_iterations(best_iter);
+  trainers_[w]->mirror().mirror_out(dst, best_iter);
+  trainers_[w]->note_peer_recovery(best_iter);
+  ++stats_.peer_provisions;
+  return true;
 }
 
 ml::Network& DistributedTrainer::network(std::size_t w) {

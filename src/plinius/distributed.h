@@ -35,6 +35,20 @@ struct ClusterOptions {
   double network_gib_s = 1.16;    // ~10 GbE inter-node links
   sim::Nanos rtt_ns = 60000.0;    // per exchange step
   TrainerOptions trainer;         // per-worker configuration
+  // Peer re-provisioning (the recovery ladder's bottom-most rung): a worker
+  // whose local ladder ends in a fresh start pulls the current parameters
+  // from the healthiest peer over the attested enclave-to-enclave channel.
+  bool peer_provision = true;
+  double peer_loss_rate = 0.0;          // per-transfer drop probability
+  std::size_t peer_retries = 5;         // attempts before giving up
+  sim::Nanos peer_backoff_ns = 1.0e6;   // initial retry backoff, doubled per try
+  std::uint64_t peer_net_seed = 0x9E77; // seeded lossy-channel determinism
+};
+
+struct ClusterStats {
+  std::uint64_t peer_provisions = 0;       // workers re-provisioned from a peer
+  std::uint64_t peer_retries = 0;          // sealed transfers the channel dropped
+  std::uint64_t peer_provision_failures = 0;  // retry budget exhausted
 };
 
 class DistributedTrainer {
@@ -70,16 +84,27 @@ class DistributedTrainer {
   /// Number of averaging rounds performed.
   [[nodiscard]] std::uint64_t sync_rounds() const noexcept { return sync_rounds_; }
 
+  [[nodiscard]] const ClusterStats& stats() const noexcept { return stats_; }
+
  private:
   void ensure_worker(std::size_t w);
   void barrier();
   void average_parameters();
+  /// Copies the parameters of the most-advanced healthy peer into worker
+  /// `w` over the attested channel (sealed transfer, seeded loss with
+  /// exponential backoff), then mirrors them to `w`'s PM. Returns false
+  /// when no peer has progress or the retry budget is exhausted — the
+  /// worker then keeps its fresh start and catches up at the next
+  /// averaging round.
+  bool reprovision_from_peer(std::size_t w);
 
   ml::ModelConfig config_;
   ClusterOptions options_;
   std::vector<std::unique_ptr<Platform>> platforms_;
   std::vector<std::unique_ptr<Trainer>> trainers_;
   std::vector<ml::Dataset> shards_;
+  Rng net_rng_;
+  ClusterStats stats_;
   bool data_loaded_ = false;
   std::uint64_t sync_rounds_ = 0;
 };

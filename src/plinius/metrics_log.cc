@@ -74,4 +74,70 @@ void MetricsLog::truncate_after(std::uint64_t iteration) {
   });
 }
 
+RecoveryLog::RecoveryLog(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave)
+    : rom_(&rom), enclave_(&enclave) {}
+
+bool RecoveryLog::exists() const {
+  const std::uint64_t off = rom_->root(kRootSlot);
+  return off != 0 && rom_->read<std::uint64_t>(off) == kMagic;
+}
+
+RecoveryLog::Header RecoveryLog::header() const {
+  expects(exists(), "RecoveryLog: no log in PM");
+  return rom_->read<Header>(rom_->root(kRootSlot));
+}
+
+void RecoveryLog::create(std::size_t capacity) {
+  if (exists()) throw PmError("RecoveryLog::create: log already exists");
+  expects(capacity > 0, "RecoveryLog: capacity must be positive");
+  rom_->run_transaction([&] {
+    Header hdr{kMagic, capacity, 0, 0};
+    hdr.entries_off = rom_->pmalloc(capacity * sizeof(RecoveryRecord));
+    const std::size_t hdr_off = rom_->pmalloc(sizeof(Header));
+    rom_->tx_store(hdr_off, &hdr, sizeof(hdr));
+    rom_->set_root(kRootSlot, hdr_off);
+  });
+}
+
+void RecoveryLog::append(const RecoveryRecord& record) {
+  Header hdr = header();
+  rom_->run_transaction([&] {
+    if (hdr.count >= hdr.capacity) {
+      // Compact: keep the newest half. Recovery must never fail because its
+      // own paper trail ran out of space.
+      const std::uint64_t keep = hdr.capacity / 2;
+      const std::uint64_t drop = hdr.count - keep;
+      for (std::uint64_t i = 0; i < keep; ++i) {
+        const auto e = rom_->read<RecoveryRecord>(hdr.entries_off +
+                                                  (drop + i) * sizeof(RecoveryRecord));
+        rom_->tx_store(hdr.entries_off + i * sizeof(RecoveryRecord), &e, sizeof(e));
+      }
+      hdr.count = keep;
+    }
+    rom_->tx_store(hdr.entries_off + hdr.count * sizeof(RecoveryRecord), &record,
+                   sizeof(record));
+    rom_->tx_assign(rom_->root(kRootSlot) + offsetof(Header, count), hdr.count + 1);
+  });
+}
+
+std::size_t RecoveryLog::size() const { return header().count; }
+std::size_t RecoveryLog::capacity() const { return header().capacity; }
+
+RecoveryRecord RecoveryLog::at(std::size_t index) const {
+  const Header hdr = header();
+  if (index >= hdr.count) throw PmError("RecoveryLog::at: index out of range");
+  rom_->device().charge_read(sizeof(RecoveryRecord));
+  return rom_->read<RecoveryRecord>(hdr.entries_off + index * sizeof(RecoveryRecord));
+}
+
+std::vector<RecoveryRecord> RecoveryLog::all() const {
+  const Header hdr = header();
+  rom_->device().charge_read(hdr.count * sizeof(RecoveryRecord));
+  std::vector<RecoveryRecord> out(hdr.count);
+  for (std::uint64_t i = 0; i < hdr.count; ++i) {
+    out[i] = rom_->read<RecoveryRecord>(hdr.entries_off + i * sizeof(RecoveryRecord));
+  }
+  return out;
+}
+
 }  // namespace plinius

@@ -66,4 +66,53 @@ class MetricsLog {
   sgx::EnclaveRuntime* enclave_;
 };
 
+/// One recovery episode, as persisted by the trainer's recovery ladder
+/// (tier values are plinius::RecoveryTier, stored wide for layout stability).
+struct RecoveryRecord {
+  std::uint64_t tier;
+  std::uint64_t resume_iteration;
+  std::uint64_t replica_repairs;   // A/B sibling rebuilds during this episode
+  std::uint64_t rungs_failed;      // ladder rungs tried and exhausted first
+  std::uint64_t flags;             // RecoveryRecord::kReformatted | ...
+  static constexpr std::uint64_t kReformatted = 1;   // region was reformatted
+  static constexpr std::uint64_t kMirrorRebuilt = 2; // mirror realloc'd
+  static constexpr std::uint64_t kDatasetLost = 4;   // PM dataset must reload
+};
+
+/// Append-only PM log of RecoveryRecords — the crash-consistent trail of
+/// every recovery the trainer performed, surviving the very faults it
+/// documents (unless the region itself is reformatted, which the next
+/// record's kReformatted flag then admits). Same Romulus transaction
+/// machinery as MetricsLog, separate root slot.
+class RecoveryLog {
+ public:
+  static constexpr int kRootSlot = 4;
+
+  RecoveryLog(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave);
+
+  [[nodiscard]] bool exists() const;
+  void create(std::size_t capacity);
+  /// Appends one record (durable transaction). When full, the oldest half is
+  /// dropped first — recovery history must never block recovery itself.
+  void append(const RecoveryRecord& record);
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const;
+  [[nodiscard]] RecoveryRecord at(std::size_t index) const;
+  [[nodiscard]] std::vector<RecoveryRecord> all() const;
+
+ private:
+  struct Header {
+    std::uint64_t magic;
+    std::uint64_t capacity;
+    std::uint64_t count;
+    std::uint64_t entries_off;
+  };
+  static constexpr std::uint64_t kMagic = 0x504C5245434F5652ULL;  // "PLRECOVR"
+
+  [[nodiscard]] Header header() const;
+
+  romulus::Romulus* rom_;
+  sgx::EnclaveRuntime* enclave_;
+};
+
 }  // namespace plinius

@@ -11,11 +11,12 @@
 namespace plinius {
 
 MirrorModel::MirrorModel(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave,
-                         crypto::AesGcm gcm)
+                         crypto::AesGcm gcm, MirrorOptions options)
     : rom_(&rom),
       enclave_(&enclave),
       gcm_(std::move(gcm)),
-      iv_seq_(crypto::IvSequence::salted(enclave.rng())) {}
+      iv_seq_(crypto::IvSequence::salted(enclave.rng())),
+      options_(options) {}
 
 bool MirrorModel::exists() const {
   const std::uint64_t off = rom_->root(kRootSlot);
@@ -34,9 +35,26 @@ MirrorModel::LayerNode MirrorModel::checked_node(std::uint64_t node_off,
                                                  const char* ctx) const {
   if (node_off > rom_->main_size() ||
       sizeof(LayerNode) > rom_->main_size() - node_off) {
-    throw PmError(std::string(ctx) + ": layer node offset out of range");
+    throw PmError(std::string(ctx) + ": layer node offset " +
+                  std::to_string(node_off) + " + " +
+                  std::to_string(sizeof(LayerNode)) + " bytes exceeds main size " +
+                  std::to_string(rom_->main_size()));
   }
   return rom_->read<LayerNode>(node_off);
+}
+
+void MirrorModel::check_buffer_extent(const LayerNode& node, std::size_t b,
+                                      const char* ctx) const {
+  const std::uint64_t len = node.buf_sealed_len[b];
+  const auto check = [&](std::uint64_t off, const char* which) {
+    if (off > rom_->main_size() || len > rom_->main_size() - off) {
+      throw PmError(std::string(ctx) + ": corrupt " + which + " buffer extent [" +
+                    std::to_string(off) + ", +" + std::to_string(len) +
+                    ") exceeds main size " + std::to_string(rom_->main_size()));
+    }
+  };
+  check(node.buf_off[b], "primary");
+  if (node.buf_replica_off[b] != 0) check(node.buf_replica_off[b], "replica");
 }
 
 void MirrorModel::alloc(ml::Network& net) {
@@ -44,7 +62,7 @@ void MirrorModel::alloc(ml::Network& net) {
   enclave_->charge_ecall();
 
   rom_->run_transaction([&] {
-    Header hdr{kMagic, 0, net.num_layers(), 0};
+    Header hdr{kMagic, 0, net.num_layers(), 0, options_.replicate ? 1ULL : 0ULL};
     const std::size_t hdr_off = rom_->pmalloc(sizeof(Header));
 
     std::uint64_t prev_node = 0;
@@ -59,6 +77,7 @@ void MirrorModel::alloc(ml::Network& net) {
         const std::size_t sealed = crypto::sealed_size(buffers[b].values.size_bytes());
         node.buf_off[b] = rom_->pmalloc(sealed);
         node.buf_sealed_len[b] = sealed;
+        if (options_.replicate) node.buf_replica_off[b] = rom_->pmalloc(sealed);
       }
       const std::size_t node_off = rom_->pmalloc(sizeof(LayerNode));
       rom_->tx_store(node_off, &node, sizeof(node));
@@ -92,6 +111,7 @@ void MirrorModel::mirror_out(ml::Network& net, std::uint64_t iteration) {
   struct SealTask {
     ByteSpan plain;
     std::uint64_t pm_off;
+    std::uint64_t replica_off;  // 0 = unreplicated
     std::size_t sealed_len;
     std::size_t scratch_off;
     std::uint8_t iv[crypto::kGcmIvSize];
@@ -112,11 +132,9 @@ void MirrorModel::mirror_out(ml::Network& net, std::uint64_t iteration) {
       if (node.buf_sealed_len[b] != crypto::sealed_size(plain.size())) {
         throw MlError("MirrorModel::mirror_out: buffer size mismatch");
       }
-      if (node.buf_off[b] > rom_->main_size() ||
-          node.buf_sealed_len[b] > rom_->main_size() - node.buf_off[b]) {
-        throw PmError("MirrorModel::mirror_out: corrupt buffer offset in PM");
-      }
-      SealTask task{plain, node.buf_off[b], node.buf_sealed_len[b], scratch_bytes, {}};
+      check_buffer_extent(node, b, "MirrorModel::mirror_out");
+      SealTask task{plain,        node.buf_off[b], node.buf_replica_off[b],
+                    node.buf_sealed_len[b], scratch_bytes, {}};
       iv_seq_.next(task.iv);
       scratch_bytes += task.sealed_len;
       // Encrypt cost: touch the (EPC-resident) weights + one GCM pass.
@@ -149,6 +167,10 @@ void MirrorModel::mirror_out(ml::Network& net, std::uint64_t iteration) {
     rom_->tx_assign(rom_->root(kRootSlot) + offsetof(Header, iteration), iteration);
     for (const SealTask& task : tasks) {
       rom_->tx_store(task.pm_off, scratch_.data() + task.scratch_off, task.sealed_len);
+      if (task.replica_off != 0) {
+        rom_->tx_store(task.replica_off, scratch_.data() + task.scratch_off,
+                       task.sealed_len);
+      }
     }
   });
   stats_.write_ns += write_sw.elapsed();
@@ -170,6 +192,8 @@ std::uint64_t MirrorModel::mirror_in(ml::Network& net) {
   struct OpenTask {
     std::size_t scratch_off;
     std::size_t sealed_len;
+    std::uint64_t pm_off;
+    std::uint64_t replica_off;  // 0 = unreplicated
     std::span<float> dest;
     std::size_t layer;
     std::string name;
@@ -190,11 +214,9 @@ std::uint64_t MirrorModel::mirror_in(ml::Network& net) {
       if (sealed_len != crypto::sealed_size(buffers[b].values.size_bytes())) {
         throw MlError("MirrorModel::mirror_in: buffer size mismatch");
       }
-      if (node.buf_off[b] > rom_->main_size() ||
-          sealed_len > rom_->main_size() - node.buf_off[b]) {
-        throw PmError("MirrorModel::mirror_in: corrupt buffer offset in PM");
-      }
-      tasks.push_back({scratch_bytes, sealed_len, buffers[b].values, i,
+      check_buffer_extent(node, b, "MirrorModel::mirror_in");
+      tasks.push_back({scratch_bytes, sealed_len, node.buf_off[b],
+                       node.buf_replica_off[b], buffers[b].values, i,
                        buffers[b].name});
       scratch_bytes += sealed_len;
       // Decrypt cost: one GCM pass + the plain copy into the layer arrays.
@@ -206,26 +228,14 @@ std::uint64_t MirrorModel::mirror_in(ml::Network& net) {
 
   sim::Stopwatch rd(enclave_->clock());
   scratch_.resize(scratch_bytes);
+  // Stage PM -> enclave scratch. Offsets were validated against main above.
   for (const OpenTask& task : tasks) {
     rom_->device().charge_read(task.sealed_len);
     if (enclave_->model().real_sgx) {
       enclave_->copy_into_enclave(task.sealed_len);
     }
-  }
-  // The staging copies themselves (PM -> enclave scratch). Offsets into main
-  // were validated above; the walk is repeated because node layout, not task
-  // layout, addresses PM.
-  {
-    std::size_t t = 0;
-    std::uint64_t off = hdr.head;
-    for (std::size_t i = 0; i < net.num_layers(); ++i) {
-      const LayerNode node = checked_node(off, "MirrorModel::mirror_in");
-      for (std::size_t b = 0; b < node.num_buffers; ++b, ++t) {
-        std::memcpy(scratch_.data() + tasks[t].scratch_off,
-                    rom_->main_base() + node.buf_off[b], tasks[t].sealed_len);
-      }
-      off = node.next;
-    }
+    std::memcpy(scratch_.data() + task.scratch_off, rom_->main_base() + task.pm_off,
+                task.sealed_len);
   }
   stats_.read_ns += rd.elapsed();
 
@@ -240,12 +250,44 @@ std::uint64_t MirrorModel::mirror_in(ml::Network& net) {
     }
   });
   stats_.decrypt_ns += enclave_->charge_parallel(costs);
+
+  // Phase 3 (rare, serial): any buffer whose primary failed authentication
+  // retries from its A/B sibling. A sibling that authenticates both restores
+  // the weights and rewrites the corrupt primary (one durable transaction for
+  // all repairs; tx_store's full-line write-back also clears line poison).
+  struct Repair {
+    std::uint64_t pm_off;
+    std::size_t scratch_off;
+    std::size_t sealed_len;
+  };
+  std::vector<Repair> repairs;
   for (std::size_t t = 0; t < tasks.size(); ++t) {
-    if (!auth_ok[t]) {
-      throw CryptoError("MirrorModel::mirror_in: authentication failed for layer " +
-                        std::to_string(tasks[t].layer) + " buffer " + tasks[t].name +
-                        " (PM mirror corrupted or tampered)");
+    if (auth_ok[t]) continue;
+    const OpenTask& task = tasks[t];
+    if (task.replica_off != 0) {
+      rom_->device().charge_read(task.sealed_len);
+      if (enclave_->model().real_sgx) enclave_->copy_into_enclave(task.sealed_len);
+      std::memcpy(scratch_.data() + task.scratch_off,
+                  rom_->main_base() + task.replica_off, task.sealed_len);
+      const ByteSpan sealed(scratch_.data() + task.scratch_off, task.sealed_len);
+      stats_.decrypt_ns += enclave_->crypto_task_ns(task.sealed_len);
+      if (crypto::open_into(gcm_, sealed, float_bytes_mut(task.dest))) {
+        repairs.push_back({task.pm_off, task.scratch_off, task.sealed_len});
+        ++stats_.replica_repairs;
+        continue;
+      }
     }
+    throw CryptoError("MirrorModel::mirror_in: authentication failed for layer " +
+                      std::to_string(task.layer) + " buffer " + task.name +
+                      (task.replica_off != 0 ? " (both A/B copies corrupt)"
+                                             : " (PM mirror corrupted or tampered)"));
+  }
+  if (!repairs.empty()) {
+    rom_->run_transaction([&] {
+      for (const Repair& r : repairs) {
+        rom_->tx_store(r.pm_off, scratch_.data() + r.scratch_off, r.sealed_len);
+      }
+    });
   }
 
   net.set_iterations(hdr.iteration);
@@ -291,6 +333,146 @@ std::uint64_t MirrorModel::verify_integrity(ml::Network& net) {
     throw PmError("MirrorModel::verify_integrity: layer list longer than the model");
   }
   return hdr.iteration;
+}
+
+bool MirrorModel::replicated() const {
+  return exists() && header().replicated != 0;
+}
+
+MirrorScrubReport MirrorModel::scrub(ml::Network& net, bool repair) {
+  const Header hdr = header();
+  if (hdr.num_layers != net.num_layers()) {
+    throw MlError("MirrorModel::scrub: layer count mismatch");
+  }
+  MirrorScrubReport report;
+
+  struct Repair {
+    std::uint64_t dest_off;
+    Bytes sealed;  // the authenticated sibling's bytes
+  };
+  std::vector<Repair> repairs;
+  Bytes sealed_scratch;
+  Bytes plain_scratch;
+
+  // Authenticates the sealed copy at main-relative `off`, charging scrub read
+  // traffic (PmDevice::scrub_range also surfaces poisoned lines; poisoned
+  // content is scrambled, so authentication fails and the copy reads as
+  // corrupt rather than wedging the scrubber).
+  const auto copy_ok = [&](std::uint64_t off, std::size_t sealed_len,
+                           std::size_t plain_len) {
+    rom_->device().scrub_range(rom_->main_region_offset() + off, sealed_len);
+    sealed_scratch.resize(sealed_len);
+    std::memcpy(sealed_scratch.data(), rom_->main_base() + off, sealed_len);
+    plain_scratch.resize(plain_len);
+    stats_.decrypt_ns += enclave_->crypto_task_ns(sealed_len);
+    return crypto::open_into(gcm_, sealed_scratch,
+                             MutableByteSpan(plain_scratch.data(), plain_len));
+  };
+
+  std::uint64_t node_off = hdr.head;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    if (node_off == 0) throw PmError("MirrorModel::scrub: truncated layer list");
+    const LayerNode node = checked_node(node_off, "MirrorModel::scrub");
+    const auto buffers = net.layer(i).parameters();
+    if (node.num_buffers != buffers.size()) {
+      throw MlError("MirrorModel::scrub: buffer count mismatch");
+    }
+    for (std::size_t b = 0; b < buffers.size(); ++b) {
+      const std::size_t sealed_len = node.buf_sealed_len[b];
+      const std::size_t plain_len = buffers[b].values.size_bytes();
+      if (sealed_len != crypto::sealed_size(plain_len)) {
+        throw MlError("MirrorModel::scrub: buffer size mismatch");
+      }
+      check_buffer_extent(node, b, "MirrorModel::scrub");
+      ++report.buffers_checked;
+
+      const bool primary_ok = copy_ok(node.buf_off[b], sealed_len, plain_len);
+      if (node.buf_replica_off[b] == 0) {
+        if (!primary_ok) {
+          ++report.auth_failures;
+          ++report.unrecoverable;
+        }
+        continue;
+      }
+      // copy_ok leaves the authenticated bytes in sealed_scratch; grab the
+      // primary's before the replica check overwrites them.
+      Bytes primary_bytes = primary_ok ? sealed_scratch : Bytes{};
+      const bool replica_ok = copy_ok(node.buf_replica_off[b], sealed_len, plain_len);
+      if (!primary_ok) ++report.auth_failures;
+      if (!replica_ok) ++report.auth_failures;
+      if (primary_ok && replica_ok) continue;
+      if (!primary_ok && !replica_ok) {
+        ++report.unrecoverable;
+        continue;
+      }
+      if (repair) {
+        if (primary_ok) {
+          repairs.push_back({node.buf_replica_off[b], std::move(primary_bytes)});
+        } else {
+          repairs.push_back({node.buf_off[b], sealed_scratch});
+        }
+        ++report.repaired;
+        ++stats_.replica_repairs;
+      }
+    }
+    node_off = node.next;
+  }
+  if (node_off != 0) {
+    throw PmError("MirrorModel::scrub: layer list longer than the model");
+  }
+
+  if (!repairs.empty()) {
+    rom_->run_transaction([&] {
+      for (const Repair& r : repairs) {
+        rom_->tx_store(r.dest_off, r.sealed.data(), r.sealed.size());
+      }
+    });
+  }
+  return report;
+}
+
+void MirrorModel::dispose() {
+  const Header hdr = header();
+  // Walk first (reads can throw on corrupt offsets), free second.
+  std::vector<std::uint64_t> blocks;
+  std::uint64_t node_off = hdr.head;
+  for (std::uint64_t i = 0; i < hdr.num_layers; ++i) {
+    if (node_off == 0) throw PmError("MirrorModel::dispose: truncated layer list");
+    const LayerNode node = checked_node(node_off, "MirrorModel::dispose");
+    if (node.num_buffers > kMaxBuffersPerLayer) {
+      throw PmError("MirrorModel::dispose: corrupt buffer count " +
+                    std::to_string(node.num_buffers) + " in layer node at offset " +
+                    std::to_string(node_off));
+    }
+    for (std::size_t b = 0; b < node.num_buffers; ++b) {
+      blocks.push_back(node.buf_off[b]);
+      if (node.buf_replica_off[b] != 0) blocks.push_back(node.buf_replica_off[b]);
+    }
+    blocks.push_back(node_off);
+    node_off = node.next;
+  }
+  blocks.push_back(rom_->root(kRootSlot));
+
+  rom_->run_transaction([&] {
+    for (const std::uint64_t off : blocks) rom_->pmfree(off);
+    rom_->set_root(kRootSlot, 0);
+  });
+}
+
+std::vector<MirrorModel::SealedExtent> MirrorModel::sealed_extents() const {
+  const Header hdr = header();
+  std::vector<SealedExtent> extents;
+  std::uint64_t node_off = hdr.head;
+  for (std::uint64_t i = 0; i < hdr.num_layers; ++i) {
+    if (node_off == 0) throw PmError("MirrorModel::sealed_extents: truncated layer list");
+    const LayerNode node = checked_node(node_off, "MirrorModel::sealed_extents");
+    for (std::size_t b = 0; b < node.num_buffers && b < kMaxBuffersPerLayer; ++b) {
+      extents.push_back({static_cast<std::size_t>(i), b, node.buf_off[b],
+                         node.buf_replica_off[b], node.buf_sealed_len[b]});
+    }
+    node_off = node.next;
+  }
+  return extents;
 }
 
 std::size_t MirrorModel::encryption_metadata_bytes() const {

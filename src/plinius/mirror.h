@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/clock.h"
 #include "crypto/envelope.h"
@@ -33,6 +34,27 @@ struct MirrorStats {
   sim::Nanos decrypt_ns = 0;  // restore: in-enclave decryption + layer copy
   std::uint64_t saves = 0;
   std::uint64_t restores = 0;
+  // Sealed buffers whose corrupt copy was rebuilt from its A/B sibling
+  // (mirror_in fallback + scrub repairs).
+  std::uint64_t replica_repairs = 0;
+};
+
+/// Behavior knobs for the PM mirror.
+struct MirrorOptions {
+  /// A/B replication: every sealed buffer gets a sibling copy in PM, so a
+  /// media fault in one seal recovers from the other (doubles the mirror's
+  /// PM footprint and the sealed-write traffic — crash consistency alone
+  /// does not need it; media faults do).
+  bool replicate = false;
+};
+
+/// Result of a mirror scrub pass (see MirrorModel::scrub).
+struct MirrorScrubReport {
+  std::uint64_t buffers_checked = 0;
+  std::uint64_t auth_failures = 0;   // copies that failed GCM authentication
+  std::uint64_t repaired = 0;        // rebuilt from the healthy sibling
+  std::uint64_t unrecoverable = 0;   // both copies corrupt (or no replica)
+  [[nodiscard]] bool healthy() const noexcept { return unrecoverable == 0; }
 };
 
 class MirrorModel {
@@ -40,7 +62,8 @@ class MirrorModel {
   static constexpr int kRootSlot = 0;
   static constexpr std::size_t kMaxBuffersPerLayer = 8;
 
-  MirrorModel(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave, crypto::AesGcm gcm);
+  MirrorModel(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave, crypto::AesGcm gcm,
+              MirrorOptions options = {});
 
   /// True when a mirror model already exists in this PM region.
   [[nodiscard]] bool exists() const;
@@ -83,6 +106,36 @@ class MirrorModel {
   /// Total PM bytes of encryption metadata (28 B per sealed buffer).
   [[nodiscard]] std::size_t encryption_metadata_bytes() const;
 
+  /// True when this mirror was allocated with A/B replication.
+  [[nodiscard]] bool replicated() const;
+
+  /// Scrub pass: authenticates every sealed copy (primary and, when
+  /// replicated, the sibling) against `net`'s layout without touching its
+  /// weights, charging scrub read traffic. With `repair` set, a corrupt
+  /// copy whose sibling authenticates is rebuilt from it inside one durable
+  /// transaction (also clearing any line poison under the rewrite). Layout
+  /// violations (corrupt offsets, truncated list) throw PmError/MlError;
+  /// authentication results are reported, not thrown.
+  MirrorScrubReport scrub(ml::Network& net, bool repair = true);
+
+  /// Frees every PM allocation of the mirror (nodes, sealed buffers,
+  /// replicas, header) and clears the root, in one durable transaction.
+  /// Throws PmError/MlError if the persistent layer list is too corrupt to
+  /// walk — callers then fall back to reformatting the region.
+  void dispose();
+
+  /// Main-relative extents of every sealed buffer, for scrubbers and
+  /// fault-injection harnesses targeting the mirror (replica_off is 0 when
+  /// the mirror is not replicated).
+  struct SealedExtent {
+    std::size_t layer;
+    std::size_t buffer;
+    std::uint64_t primary_off;
+    std::uint64_t replica_off;
+    std::uint64_t sealed_len;
+  };
+  [[nodiscard]] std::vector<SealedExtent> sealed_extents() const;
+
   [[nodiscard]] const MirrorStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = MirrorStats{}; }
 
@@ -91,13 +144,15 @@ class MirrorModel {
     std::uint64_t magic;
     std::uint64_t iteration;
     std::uint64_t num_layers;
-    std::uint64_t head;  // offset of the first layer node
+    std::uint64_t head;        // offset of the first layer node
+    std::uint64_t replicated;  // 1 = every buffer has an A/B sibling copy
   };
   struct LayerNode {
     std::uint64_t next;
     std::uint64_t num_buffers;
     std::uint64_t buf_off[kMaxBuffersPerLayer];
     std::uint64_t buf_sealed_len[kMaxBuffersPerLayer];
+    std::uint64_t buf_replica_off[kMaxBuffersPerLayer];  // 0 when unreplicated
   };
   static constexpr std::uint64_t kMagic = 0x504C4D4952524F52ULL;  // "PLMIRROR"
 
@@ -106,11 +161,13 @@ class MirrorModel {
   /// sizeof(LayerNode)) lies inside the PM main region; throws PmError
   /// (naming `ctx`) on a corrupt offset. All layer-list walks use this.
   [[nodiscard]] LayerNode checked_node(std::uint64_t node_off, const char* ctx) const;
+  void check_buffer_extent(const LayerNode& node, std::size_t b, const char* ctx) const;
 
   romulus::Romulus* rom_;
   sgx::EnclaveRuntime* enclave_;
   crypto::AesGcm gcm_;
   crypto::IvSequence iv_seq_;
+  MirrorOptions options_;
   MirrorStats stats_;
   Bytes scratch_;
 };

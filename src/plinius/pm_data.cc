@@ -161,16 +161,68 @@ void PmDataStore::sample_batch(std::size_t batch, Rng& rng, float* x_out,
     }
   });
   enclave_->charge_parallel(costs);
+
+  // Phase 3 (rare, serial): corrupt records. kThrow names the failing index;
+  // kResample draws replacements so a batch survives media faults in the
+  // data region (each corrupt draw counted; a bounded retry budget keeps a
+  // mostly-rotten store from looping forever).
   for (std::size_t b = 0; b < batch; ++b) {
-    if (!auth_ok[b]) {
-      throw CryptoError("PmDataStore: record " + std::to_string(indices[b]) +
-                        " failed authentication");
+    if (auth_ok[b]) continue;
+    ++stats_.corrupt_records;
+    if (policy_ == CorruptRecordPolicy::kThrow) {
+      throw CryptoError("PmDataStore::sample_batch: record " +
+                        std::to_string(indices[b]) + " (batch slot " +
+                        std::to_string(b) + ") failed authentication");
+    }
+    constexpr std::size_t kMaxRedraws = 64;
+    bool refilled = false;
+    for (std::size_t attempt = 0; attempt < kMaxRedraws; ++attempt) {
+      const std::size_t index = rng.below(hdr.rows);
+      try {
+        read_record(index, x_out + b * hdr.x_cols, y_out + b * hdr.y_cols);
+      } catch (const CryptoError&) {
+        ++stats_.corrupt_records;
+        continue;
+      }
+      indices[b] = index;
+      ++stats_.resampled;
+      refilled = true;
+      break;
+    }
+    if (!refilled) {
+      throw CryptoError("PmDataStore::sample_batch: record " +
+                        std::to_string(indices[b]) + " failed authentication and " +
+                        std::to_string(kMaxRedraws) +
+                        " resample draws all failed too (data region rotten)");
     }
   }
 
   stats_.records += batch;
   stats_.decrypt_ns += sw.elapsed();
   ++stats_.batches;
+}
+
+std::vector<std::size_t> PmDataStore::scrub_records() {
+  const Header hdr = header();
+  std::vector<std::size_t> corrupt;
+  if (hdr.encrypted == 0) return corrupt;  // no MAC to check
+
+  const std::size_t plain_len = (hdr.x_cols + hdr.y_cols) * sizeof(float);
+  scratch_.resize(hdr.record_len);
+  plain_scratch_.resize(hdr.x_cols + hdr.y_cols);
+  auto plain_bytes = MutableByteSpan(
+      reinterpret_cast<std::uint8_t*>(plain_scratch_.data()), plain_len);
+  for (std::size_t r = 0; r < hdr.rows; ++r) {
+    const std::size_t off = hdr.records_off + r * hdr.record_len;
+    rom_->device().scrub_range(rom_->main_region_offset() + off, hdr.record_len);
+    std::memcpy(scratch_.data(), rom_->main_base() + off, hdr.record_len);
+    enclave_->charge_crypto(hdr.record_len);
+    if (!crypto::open_into(gcm_, scratch_, plain_bytes)) {
+      corrupt.push_back(r);
+      ++stats_.corrupt_records;
+    }
+  }
+  return corrupt;
 }
 
 }  // namespace plinius

@@ -26,6 +26,16 @@ struct PmDataStats {
   sim::Nanos decrypt_ns = 0;  // cumulative batch read+decrypt time
   std::uint64_t batches = 0;
   std::uint64_t records = 0;
+  // Sealed records that failed GCM authentication (media faults / tamper).
+  std::uint64_t corrupt_records = 0;
+  // Batch slots refilled from a fresh draw under CorruptRecordPolicy::kResample.
+  std::uint64_t resampled = 0;
+};
+
+/// What sample_batch does when a sealed record fails authentication.
+enum class CorruptRecordPolicy {
+  kThrow,     // raise CryptoError naming the record index (default)
+  kResample,  // skip the corrupt record, draw a replacement, count it
 };
 
 class PmDataStore {
@@ -57,6 +67,22 @@ class PmDataStore {
   /// Reads one record by index (bounds-checked).
   void read_record(std::size_t index, float* x_out, float* y_out);
 
+  /// Corruption policy for sample_batch (see CorruptRecordPolicy).
+  void set_corrupt_policy(CorruptRecordPolicy policy) noexcept { policy_ = policy; }
+  [[nodiscard]] CorruptRecordPolicy corrupt_policy() const noexcept { return policy_; }
+
+  /// Scrub pass over every sealed record: authenticates each one (charging
+  /// scrub read traffic), returning the indices that fail. Records have no
+  /// replica, so corruption is reported, not repaired — kResample skips the
+  /// bad indices at training time. Plaintext stores have no MAC to check and
+  /// always report clean.
+  [[nodiscard]] std::vector<std::size_t> scrub_records();
+
+  /// Main-relative extent of the record array (for fault injection and
+  /// scrubbers): offset of record 0, stored record length, and row count.
+  [[nodiscard]] std::uint64_t records_offset() const { return header().records_off; }
+  [[nodiscard]] std::size_t record_bytes() const { return header().record_len; }
+
   [[nodiscard]] const PmDataStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = PmDataStats{}; }
 
@@ -79,6 +105,7 @@ class PmDataStore {
   crypto::AesGcm gcm_;
   crypto::IvSequence iv_seq_;
   bool encrypted_;
+  CorruptRecordPolicy policy_ = CorruptRecordPolicy::kThrow;
   PmDataStats stats_;
   Bytes scratch_;
   std::vector<float> plain_scratch_;

@@ -13,10 +13,23 @@ std::size_t romulus_main_size(const pm::PmDevice& dev) {
 }
 }  // namespace
 
+const char* to_string(RecoveryTier tier) noexcept {
+  switch (tier) {
+    case RecoveryTier::kNone: return "none";
+    case RecoveryTier::kMirror: return "mirror";
+    case RecoveryTier::kReplica: return "replica";
+    case RecoveryTier::kSsdCheckpoint: return "ssd-checkpoint";
+    case RecoveryTier::kFreshStart: return "fresh-start";
+    case RecoveryTier::kPeer: return "peer";
+  }
+  return "?";
+}
+
 Trainer::Trainer(Platform& platform, const ml::ModelConfig& config,
                  TrainerOptions options)
     : platform_(&platform),
       options_(options),
+      config_(config),
       batch_(config.batch()),
       net_([&] {
         Rng init_rng(options.init_seed);
@@ -36,30 +49,58 @@ Trainer::Trainer(Platform& platform, const ml::ModelConfig& config,
   model_memory_ = std::make_unique<sgx::EnclaveBuffer>(
       enclave, 2 * param_bytes + activation_bytes);
 
-  // Attach to (or format) the persistent region; this runs Romulus recovery
-  // if the previous process died mid-transaction (Algorithm 1).
-  auto& dev = platform_->pm();
-  // A fresh device is all zeroes -> no magic -> Romulus formats itself;
-  // otherwise this attach runs crash recovery (Algorithm 1).
-  rom_ = std::make_unique<romulus::Romulus>(
-      dev, 0, romulus_main_size(dev), romulus::PwbPolicy::clflushopt_sfence(),
-      /*format=*/false,
-      platform.profile().sgx.real_sgx ? romulus::ExecutionProfile::sgx_enclave()
-                                      : romulus::ExecutionProfile::native());
-
   obtain_key();
-  const crypto::AesGcm gcm{key_};
   if (options_.augment) {
     augmenter_.emplace(net_.input_shape(), *options_.augment,
                        options_.batch_seed ^ 0xA06E47ULL);
   }
-  mirror_ = std::make_unique<MirrorModel>(*rom_, enclave, gcm);
-  if (options_.backend == CheckpointBackend::kPmMirror &&
-      options_.metrics_capacity > 0) {
-    metrics_ = std::make_unique<MetricsLog>(*rom_, enclave);
+  attach_region(/*format=*/false);
+}
+
+void Trainer::attach_region(bool format) {
+  auto& enclave = platform_->enclave();
+  auto& dev = platform_->pm();
+  // Components hold pointers into the region — drop them before it.
+  data_.reset();
+  metrics_.reset();
+  recovery_log_.reset();
+  mirror_.reset();
+  rom_.reset();
+
+  const auto policy = romulus::PwbPolicy::clflushopt_sfence();
+  const auto profile = platform_->profile().sgx.real_sgx
+                           ? romulus::ExecutionProfile::sgx_enclave()
+                           : romulus::ExecutionProfile::native();
+  const std::size_t main_size = romulus_main_size(dev);
+  try {
+    // A fresh device is all zeroes -> no magic -> Romulus formats itself;
+    // otherwise this attach runs crash recovery (Algorithm 1).
+    rom_ = std::make_unique<romulus::Romulus>(dev, 0, main_size, policy, format,
+                                              profile);
+  } catch (const PmError&) {
+    if (format) throw;
+    // Corrupt region header (a media fault, not a crash): the header has no
+    // twin, so the region is unrecoverable — reformat and let the recovery
+    // ladder rebuild from the SSD checkpoint or from scratch.
+    rom_ = std::make_unique<romulus::Romulus>(dev, 0, main_size, policy,
+                                              /*format=*/true, profile);
+    attach_reformatted_ = true;
+  }
+
+  const crypto::AesGcm gcm{key_};
+  mirror_ = std::make_unique<MirrorModel>(*rom_, enclave, gcm,
+                                          MirrorOptions{options_.replicate_mirror});
+  if (options_.backend == CheckpointBackend::kPmMirror) {
+    if (options_.metrics_capacity > 0) {
+      metrics_ = std::make_unique<MetricsLog>(*rom_, enclave);
+    }
+    if (options_.recovery_log_capacity > 0) {
+      recovery_log_ = std::make_unique<RecoveryLog>(*rom_, enclave);
+    }
   }
   ckpt_ = std::make_unique<SsdCheckpointer>(platform_->ssd(), enclave, gcm);
   data_ = std::make_unique<PmDataStore>(*rom_, enclave, gcm, options_.encrypted_data);
+  data_->set_corrupt_policy(options_.data_policy);
 }
 
 Trainer::~Trainer() = default;
@@ -77,6 +118,18 @@ MetricsLog& Trainer::metrics() {
 SsdCheckpointer& Trainer::checkpointer() {
   expects(ckpt_ != nullptr, "Trainer: no checkpointer");
   return *ckpt_;
+}
+
+RecoveryLog& Trainer::recovery_log() {
+  expects(recovery_log_ != nullptr, "Trainer: recovery log disabled");
+  return *recovery_log_;
+}
+
+ScrubReport Trainer::scrub(const ScrubOptions& options) {
+  expects(rom_ != nullptr, "Trainer: no persistent region attached");
+  MirrorModel* mirror =
+      options_.backend == CheckpointBackend::kPmMirror ? mirror_.get() : nullptr;
+  return scrub_arena(*rom_, mirror, &net_, data_.get(), options);
 }
 
 void Trainer::obtain_key() {
@@ -104,6 +157,7 @@ void Trainer::obtain_key() {
 }
 
 void Trainer::load_dataset(const ml::Dataset& dataset) {
+  dataset_cache_ = dataset;
   if (!data_->exists()) data_->load(dataset);
 }
 
@@ -118,21 +172,197 @@ void Trainer::verify_persistent_state() {
   }
 }
 
+void Trainer::ensure_logs() {
+  if (metrics_ != nullptr && !metrics_->exists()) {
+    metrics_->create(options_.metrics_capacity);
+  }
+  if (recovery_log_ != nullptr && !recovery_log_->exists()) {
+    recovery_log_->create(options_.recovery_log_capacity);
+  }
+}
+
+void Trainer::reformat_region(RecoveryReport& rep) {
+  attach_region(/*format=*/true);
+  rep.region_reformatted = true;
+  rep.dataset_lost = true;  // the PM dataset lived in the wiped region
+  if (dataset_cache_) {
+    // Re-provision from the copy on untrusted storage (paying the load
+    // costs again) so training can continue without caller involvement.
+    data_->load(*dataset_cache_);
+  }
+}
+
+void Trainer::record_recovery(const RecoveryReport& rep) {
+  if (recovery_log_ == nullptr) return;
+  try {
+    if (!recovery_log_->exists()) recovery_log_->create(options_.recovery_log_capacity);
+    recovery_log_->append({static_cast<std::uint64_t>(rep.tier),
+                           rep.resume_iteration, rep.replica_repairs,
+                           rep.rungs_failed.size(), rep.flags()});
+  } catch (const Error&) {
+    // Telemetry must never turn a successful recovery into a failure.
+  }
+}
+
+std::uint64_t Trainer::run_recovery_ladder(RecoveryReport& rep) {
+  // Rung 0: allocator metadata. A media fault here would silently poison
+  // every later pmalloc even if the mirror authenticates, so validate up
+  // front and let the scrubber repair from the back twin before anything
+  // else walks the heap. If the metadata is rotten in both twins the heap
+  // can never be trusted again — the mirror rung below may still salvage
+  // the weights, but the region has to be rebuilt around them.
+  bool allocator_ok = true;
+  try {
+    rom_->validate_allocator();
+  } catch (const Error& e) {
+    rep.rungs_failed.push_back(std::string("allocator: ") + e.what());
+    try {
+      (void)scrub_arena(*rom_, nullptr, nullptr, nullptr, ScrubOptions{});
+    } catch (const Error&) {
+    }
+    try {
+      rom_->validate_allocator();
+    } catch (const Error& e2) {
+      allocator_ok = false;
+      rep.rungs_failed.push_back(std::string("allocator: unrepairable: ") + e2.what());
+    }
+  }
+
+  // Rung 1: the PM mirror, with mirror_in's in-band A/B sibling fallback.
+  bool mirror_exists = false;
+  try {
+    mirror_exists = mirror_->exists();
+  } catch (const Error& e) {
+    rep.rungs_failed.push_back(std::string("mirror: ") + e.what());
+  }
+  if (mirror_exists) {
+    const std::uint64_t repairs_before = mirror_->stats().replica_repairs;
+    bool resumed = false;
+    std::uint64_t iter = 0;
+    try {
+      iter = mirror_->mirror_in(net_);
+      resumed = true;
+    } catch (const Error& e) {
+      rep.rungs_failed.push_back(std::string("mirror: ") + e.what());
+    }
+    if (resumed) {
+      rep.replica_repairs = mirror_->stats().replica_repairs - repairs_before;
+      if (!allocator_ok) {
+        // The weights came back, but no allocation can safely land in this
+        // heap again. Reformat and re-seed the region from the salvage.
+        reformat_region(rep);
+        mirror_->alloc(net_);
+        ensure_logs();
+        mirror_->mirror_out(net_, iter);
+        rep.mirror_rebuilt = true;
+      }
+      // Any repair on the way (A/B sibling, twin restore, or a region
+      // rebuild) means the state did not come from the mirror alone.
+      rep.tier = rep.replica_repairs > 0 || !rep.rungs_failed.empty()
+                     ? RecoveryTier::kReplica
+                     : RecoveryTier::kMirror;
+      rep.resume_iteration = iter;
+      // Drop telemetry from iterations whose mirror-out never committed.
+      if (metrics_ != nullptr && metrics_->exists()) metrics_->truncate_after(iter);
+      return iter;
+    }
+
+    // Rung 2: arena scrub — twin-copy restore for metadata, A/B rebuilds for
+    // sealed buffers — then one retry of mirror_in. Pointless on a heap the
+    // scrubber cannot walk.
+    if (allocator_ok) {
+      try {
+        const ScrubReport scrubbed =
+            scrub_arena(*rom_, mirror_.get(), &net_, data_.get(), ScrubOptions{});
+        rep.replica_repairs += scrubbed.mirror.repaired;
+        if (scrubbed.healthy() && mirror_->exists()) {
+          const std::uint64_t iter2 = mirror_->mirror_in(net_);
+          rep.tier = RecoveryTier::kReplica;
+          rep.resume_iteration = iter2;
+          if (metrics_ != nullptr && metrics_->exists()) {
+            metrics_->truncate_after(iter2);
+          }
+          return iter2;
+        }
+        rep.rungs_failed.emplace_back(
+            "replica: arena scrub could not repair the mirror");
+      } catch (const Error& e) {
+        rep.rungs_failed.push_back(std::string("replica: ") + e.what());
+      }
+    }
+  }
+
+  const bool had_prior_state =
+      mirror_exists || rep.region_reformatted || !rep.rungs_failed.empty();
+
+  // Rung 3: SSD checkpoint (taken by ssd_checkpoint_every or a previous
+  // backend). The weights come back; the PM mirror is rebuilt around them.
+  if (ckpt_->exists()) {
+    try {
+      platform_->ssd().drop_caches();  // cold after a crash
+      const std::uint64_t iter = ckpt_->restore(net_);
+      bool clean = false;
+      try {
+        if (mirror_->exists()) mirror_->dispose();
+        rom_->validate_allocator();
+        clean = true;
+      } catch (const Error&) {
+      }
+      if (!clean) reformat_region(rep);
+      mirror_->alloc(net_);
+      ensure_logs();
+      mirror_->mirror_out(net_, iter);
+      if (metrics_ != nullptr && metrics_->exists()) metrics_->truncate_after(iter);
+      rep.tier = RecoveryTier::kSsdCheckpoint;
+      rep.resume_iteration = iter;
+      rep.mirror_rebuilt = true;
+      return iter;
+    } catch (const Error& e) {
+      rep.rungs_failed.push_back(std::string("ssd: ") + e.what());
+    }
+  }
+
+  // Bottom rung: fresh start. Reinitialize the enclave model from the
+  // (public) config with the original seed; reuse the region if its heap
+  // still validates (keeps the dataset), reformat otherwise.
+  if (had_prior_state) {
+    rep.tier = RecoveryTier::kFreshStart;
+    bool clean = false;
+    try {
+      if (mirror_->exists()) mirror_->dispose();
+      rom_->validate_header();
+      rom_->validate_allocator();
+      clean = true;
+    } catch (const Error&) {
+    }
+    if (!clean) reformat_region(rep);
+    Rng init_rng(options_.init_seed);
+    net_ = ml::build_network(config_, init_rng);
+    net_.set_iterations(0);
+    rep.mirror_rebuilt = true;
+  }
+  mirror_->alloc(net_);
+  ensure_logs();
+  // Metrics from a previous life are stale once iteration counting restarts.
+  if (metrics_ != nullptr && metrics_->exists()) metrics_->truncate_after(0);
+  return 0;
+}
+
 std::uint64_t Trainer::resume_or_init() {
   initialized_ = true;
   switch (options_.backend) {
-    case CheckpointBackend::kPmMirror:
-      if (mirror_->exists()) {
-        const std::uint64_t iter = mirror_->mirror_in(net_);
-        // Drop telemetry from iterations whose mirror-out never committed.
-        if (metrics_ != nullptr && metrics_->exists()) metrics_->truncate_after(iter);
-        return iter;
+    case CheckpointBackend::kPmMirror: {
+      RecoveryReport rep;
+      rep.region_reformatted = attach_reformatted_;
+      rep.dataset_lost = attach_reformatted_;
+      attach_reformatted_ = false;
+      const std::uint64_t iter = run_recovery_ladder(rep);
+      last_recovery_ = rep;
+      if (rep.tier != RecoveryTier::kNone || rep.region_reformatted) {
+        record_recovery(rep);
       }
-      mirror_->alloc(net_);
-      if (metrics_ != nullptr && !metrics_->exists()) {
-        metrics_->create(options_.metrics_capacity);
-      }
-      return 0;
+      return iter;
+    }
     case CheckpointBackend::kSsd:
       if (ckpt_->exists()) {
         platform_->ssd().drop_caches();  // cold after a crash
@@ -145,6 +375,57 @@ std::uint64_t Trainer::resume_or_init() {
       return 0;
   }
   throw Error("Trainer: bad backend");
+}
+
+void Trainer::recover_mirror_out(std::uint64_t iteration, const std::string& why) {
+  RecoveryReport rep;
+  rep.resume_iteration = iteration;
+  rep.rungs_failed.push_back("mirror-out: " + why);
+
+  // The live enclave weights are intact — recovery here only has to make the
+  // PM mirror writable again and re-seal them.
+  bool sealed = false;
+  try {
+    const ScrubReport scrubbed =
+        scrub_arena(*rom_, mirror_.get(), &net_, data_.get(), ScrubOptions{});
+    rep.replica_repairs = scrubbed.mirror.repaired;
+    if (scrubbed.healthy()) {
+      mirror_->mirror_out(net_, iteration);
+      rep.tier =
+          scrubbed.mirror.repaired > 0 || scrubbed.twin_restored
+              ? RecoveryTier::kReplica
+              : RecoveryTier::kMirror;
+      sealed = true;
+    }
+  } catch (const Error& e) {
+    rep.rungs_failed.push_back(std::string("replica: ") + e.what());
+  }
+  if (!sealed) {
+    bool clean = false;
+    try {
+      if (mirror_->exists()) mirror_->dispose();
+      rom_->validate_header();
+      rom_->validate_allocator();
+      clean = true;
+    } catch (const Error&) {
+    }
+    if (!clean) reformat_region(rep);
+    mirror_->alloc(net_);
+    ensure_logs();
+    mirror_->mirror_out(net_, iteration);
+    rep.tier = RecoveryTier::kMirror;
+    rep.mirror_rebuilt = true;
+  }
+  last_recovery_ = rep;
+  record_recovery(rep);
+}
+
+void Trainer::note_peer_recovery(std::uint64_t iteration) {
+  RecoveryReport rep = last_recovery_;
+  rep.tier = RecoveryTier::kPeer;
+  rep.resume_iteration = iteration;
+  last_recovery_ = rep;
+  record_recovery(rep);
 }
 
 float Trainer::train(std::uint64_t target_iterations,
@@ -181,10 +462,24 @@ float Trainer::train(std::uint64_t target_iterations,
     const bool last = iter >= target_iterations;
     if (options_.backend == CheckpointBackend::kPmMirror &&
         (iter % options_.mirror_every == 0 || last)) {
-      mirror_->mirror_out(net_, iter);
-      if (metrics_ != nullptr && metrics_->exists() &&
-          metrics_->size() < metrics_->capacity()) {
-        metrics_->append({iter, loss, net_.hyper().learning_rate});
+      try {
+        mirror_->mirror_out(net_, iter);
+      } catch (const Error& e) {
+        // Media fault under the mirror: the enclave weights are intact, so
+        // repair (or rebuild) the PM mirror and re-seal — training goes on.
+        recover_mirror_out(iter, e.what());
+      }
+      try {
+        if (metrics_ != nullptr && metrics_->exists() &&
+            metrics_->size() < metrics_->capacity()) {
+          metrics_->append({iter, loss, net_.hyper().learning_rate});
+        }
+      } catch (const Error&) {
+        // A corrupt metrics log loses telemetry, never training.
+      }
+      if (options_.ssd_checkpoint_every > 0 &&
+          (iter % options_.ssd_checkpoint_every == 0 || last)) {
+        ckpt_->save(net_);  // periodic SSD rung for the recovery ladder
       }
     } else if (options_.backend == CheckpointBackend::kSsd &&
                (iter % options_.mirror_every == 0 || last)) {

@@ -21,6 +21,7 @@ PmDevice::PmDevice(sim::Clock& clock, std::size_t size, PmLatencyModel model,
   const std::size_t lines = size_ / kCacheLine;
   dirty_bits_.assign((lines + 63) / 64, 0);
   pending_bits_.assign((lines + 63) / 64, 0);
+  poison_bits_.assign((lines + 63) / 64, 0);
 }
 
 void PmDevice::check_range(std::size_t offset, std::size_t len) const {
@@ -78,6 +79,17 @@ void PmDevice::record_store(std::size_t offset, std::size_t len) {
 
 void PmDevice::load(std::size_t offset, void* dst, std::size_t len) {
   check_range(offset, len);
+  if (poisoned_count_ > 0 && len > 0) {
+    const std::size_t first = offset / kCacheLine;
+    const std::size_t last = (offset + len - 1) / kCacheLine;
+    for (std::size_t line = first; line <= last; ++line) {
+      if (test_bit(poison_bits_, line)) {
+        throw PmError("PmDevice::load: poisoned line " + std::to_string(line) +
+                      " (uncorrectable media error) in read [" +
+                      std::to_string(offset) + ", +" + std::to_string(len) + ")");
+      }
+    }
+  }
   charge_read(len);
   std::memcpy(dst, volatile_.get() + offset, len);
 }
@@ -92,6 +104,13 @@ void PmDevice::commit_line(std::size_t line, const std::uint8_t* snapshot) {
   const std::uint8_t* src =
       snapshot != nullptr ? snapshot : volatile_.get() + line * kCacheLine;
   std::memcpy(persistent_.get() + line * kCacheLine, src, kCacheLine);
+  // A full-line write-back remaps a poisoned line (ndctl clear-error
+  // semantics): the media location is good again.
+  if (poisoned_count_ > 0 && test_bit(poison_bits_, line)) {
+    clear_bit(poison_bits_, line);
+    --poisoned_count_;
+    ++stats_.poison_cleared;
+  }
 }
 
 void PmDevice::flush(std::size_t offset, std::size_t len, FlushKind kind) {
@@ -222,6 +241,76 @@ void PmDevice::load_image(const std::string& path) {
   pending_count_ = 0;
   pending_list_.clear();
   pending_snapshots_.clear();
+  // Rewinding to a known-good image models replaced/repaired media too.
+  std::fill(poison_bits_.begin(), poison_bits_.end(), 0);
+  poisoned_count_ = 0;
+}
+
+// --- media faults --------------------------------------------------------------
+
+namespace {
+// Deterministic per-line garbage so fault sweeps are bit-reproducible.
+void fill_garbage(std::uint8_t* dst, std::size_t len, std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (std::size_t i = 0; i < len; ++i) {
+    dst[i] = static_cast<std::uint8_t>(sm.next());
+  }
+}
+}  // namespace
+
+void PmDevice::flip_bit(std::size_t offset, unsigned bit) {
+  check_range(offset, 1);
+  const std::uint8_t mask = static_cast<std::uint8_t>(1u << (bit % 8));
+  persistent_[offset] ^= mask;
+  const std::size_t line = offset / kCacheLine;
+  if (!test_bit(dirty_bits_, line) && !test_bit(pending_bits_, line)) {
+    volatile_[offset] ^= mask;
+  }
+  ++stats_.media_bit_flips;
+}
+
+void PmDevice::tear_line(std::size_t line, std::uint64_t seed) {
+  const std::size_t offset = line * kCacheLine;
+  check_range(offset, kCacheLine);
+  // The first half of the internal write landed; the second half is garbage.
+  fill_garbage(persistent_.get() + offset + kCacheLine / 2, kCacheLine / 2, seed);
+  if (!test_bit(dirty_bits_, line) && !test_bit(pending_bits_, line)) {
+    std::memcpy(volatile_.get() + offset, persistent_.get() + offset, kCacheLine);
+  }
+  ++stats_.media_torn_lines;
+}
+
+void PmDevice::poison_line(std::size_t line, std::uint64_t seed) {
+  const std::size_t offset = line * kCacheLine;
+  check_range(offset, kCacheLine);
+  fill_garbage(persistent_.get() + offset, kCacheLine, seed);
+  if (!test_bit(dirty_bits_, line) && !test_bit(pending_bits_, line)) {
+    std::memcpy(volatile_.get() + offset, persistent_.get() + offset, kCacheLine);
+  }
+  if (!test_bit(poison_bits_, line)) {
+    set_bit(poison_bits_, line);
+    ++poisoned_count_;
+  }
+  ++stats_.media_poisoned_lines;
+}
+
+bool PmDevice::line_poisoned(std::size_t line) const noexcept {
+  return line < size_ / kCacheLine && test_bit(poison_bits_, line);
+}
+
+std::vector<std::size_t> PmDevice::scrub_range(std::size_t offset, std::size_t len) {
+  check_range(offset, len);
+  std::vector<std::size_t> poisoned;
+  if (len == 0) return poisoned;
+  stats_.scrub_bytes += len;
+  clock_->advance(model_.read_latency_ns +
+                  sim::bandwidth_ns(static_cast<double>(len), model_.read_gib_s));
+  const std::size_t first = offset / kCacheLine;
+  const std::size_t last = (offset + len - 1) / kCacheLine;
+  for (std::size_t line = first; line <= last; ++line) {
+    if (test_bit(poison_bits_, line)) poisoned.push_back(line);
+  }
+  return poisoned;
 }
 
 Bytes PmDevice::snapshot_persistent() const {
@@ -242,6 +331,9 @@ void PmDevice::restore_persistent(ByteSpan image) {
   pending_count_ = 0;
   pending_list_.clear();
   pending_snapshots_.clear();
+  // Rewinding to a known-good image models replaced/repaired media too.
+  std::fill(poison_bits_.begin(), poison_bits_.end(), 0);
+  poisoned_count_ = 0;
 }
 
 }  // namespace plinius::pm

@@ -45,6 +45,12 @@ struct PmStats {
   std::uint64_t fences = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t crashes = 0;
+  // Media-fault accounting (see the media-fault section below).
+  std::uint64_t media_bit_flips = 0;
+  std::uint64_t media_torn_lines = 0;
+  std::uint64_t media_poisoned_lines = 0;
+  std::uint64_t poison_cleared = 0;
+  std::uint64_t scrub_bytes = 0;
 };
 
 class PmDevice {
@@ -124,6 +130,40 @@ class PmDevice {
   void attach_fault_injector(FaultInjector* injector);
   [[nodiscard]] FaultInjector* fault_injector() const noexcept { return injector_; }
 
+  // --- media faults -----------------------------------------------------------
+  //
+  // Real PM media degrades independently of power failures: bit rot flips
+  // stored bits, a torn internal write garbles part of a line, and
+  // uncorrectable errors leave a line *poisoned* (reads raise a machine
+  // check until the line is rewritten — the reason ndctl ships
+  // address-range-scrub). Faults land in the persistent image; the volatile
+  // image is updated too unless the line is held dirty/pending in the CPU
+  // cache (the cache copy masks media damage until eviction).
+
+  /// Flips bit `bit` (0-7) of the byte at `offset`.
+  void flip_bit(std::size_t offset, unsigned bit);
+
+  /// Torn internal media write: the second half of cache line `line` is
+  /// replaced with deterministic garbage derived from `seed`.
+  void tear_line(std::size_t line, std::uint64_t seed);
+
+  /// Marks cache line `line` poisoned and scrambles its media content.
+  /// A load() overlapping a poisoned line throws PmError (the simulated
+  /// machine check); rewriting the line (any flush/fence commit) clears the
+  /// poison, as hardware does on a full-line write.
+  void poison_line(std::size_t line, std::uint64_t seed);
+
+  [[nodiscard]] bool line_poisoned(std::size_t line) const noexcept;
+  [[nodiscard]] std::size_t poisoned_line_count() const noexcept {
+    return poisoned_count_;
+  }
+
+  /// Scrub pass over [offset, offset+len): charges sequential read
+  /// bandwidth for the range (ARS traffic, accounted in stats().scrub_bytes)
+  /// and returns the poisoned line indices found, without throwing.
+  [[nodiscard]] std::vector<std::size_t> scrub_range(std::size_t offset,
+                                                     std::size_t len);
+
  private:
   void commit_line(std::size_t line, const std::uint8_t* snapshot);
   void check_range(std::size_t offset, std::size_t len) const;
@@ -146,6 +186,10 @@ class PmDevice {
   std::unordered_map<std::size_t, std::array<std::uint8_t, kCacheLine>> pending_snapshots_;
   std::size_t dirty_count_ = 0;
   std::size_t pending_count_ = 0;
+
+  // Poisoned (uncorrectable-error) lines; cleared when the line is rewritten.
+  std::vector<std::uint64_t> poison_bits_;
+  std::size_t poisoned_count_ = 0;
 
   Rng crash_rng_;
   PmStats stats_;

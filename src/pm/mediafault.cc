@@ -1,0 +1,96 @@
+#include "pm/mediafault.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace plinius::pm {
+
+const char* to_string(MediaFaultKind kind) noexcept {
+  switch (kind) {
+    case MediaFaultKind::kBitFlip: return "bit-flip";
+    case MediaFaultKind::kTornLine: return "torn-line";
+    case MediaFaultKind::kPoisonedLine: return "poisoned-line";
+  }
+  return "?";
+}
+
+std::string MediaFaultEvent::describe() const {
+  return std::string(to_string(kind)) + " in " + region + " at offset " +
+         std::to_string(offset);
+}
+
+MediaFaultInjector::MediaFaultInjector(PmDevice& dev, std::uint64_t seed)
+    : dev_(&dev), rng_(seed) {}
+
+void MediaFaultInjector::add_region(std::string name, std::size_t offset,
+                                    std::size_t len, MediaFaultRates rates) {
+  expects(len > 0, "MediaFaultInjector: empty region");
+  if (offset > dev_->size() || len > dev_->size() - offset) {
+    throw PmError("MediaFaultInjector: region " + name + " [" +
+                  std::to_string(offset) + ", +" + std::to_string(len) +
+                  ") outside the " + std::to_string(dev_->size()) + "-byte arena");
+  }
+  regions_.push_back({std::move(name), offset, len, rates});
+}
+
+std::size_t MediaFaultInjector::sample_count(double per_mib, std::size_t len) {
+  if (per_mib <= 0.0) return 0;
+  const double expected = per_mib * (static_cast<double>(len) / (1024.0 * 1024.0));
+  const double whole = std::floor(expected);
+  const double frac = expected - whole;
+  std::size_t count = static_cast<std::size_t>(whole);
+  if (rng_.uniform() < frac) ++count;
+  return count;
+}
+
+MediaFaultEvent MediaFaultInjector::apply(MediaFaultKind kind, const Region& region) {
+  const std::size_t byte = region.offset + rng_.below(region.len);
+  const std::size_t line = byte / kCacheLine;
+  MediaFaultEvent event{kind, region.name, byte};
+  switch (kind) {
+    case MediaFaultKind::kBitFlip:
+      dev_->flip_bit(byte, static_cast<unsigned>(rng_.below(8)));
+      break;
+    case MediaFaultKind::kTornLine:
+      event.offset = line * kCacheLine;
+      dev_->tear_line(line, rng_.next());
+      break;
+    case MediaFaultKind::kPoisonedLine:
+      event.offset = line * kCacheLine;
+      dev_->poison_line(line, rng_.next());
+      break;
+  }
+  ++applied_;
+  return event;
+}
+
+std::vector<MediaFaultEvent> MediaFaultInjector::unleash() {
+  std::vector<MediaFaultEvent> events;
+  for (const Region& region : regions_) {
+    const std::size_t flips = sample_count(region.rates.bit_flips_per_mib, region.len);
+    const std::size_t tears = sample_count(region.rates.torn_lines_per_mib, region.len);
+    const std::size_t poisons =
+        sample_count(region.rates.poisoned_lines_per_mib, region.len);
+    for (std::size_t i = 0; i < flips; ++i) {
+      events.push_back(apply(MediaFaultKind::kBitFlip, region));
+    }
+    for (std::size_t i = 0; i < tears; ++i) {
+      events.push_back(apply(MediaFaultKind::kTornLine, region));
+    }
+    for (std::size_t i = 0; i < poisons; ++i) {
+      events.push_back(apply(MediaFaultKind::kPoisonedLine, region));
+    }
+  }
+  return events;
+}
+
+MediaFaultEvent MediaFaultInjector::inject(MediaFaultKind kind,
+                                           const std::string& region) {
+  for (const Region& r : regions_) {
+    if (r.name == region) return apply(kind, r);
+  }
+  throw Error("MediaFaultInjector::inject: unknown region " + region);
+}
+
+}  // namespace plinius::pm

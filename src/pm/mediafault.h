@@ -1,0 +1,84 @@
+// Seeded media-fault injection for the PM stack.
+//
+// PR 1's FaultInjector enumerates *crash points* — clean power failures at
+// every instruction boundary. Real Optane media additionally degrades in
+// place: bit rot flips stored bits, torn internal writes garble half a
+// line, and uncorrectable errors poison lines until they are rewritten.
+// MediaFaultInjector models that second failure axis: the harness registers
+// named regions (mirror buffers, Romulus metadata, the data area, ...) with
+// per-region fault rates, and unleash() samples a deterministic set of
+// fault events from a seed and applies them through the PmDevice media
+// primitives (flip_bit / tear_line / poison_line).
+//
+// Rates are expressed per MiB per unleash() call, so a sweep can dial
+// "light background rot" or "heavy localized damage" per region. Targeted
+// single faults (inject()) let tests hit one structure deterministically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "pm/device.h"
+
+namespace plinius::pm {
+
+/// Expected fault counts per MiB of region per unleash() call.
+struct MediaFaultRates {
+  double bit_flips_per_mib = 0.0;
+  double torn_lines_per_mib = 0.0;
+  double poisoned_lines_per_mib = 0.0;
+};
+
+enum class MediaFaultKind { kBitFlip, kTornLine, kPoisonedLine };
+
+[[nodiscard]] const char* to_string(MediaFaultKind kind) noexcept;
+
+/// One applied fault, for triage output and per-scenario assertions.
+struct MediaFaultEvent {
+  MediaFaultKind kind;
+  std::string region;
+  std::size_t offset;  // device offset of the affected byte / line start
+  [[nodiscard]] std::string describe() const;
+};
+
+class MediaFaultInjector {
+ public:
+  MediaFaultInjector(PmDevice& dev, std::uint64_t seed);
+
+  /// Registers [offset, offset+len) under `name`. Regions may overlap; each
+  /// is sampled independently.
+  void add_region(std::string name, std::size_t offset, std::size_t len,
+                  MediaFaultRates rates);
+
+  /// Samples fault counts from the per-region rates (expected-value
+  /// rounding: floor + Bernoulli on the fraction) and applies them at
+  /// seeded-uniform offsets. Returns every event applied.
+  std::vector<MediaFaultEvent> unleash();
+
+  /// Applies exactly one fault of `kind` at a seeded-uniform offset inside
+  /// the named region. Throws Error if the region was never registered.
+  MediaFaultEvent inject(MediaFaultKind kind, const std::string& region);
+
+  /// Total events applied over the injector's lifetime.
+  [[nodiscard]] std::uint64_t events_applied() const noexcept { return applied_; }
+
+ private:
+  struct Region {
+    std::string name;
+    std::size_t offset;
+    std::size_t len;
+    MediaFaultRates rates;
+  };
+
+  MediaFaultEvent apply(MediaFaultKind kind, const Region& region);
+  [[nodiscard]] std::size_t sample_count(double per_mib, std::size_t len);
+
+  PmDevice* dev_;
+  Rng rng_;
+  std::vector<Region> regions_;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace plinius::pm

@@ -29,11 +29,32 @@ Romulus::Romulus(pm::PmDevice& dev, std::size_t region_offset, std::size_t main_
 
   Header hdr{};
   std::memcpy(&hdr, dev_->data() + region_offset_, sizeof(hdr));
-  if (format || hdr.magic != kMagic) {
+  if (format) {
+    format_region();
+  } else if (hdr.magic != kMagic) {
+    // Distinguish a fresh (all-zero) region from a garbage header: silently
+    // reformatting over media corruption would destroy recoverable data and
+    // mask the fault from the recovery ladder.
+    bool all_zero = true;
+    for (std::size_t i = 0; i < kHeaderBytes; ++i) {
+      if (dev_->data()[region_offset_ + i] != 0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (!all_zero) {
+      throw PmError("Romulus: corrupt region header at offset " +
+                    std::to_string(region_offset_) + ": magic " +
+                    std::to_string(hdr.magic) + " != " + std::to_string(kMagic) +
+                    " (media fault? pass format=true to discard the region)");
+    }
     format_region();
   } else {
     if (hdr.main_size != main_size_) {
-      throw PmError("Romulus: existing region has a different main size");
+      throw PmError("Romulus: existing region at offset " +
+                    std::to_string(region_offset_) + " has main size " +
+                    std::to_string(hdr.main_size) + ", expected " +
+                    std::to_string(main_size_));
     }
     recover();
   }
@@ -228,10 +249,53 @@ void Romulus::recover() {
       copy_main_to_back_full();
       break;
     default:
-      throw PmError("Romulus::recover: corrupt header state");
+      throw PmError("Romulus::recover: corrupt header state " +
+                    std::to_string(static_cast<std::uint64_t>(state())) +
+                    " (expected 0=IDLE, 1=MUTATING or 2=COPYING)");
   }
   set_state(State::kIdle);
   pfence();
+}
+
+// --- scrub helpers -------------------------------------------------------------
+
+void Romulus::validate_header() const {
+  Header hdr{};
+  std::memcpy(&hdr, dev_->data() + region_offset_, sizeof(hdr));
+  if (hdr.magic != kMagic) {
+    throw PmError("Romulus::validate_header: magic " + std::to_string(hdr.magic) +
+                  " != " + std::to_string(kMagic) + " at region offset " +
+                  std::to_string(region_offset_));
+  }
+  if (hdr.state > static_cast<std::uint64_t>(State::kCopying)) {
+    throw PmError("Romulus::validate_header: state " + std::to_string(hdr.state) +
+                  " out of range (expected 0=IDLE, 1=MUTATING or 2=COPYING)");
+  }
+  if (hdr.main_size != main_size_) {
+    throw PmError("Romulus::validate_header: recorded main size " +
+                  std::to_string(hdr.main_size) + " != attached size " +
+                  std::to_string(main_size_));
+  }
+}
+
+void Romulus::restore_main_from_back() {
+  expects(!in_transaction(), "Romulus::restore_main_from_back during a transaction");
+  copy_back_to_main_full();
+}
+
+void Romulus::rewrite_back_from_main() {
+  expects(!in_transaction(), "Romulus::rewrite_back_from_main during a transaction");
+  copy_main_to_back_full();
+}
+
+std::size_t Romulus::twin_divergence() const {
+  const std::uint8_t* main = main_base();
+  const std::uint8_t* back = dev_->data() + back_offset();
+  std::size_t divergent = 0;
+  for (std::size_t i = 0; i < main_size_; ++i) {
+    if (main[i] != back[i]) ++divergent;
+  }
+  return divergent;
 }
 
 // --- roots --------------------------------------------------------------------------
@@ -323,17 +387,27 @@ std::size_t Romulus::pmalloc(std::size_t size) {
 
 void Romulus::pmfree(std::size_t offset) {
   expects(in_transaction(), "Romulus::pmfree outside a transaction");
-  expects(offset >= kHeapStart + kBlockHeader && offset < main_size_,
-          "Romulus::pmfree: bad offset");
+  if (offset < kHeapStart + kBlockHeader || offset >= main_size_) {
+    throw PmError("Romulus::pmfree: offset " + std::to_string(offset) +
+                  " outside the heap [" + std::to_string(kHeapStart + kBlockHeader) +
+                  ", " + std::to_string(main_size_) + ")");
+  }
   const std::size_t block = offset - kBlockHeader;
   const auto block_size = read<std::uint64_t>(block);
   if (block_size == 0 || block + block_size > main_size_) {
-    throw PmError("Romulus::pmfree: corrupt block header");
+    throw PmError("Romulus::pmfree: corrupt block header at offset " +
+                  std::to_string(block) + ": size " + std::to_string(block_size) +
+                  " overruns main size " + std::to_string(main_size_));
   }
   auto meta = read<AllocMeta>(kAllocMetaOffset);
+  if (meta.in_use < block_size) {
+    throw PmError("Romulus::pmfree: accounting underflow freeing block at offset " +
+                  std::to_string(block) + ": size " + std::to_string(block_size) +
+                  " > in_use " + std::to_string(meta.in_use) +
+                  " (double free or corrupt allocator metadata?)");
+  }
   tx_assign(block + 8, meta.free_head);
   meta.free_head = block;
-  expects(meta.in_use >= block_size, "Romulus::pmfree: accounting underflow");
   meta.in_use -= block_size;
   tx_assign(kAllocMetaOffset, meta);
 }

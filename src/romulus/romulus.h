@@ -133,7 +133,11 @@ class Romulus {
   template <typename T>
   [[nodiscard]] T read(std::size_t offset) const {
     if (offset > main_size_ || sizeof(T) > main_size_ - offset) {
-      throw PmError("Romulus::read out of range (corrupt persistent offset?)");
+      // Out-of-range reads almost always mean a corrupt persistent offset;
+      // name the numbers so fault-sweep triage can locate the bad pointer.
+      throw PmError("Romulus::read out of range: offset " + std::to_string(offset) +
+                    " + " + std::to_string(sizeof(T)) + " bytes exceeds main size " +
+                    std::to_string(main_size_) + " (corrupt persistent offset?)");
     }
     T out;
     std::memcpy(&out, main_base() + offset, sizeof(T));
@@ -161,8 +165,46 @@ class Romulus {
   [[nodiscard]] const std::uint8_t* main_base() const noexcept;
   [[nodiscard]] std::size_t main_size() const noexcept { return main_size_; }
   [[nodiscard]] pm::PmDevice& device() noexcept { return *dev_; }
+  [[nodiscard]] const pm::PmDevice& device() const noexcept { return *dev_; }
   [[nodiscard]] PwbPolicy policy() const noexcept { return policy_; }
   [[nodiscard]] const ExecutionProfile& profile() const noexcept { return profile_; }
+
+  // --- scrub / media-fault introspection (device-coordinate extents) ---------------
+  [[nodiscard]] std::size_t region_offset() const noexcept { return region_offset_; }
+  /// Device offset of the main region (header page excluded).
+  [[nodiscard]] std::size_t main_region_offset() const noexcept { return main_offset(); }
+  /// Device offset of the back (twin) region.
+  [[nodiscard]] std::size_t back_region_offset() const noexcept { return back_offset(); }
+  /// Main-relative offset/length of the allocator metadata words.
+  [[nodiscard]] static constexpr std::size_t alloc_meta_offset() noexcept {
+    return kAllocMetaOffset;
+  }
+  [[nodiscard]] static constexpr std::size_t alloc_meta_bytes() noexcept {
+    return kAllocMetaBytes;
+  }
+  [[nodiscard]] static constexpr std::size_t header_bytes() noexcept {
+    return kHeaderBytes;
+  }
+
+  /// Checks the persistent header (magic, state in range, recorded main
+  /// size), throwing PmError naming the corrupt field and its value. The
+  /// header has no twin, so a failure here is unrecoverable at the Romulus
+  /// tier — callers reformat (losing the region) or fail over.
+  void validate_header() const;
+
+  /// Media-fault repair: restores the whole main region from the back twin
+  /// (the MUTATING-recovery copy, exposed for scrubbing). Only legal when
+  /// idle. The caller must re-validate afterwards — if back was the corrupt
+  /// twin, this propagates the damage and validation still fails.
+  void restore_main_from_back();
+
+  /// Media-fault repair in the other direction: rewrites back from a main
+  /// region that has been validated good, re-synchronizing the twins.
+  void rewrite_back_from_main();
+
+  /// Bytes on which the two twins currently disagree (0 when healthy and
+  /// idle: every committed transaction re-syncs the ranges it logged).
+  [[nodiscard]] std::size_t twin_divergence() const;
 
   /// Runs crash recovery explicitly (also run by the constructor when
   /// attaching to an existing region — e.g. after PmDevice::crash()).

@@ -265,6 +265,58 @@ TEST_F(AttestationTest, KeyBeforeChallengeRejected) {
   EXPECT_THROW((void)owner.wrap_key_for(Report{}), SgxError);
 }
 
+TEST_F(AttestationTest, ReplayedChallengeRejectedAtOwner) {
+  // The owner's challenge is single-use: once a key has been wrapped, a
+  // replay of the same (valid!) report must be refused outright.
+  DataOwner owner(service_, enclave_.measurement(), training_key_, 1);
+  EnclaveAttestationSession session(enclave_);
+  const Report report = session.respond(owner.make_challenge());
+  (void)owner.wrap_key_for(report);
+  EXPECT_THROW((void)owner.wrap_key_for(report), SgxError);
+}
+
+TEST_F(AttestationTest, ReplayedReportCannotUnwrapFreshSession) {
+  // Untrusted host replays an old report against a fresh challenge: the
+  // owner wraps under key(old_nonce, new_challenge), but the live session
+  // derived key(new_nonce, new_challenge) — the unwrap must fail auth.
+  DataOwner owner(service_, enclave_.measurement(), training_key_, 1);
+  EnclaveAttestationSession old_session(enclave_);
+  const Report old_report = old_session.respond(owner.make_challenge());
+  (void)owner.wrap_key_for(old_report);
+
+  const Nonce fresh = owner.make_challenge();
+  EnclaveAttestationSession live(enclave_);
+  (void)live.respond(fresh);                            // live nonce != old nonce
+  const Bytes wrapped = owner.wrap_key_for(old_report);  // adversary's replay
+  EXPECT_THROW((void)live.receive_wrapped_key(wrapped), CryptoError);
+}
+
+TEST_F(AttestationTest, WrongPlatformSeedCannotDeriveSessionKey) {
+  // A report MACed under an unregistered fuse seed: the service must refuse
+  // both verification and session-key derivation.
+  sim::Clock c;
+  EnclaveRuntime impostor(c, SgxCostModel::hardware(), "plinius", 0xDEAD);
+  EnclaveAttestationSession session(impostor);
+  DataOwner owner(service_, impostor.measurement(), training_key_, 1);
+  const Nonce challenge = owner.make_challenge();
+  const Report report = session.respond(challenge);
+  EXPECT_FALSE(service_.verify(report));
+  EXPECT_THROW((void)service_.derive_session_key(report, challenge), SgxError);
+}
+
+TEST_F(AttestationTest, TamperedReportNonceBreaksMac) {
+  // The MAC covers the enclave nonce: tampering with it must unverify the
+  // report (and make derive_session_key throw), not shift the session key.
+  DataOwner owner(service_, enclave_.measurement(), training_key_, 1);
+  EnclaveAttestationSession session(enclave_);
+  const Nonce challenge = owner.make_challenge();
+  Report report = session.respond(challenge);
+  report.enclave_nonce[7] ^= 0x80;
+  EXPECT_FALSE(service_.verify(report));
+  EXPECT_THROW((void)service_.derive_session_key(report, challenge), SgxError);
+  EXPECT_THROW((void)owner.wrap_key_for(report), SgxError);
+}
+
 TEST_F(AttestationTest, SessionKeysDifferAcrossRuns) {
   DataOwner owner(service_, enclave_.measurement(), training_key_, 1);
 
