@@ -1,0 +1,93 @@
+#include "common/histogram.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace plinius {
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t v) noexcept {
+  // Values below kSubBuckets land in the first range with unit-wide buckets;
+  // beyond that, range r covers [2^(r+3), 2^(r+4)) split into kSubBuckets
+  // linear slices (kSubBuckets == 2^4).
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const std::size_t range = static_cast<std::size_t>(msb) - 3;  // log2(kSubBuckets) - 1
+  const std::size_t sub = static_cast<std::size_t>(v >> (msb - 4)) - kSubBuckets;
+  const std::size_t index = range * kSubBuckets + sub;
+  return index < kBuckets ? index : kBuckets - 1;
+}
+
+sim::Nanos LatencyHistogram::bucket_upper(std::size_t index) noexcept {
+  if (index < kSubBuckets) return static_cast<sim::Nanos>(index);
+  const std::size_t range = index / kSubBuckets;
+  const std::size_t sub = index % kSubBuckets;
+  const std::uint64_t base = 1ULL << (range + 3);
+  const std::uint64_t width = base / kSubBuckets;
+  return static_cast<sim::Nanos>(base * 2 - (kSubBuckets - 1 - sub) * width);
+}
+
+void LatencyHistogram::record(sim::Nanos value) noexcept {
+  if (value < 0) value = 0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[bucket_index(static_cast<std::uint64_t>(std::llround(value)))];
+}
+
+sim::Nanos LatencyHistogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= target && cumulative > 0) {
+      sim::Nanos v = bucket_upper(i);
+      if (v < min_) v = min_;
+      if (v > max_) v = max_;
+      return v;
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void LatencyHistogram::reset() noexcept {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "p50=%s p95=%s p99=%s (n=%llu)",
+                sim::format_ns(percentile(50)).c_str(),
+                sim::format_ns(percentile(95)).c_str(),
+                sim::format_ns(percentile(99)).c_str(),
+                static_cast<unsigned long long>(count_));
+  return buf;
+}
+
+}  // namespace plinius

@@ -1,0 +1,67 @@
+// Fixed-bucket latency histogram with percentile queries.
+//
+// Serving SLOs are stated in percentiles (p50/p95/p99), and the recorder
+// that feeds them must be cheap enough to run per request and deterministic
+// enough to assert against in tests. LatencyHistogram uses HdrHistogram-style
+// base-2 buckets with linear sub-buckets: each power-of-two range is split
+// into kSubBuckets equal slices, bounding the relative quantization error of
+// any recorded value (and thus of any reported percentile) to 1/kSubBuckets,
+// with a few KiB of counters and no allocation on the record path.
+//
+// Values are simulated nanoseconds (sim::Nanos); the histogram itself is
+// unit-agnostic and is also used for batch-size and queue-depth tallies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+
+namespace plinius {
+
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per power-of-two range: relative error <= 1/16.
+  static constexpr std::size_t kSubBuckets = 16;
+  /// Power-of-two ranges covered: values up to 2^40 ns (~18 simulated
+  /// minutes) resolve normally; larger ones clamp into the top bucket.
+  static constexpr std::size_t kRanges = 40;
+  static constexpr std::size_t kBuckets = kRanges * kSubBuckets;
+
+  /// Records one value (negative values clamp to zero).
+  void record(sim::Nanos value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] sim::Nanos sum() const noexcept { return sum_; }
+  [[nodiscard]] sim::Nanos min() const noexcept { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] sim::Nanos max() const noexcept { return count_ == 0 ? 0 : max_; }
+  [[nodiscard]] sim::Nanos mean() const noexcept {
+    return count_ == 0 ? 0 : sum_ / static_cast<sim::Nanos>(count_);
+  }
+
+  /// Value at percentile `p` in [0, 100]: the upper edge of the first bucket
+  /// whose cumulative count reaches p% of all recordings, clamped to the
+  /// exact observed [min, max]. Empty histogram reports 0.
+  [[nodiscard]] sim::Nanos percentile(double p) const noexcept;
+
+  /// Adds another histogram's recordings into this one.
+  void merge(const LatencyHistogram& other) noexcept;
+
+  void reset() noexcept;
+
+  /// "p50=1.2us p95=3.4us p99=5.6us (n=1000)" — for logs and SLO reports.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t v) noexcept;
+  [[nodiscard]] static sim::Nanos bucket_upper(std::size_t index) noexcept;
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  sim::Nanos sum_ = 0;
+  sim::Nanos min_ = 0;
+  sim::Nanos max_ = 0;
+};
+
+}  // namespace plinius

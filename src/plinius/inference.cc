@@ -1,6 +1,8 @@
 #include "plinius/inference.h"
 
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/error.h"
 #include "crypto/envelope.h"
@@ -18,38 +20,49 @@ std::size_t InferenceService::input_size() const {
   return net_->input_shape().size();
 }
 
-std::size_t InferenceService::classify(std::span<const float> sample) {
+std::size_t InferenceService::classify_locked(std::span<const float> sample) {
   expects(sample.size() == input_size(), "InferenceService: wrong sample size");
   sim::Stopwatch sw(platform_->clock());
-  ++stats_.queries;
 
   platform_->charge_compute(static_cast<double>(net_->forward_macs()));
   platform_->enclave().touch_enclave(net_->parameter_bytes());
   std::size_t pred = 0;
   net_->predict(sample.data(), 1, &pred);
+
+  ++stats_.queries;
   stats_.total_ns += sw.elapsed();
+  stats_.latency.record(sw.elapsed());
   return pred;
 }
 
+std::size_t InferenceService::classify(std::span<const float> sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return classify_locked(sample);
+}
+
 Bytes InferenceService::classify_sealed(ByteSpan sealed_sample) {
+  const std::size_t plain_len = input_size() * sizeof(float);
+  if (sealed_sample.size() != crypto::sealed_size(plain_len)) {
+    throw CryptoError("InferenceService: sealed query has wrong size (expected " +
+                      std::to_string(crypto::sealed_size(plain_len)) + " bytes for " +
+                      std::to_string(input_size()) + " input floats, got " +
+                      std::to_string(sealed_sample.size()) + ")");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
   auto& enclave = platform_->enclave();
   enclave.charge_ecall();
 
-  const std::size_t plain_len = input_size() * sizeof(float);
-  if (sealed_sample.size() != crypto::sealed_size(plain_len)) {
-    throw CryptoError("InferenceService: sealed query has wrong size");
-  }
-
   enclave.copy_into_enclave(sealed_sample.size());
   enclave.charge_crypto(sealed_sample.size());
-  sample_scratch_.resize(input_size());
-  auto plain = MutableByteSpan(reinterpret_cast<std::uint8_t*>(sample_scratch_.data()),
+  std::vector<float> sample(input_size());  // per-call scratch
+  auto plain = MutableByteSpan(reinterpret_cast<std::uint8_t*>(sample.data()),
                                plain_len);
   if (!crypto::open_into(gcm_, sealed_sample, plain)) {
     throw CryptoError("InferenceService: query failed authentication");
   }
 
-  const std::uint64_t pred = classify(sample_scratch_);
+  const std::uint64_t pred = classify_locked(sample);
 
   std::uint8_t pred_bytes[8];
   std::memcpy(pred_bytes, &pred, sizeof(pred));
@@ -62,7 +75,10 @@ Bytes InferenceService::classify_sealed(ByteSpan sealed_sample) {
 std::size_t InferenceService::open_prediction(const crypto::AesGcm& gcm,
                                               ByteSpan sealed_prediction) {
   const Bytes plain = crypto::open(gcm, sealed_prediction);
-  if (plain.size() != 8) throw CryptoError("open_prediction: bad payload size");
+  if (plain.size() != 8) {
+    throw CryptoError("open_prediction: bad payload size (expected 8 bytes, got " +
+                      std::to_string(plain.size()) + ")");
+  }
   std::uint64_t pred = 0;
   std::memcpy(&pred, plain.data(), 8);
   return pred;
@@ -71,6 +87,7 @@ std::size_t InferenceService::open_prediction(const crypto::AesGcm& gcm,
 double InferenceService::evaluate(const ml::Dataset& test) {
   test.validate();
   expects(test.size() > 0, "InferenceService::evaluate: empty set");
+  std::lock_guard<std::mutex> lock(mu_);
   platform_->charge_compute(static_cast<double>(net_->forward_macs()) *
                             static_cast<double>(test.size()));
   return net_->accuracy(test.x.values.data(), test.y.values.data(), test.size());

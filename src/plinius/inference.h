@@ -6,11 +6,21 @@
 // the PM mirror) and classifies inputs that arrive AES-GCM-sealed under the
 // provisioned data key — inference-as-a-service where neither the inputs,
 // the predictions, nor the model leave the enclave in plaintext.
+//
+// The service is safe for concurrent use: scratch buffers are per-call,
+// and the model forward, the reply-IV draw, the simulated-time charging and
+// the stats update are serialized under an internal mutex (the network's
+// layer activations are shared mutable state, and the sim::Clock is not
+// atomic). Host threads therefore contend on one lock; *modelled* request
+// parallelism — batching, multi-TCS workers — lives in serve::InferenceServer,
+// which prices concurrency on the simulated clock instead.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <span>
 
+#include "common/histogram.h"
 #include "crypto/envelope.h"
 #include "crypto/gcm.h"
 #include "ml/data.h"
@@ -22,6 +32,8 @@ namespace plinius {
 struct InferenceStats {
   std::uint64_t queries = 0;
   sim::Nanos total_ns = 0;
+  /// Per-query simulated latency (classify / classify_sealed).
+  LatencyHistogram latency;
 };
 
 class InferenceService {
@@ -35,10 +47,12 @@ class InferenceService {
 
   /// Decrypts a sealed sample (IV||CT||MAC of input_size floats), classifies
   /// it, and returns the predicted class sealed back to the client.
-  /// Throws CryptoError if the query fails authentication.
+  /// Throws CryptoError if the query has the wrong size (the message names
+  /// expected vs got) or fails authentication.
   [[nodiscard]] Bytes classify_sealed(ByteSpan sealed_sample);
 
   /// Opens a sealed prediction produced by classify_sealed (client side).
+  /// Throws CryptoError on truncated, tampered, or wrong-size payloads.
   [[nodiscard]] static std::size_t open_prediction(const crypto::AesGcm& gcm,
                                                    ByteSpan sealed_prediction);
 
@@ -46,14 +60,19 @@ class InferenceService {
   [[nodiscard]] double evaluate(const ml::Dataset& test);
 
   [[nodiscard]] std::size_t input_size() const;
+  /// Not synchronized with in-flight calls: read it from the thread that
+  /// owns the service, after concurrent callers have quiesced.
   [[nodiscard]] const InferenceStats& stats() const noexcept { return stats_; }
 
  private:
+  /// classify() body; caller must hold mu_.
+  std::size_t classify_locked(std::span<const float> sample);
+
   Platform* platform_;
   ml::Network* net_;
   crypto::AesGcm gcm_;
+  std::mutex mu_;  // serializes forward pass, clock, IV draws, stats
   InferenceStats stats_;
-  std::vector<float> sample_scratch_;
   crypto::IvSequence reply_iv_;
 };
 

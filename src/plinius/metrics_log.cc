@@ -140,4 +140,79 @@ std::vector<RecoveryRecord> RecoveryLog::all() const {
   return out;
 }
 
+ServeLog::ServeLog(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave)
+    : rom_(&rom), enclave_(&enclave) {}
+
+bool ServeLog::exists() const {
+  const std::uint64_t off = rom_->root(kRootSlot);
+  return off != 0 && rom_->read<std::uint64_t>(off) == kMagic;
+}
+
+ServeLog::Header ServeLog::header() const {
+  expects(exists(), "ServeLog: no log in PM");
+  return rom_->read<Header>(rom_->root(kRootSlot));
+}
+
+void ServeLog::create(std::size_t capacity) {
+  if (exists()) throw PmError("ServeLog::create: log already exists");
+  expects(capacity > 0, "ServeLog: capacity must be positive");
+  rom_->run_transaction([&] {
+    Header hdr{kMagic, capacity, 0, 0};
+    hdr.entries_off = rom_->pmalloc(capacity * sizeof(ServeWindowRecord));
+    const std::size_t hdr_off = rom_->pmalloc(sizeof(Header));
+    rom_->tx_store(hdr_off, &hdr, sizeof(hdr));
+    rom_->set_root(kRootSlot, hdr_off);
+  });
+}
+
+void ServeLog::append(const ServeWindowRecord& record) {
+  Header hdr = header();
+  rom_->run_transaction([&] {
+    if (hdr.count >= hdr.capacity) {
+      // Compact: keep the newest half — serving never stalls on telemetry.
+      const std::uint64_t keep = hdr.capacity / 2;
+      const std::uint64_t drop = hdr.count - keep;
+      for (std::uint64_t i = 0; i < keep; ++i) {
+        const auto e = rom_->read<ServeWindowRecord>(
+            hdr.entries_off + (drop + i) * sizeof(ServeWindowRecord));
+        rom_->tx_store(hdr.entries_off + i * sizeof(ServeWindowRecord), &e, sizeof(e));
+      }
+      hdr.count = keep;
+    }
+    rom_->tx_store(hdr.entries_off + hdr.count * sizeof(ServeWindowRecord), &record,
+                   sizeof(record));
+    rom_->tx_assign(rom_->root(kRootSlot) + offsetof(Header, count), hdr.count + 1);
+  });
+}
+
+std::size_t ServeLog::size() const { return header().count; }
+std::size_t ServeLog::capacity() const { return header().capacity; }
+
+ServeWindowRecord ServeLog::at(std::size_t index) const {
+  const Header hdr = header();
+  if (index >= hdr.count) throw PmError("ServeLog::at: index out of range");
+  rom_->device().charge_read(sizeof(ServeWindowRecord));
+  return rom_->read<ServeWindowRecord>(hdr.entries_off +
+                                       index * sizeof(ServeWindowRecord));
+}
+
+std::vector<ServeWindowRecord> ServeLog::all() const {
+  const Header hdr = header();
+  rom_->device().charge_read(hdr.count * sizeof(ServeWindowRecord));
+  std::vector<ServeWindowRecord> out(hdr.count);
+  for (std::uint64_t i = 0; i < hdr.count; ++i) {
+    out[i] =
+        rom_->read<ServeWindowRecord>(hdr.entries_off + i * sizeof(ServeWindowRecord));
+  }
+  return out;
+}
+
+std::uint64_t ServeLog::next_window() const {
+  const Header hdr = header();
+  if (hdr.count == 0) return 0;
+  const auto last = rom_->read<ServeWindowRecord>(
+      hdr.entries_off + (hdr.count - 1) * sizeof(ServeWindowRecord));
+  return last.window + 1;
+}
+
 }  // namespace plinius

@@ -115,4 +115,55 @@ class RecoveryLog {
   sgx::EnclaveRuntime* enclave_;
 };
 
+/// One serving window, as persisted by serve::InferenceServer after each
+/// run: offered/served/shed counts and the latency percentiles of the
+/// window, plus the model iteration that was being served. Like MetricsEntry
+/// these are aggregate statistics — no query data, no parameters.
+struct ServeWindowRecord {
+  std::uint64_t window;         // monotonically increasing per log
+  std::uint64_t arrived;
+  std::uint64_t completed;
+  std::uint64_t shed;           // queue-full + deadline + expired, all replied
+  std::uint64_t model_version;  // mirror iteration served during the window
+  float p50_us;
+  float p95_us;
+  float p99_us;
+};
+
+/// Append-only PM log of serving windows: the crash-consistent SLO trail of
+/// a Plinius serving deployment, riding the same Romulus transaction
+/// machinery as MetricsLog (separate root slot). When full, the oldest half
+/// is dropped — the serving path must never stall on its own telemetry.
+class ServeLog {
+ public:
+  static constexpr int kRootSlot = 5;
+
+  ServeLog(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave);
+
+  [[nodiscard]] bool exists() const;
+  void create(std::size_t capacity);
+  /// Appends one window record (durable transaction; compacts when full).
+  void append(const ServeWindowRecord& record);
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const;
+  [[nodiscard]] ServeWindowRecord at(std::size_t index) const;
+  [[nodiscard]] std::vector<ServeWindowRecord> all() const;
+  /// window value for the next append (max persisted window + 1; 0 if empty).
+  [[nodiscard]] std::uint64_t next_window() const;
+
+ private:
+  struct Header {
+    std::uint64_t magic;
+    std::uint64_t capacity;
+    std::uint64_t count;
+    std::uint64_t entries_off;
+  };
+  static constexpr std::uint64_t kMagic = 0x504C5345525645ULL;  // "PLSERVE"
+
+  [[nodiscard]] Header header() const;
+
+  romulus::Romulus* rom_;
+  sgx::EnclaveRuntime* enclave_;
+};
+
 }  // namespace plinius

@@ -177,9 +177,18 @@ void MirrorModel::mirror_out(ml::Network& net, std::uint64_t iteration) {
 }
 
 std::uint64_t MirrorModel::mirror_in(ml::Network& net) {
+  return restore_model(net, /*snapshot=*/false);
+}
+
+std::uint64_t MirrorModel::mirror_in_snapshot(ml::Network& net) {
+  return restore_model(net, /*snapshot=*/true);
+}
+
+std::uint64_t MirrorModel::restore_model(ml::Network& net, bool snapshot) {
+  const char* ctx = snapshot ? "MirrorModel::mirror_in_snapshot" : "MirrorModel::mirror_in";
   const Header hdr = header();
   if (hdr.num_layers != net.num_layers()) {
-    throw MlError("MirrorModel::mirror_in: layer count mismatch");
+    throw MlError(std::string(ctx) + ": layer count mismatch");
   }
   ++stats_.restores;
   enclave_->charge_ecall();
@@ -195,36 +204,48 @@ std::uint64_t MirrorModel::mirror_in(ml::Network& net) {
     std::uint64_t pm_off;
     std::uint64_t replica_off;  // 0 = unreplicated
     std::span<float> dest;
+    std::size_t plain_off;  // float offset into the snapshot staging buffer
     std::size_t layer;
     std::string name;
   };
   std::vector<OpenTask> tasks;
   std::vector<sim::Nanos> costs;
   std::size_t scratch_bytes = 0;
+  std::size_t plain_floats = 0;
   std::uint64_t node_off = hdr.head;
   for (std::size_t i = 0; i < net.num_layers(); ++i) {
     expects(node_off != 0, "MirrorModel: truncated layer list");
-    const LayerNode node = checked_node(node_off, "MirrorModel::mirror_in");
+    const LayerNode node = checked_node(node_off, ctx);
     const auto buffers = net.layer(i).parameters();
     if (node.num_buffers != buffers.size()) {
-      throw MlError("MirrorModel::mirror_in: buffer count mismatch");
+      throw MlError(std::string(ctx) + ": buffer count mismatch");
     }
     for (std::size_t b = 0; b < buffers.size(); ++b) {
       const std::size_t sealed_len = node.buf_sealed_len[b];
       if (sealed_len != crypto::sealed_size(buffers[b].values.size_bytes())) {
-        throw MlError("MirrorModel::mirror_in: buffer size mismatch");
+        throw MlError(std::string(ctx) + ": buffer size mismatch");
       }
-      check_buffer_extent(node, b, "MirrorModel::mirror_in");
+      check_buffer_extent(node, b, ctx);
       tasks.push_back({scratch_bytes, sealed_len, node.buf_off[b],
-                       node.buf_replica_off[b], buffers[b].values, i,
+                       node.buf_replica_off[b], buffers[b].values, plain_floats, i,
                        buffers[b].name});
       scratch_bytes += sealed_len;
+      plain_floats += buffers[b].values.size();
       // Decrypt cost: one GCM pass + the plain copy into the layer arrays.
       costs.push_back(enclave_->crypto_task_ns(sealed_len) +
                       enclave_->plain_copy_ns(buffers[b].values.size_bytes()));
     }
     node_off = node.next;
   }
+
+  // Snapshot mode decrypts into this staging buffer; the layer arrays are
+  // only written after every buffer has authenticated.
+  std::vector<float> plain_stage(snapshot ? plain_floats : 0);
+  const auto dest_span = [&](const OpenTask& task) {
+    return snapshot ? std::span<float>(plain_stage.data() + task.plain_off,
+                                       task.dest.size())
+                    : task.dest;
+  };
 
   sim::Stopwatch rd(enclave_->clock());
   scratch_.resize(scratch_bytes);
@@ -246,7 +267,9 @@ std::uint64_t MirrorModel::mirror_in(ml::Network& net) {
     for (std::size_t t = r.begin; t < r.end; ++t) {
       const OpenTask& task = tasks[t];
       const ByteSpan sealed(scratch_.data() + task.scratch_off, task.sealed_len);
-      auth_ok[t] = crypto::open_into(gcm_, sealed, float_bytes_mut(task.dest)) ? 1 : 0;
+      auth_ok[t] = crypto::open_into(gcm_, sealed, float_bytes_mut(dest_span(task)))
+                       ? 1
+                       : 0;
     }
   });
   stats_.decrypt_ns += enclave_->charge_parallel(costs);
@@ -271,13 +294,13 @@ std::uint64_t MirrorModel::mirror_in(ml::Network& net) {
                   rom_->main_base() + task.replica_off, task.sealed_len);
       const ByteSpan sealed(scratch_.data() + task.scratch_off, task.sealed_len);
       stats_.decrypt_ns += enclave_->crypto_task_ns(task.sealed_len);
-      if (crypto::open_into(gcm_, sealed, float_bytes_mut(task.dest))) {
+      if (crypto::open_into(gcm_, sealed, float_bytes_mut(dest_span(task)))) {
         repairs.push_back({task.pm_off, task.scratch_off, task.sealed_len});
         ++stats_.replica_repairs;
         continue;
       }
     }
-    throw CryptoError("MirrorModel::mirror_in: authentication failed for layer " +
+    throw CryptoError(std::string(ctx) + ": authentication failed for layer " +
                       std::to_string(task.layer) + " buffer " + task.name +
                       (task.replica_off != 0 ? " (both A/B copies corrupt)"
                                              : " (PM mirror corrupted or tampered)"));
@@ -288,6 +311,17 @@ std::uint64_t MirrorModel::mirror_in(ml::Network& net) {
         rom_->tx_store(r.pm_off, scratch_.data() + r.scratch_off, r.sealed_len);
       }
     });
+  }
+
+  // Snapshot install: everything authenticated, so the staged weights can be
+  // copied into the layer arrays (plain enclave-DRAM copies, charged above in
+  // the per-task costs; an extra pass, but torn-weight-free on any failure).
+  if (snapshot) {
+    for (const OpenTask& task : tasks) {
+      std::memcpy(task.dest.data(), plain_stage.data() + task.plain_off,
+                  task.dest.size_bytes());
+    }
+    enclave_->charge_plain_copy(plain_floats * sizeof(float));
   }
 
   net.set_iterations(hdr.iteration);

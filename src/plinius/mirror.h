@@ -93,6 +93,16 @@ class MirrorModel {
   /// shared); decryption is parallel like mirror_out's sealing.
   std::uint64_t mirror_in(ml::Network& net);
 
+  /// Read-side snapshot restore for hot model reload: like mirror_in, but
+  /// every buffer is decrypted into enclave staging memory and authenticated
+  /// *before* any layer array is touched, so a corrupt mirror leaves `net`'s
+  /// weights exactly as they were (mirror_in may leave them partially
+  /// restored). This is what lets a serving worker refresh its model from a
+  /// mirror that a concurrent trainer keeps advancing, without downtime on
+  /// failure and without ever serving torn weights. Costs an extra plain
+  /// copy of the parameter bytes over mirror_in.
+  std::uint64_t mirror_in_snapshot(ml::Network& net);
+
   /// Iteration recorded by the last mirror_out (0 if none).
   [[nodiscard]] std::uint64_t iteration() const;
 
@@ -157,6 +167,9 @@ class MirrorModel {
   static constexpr std::uint64_t kMagic = 0x504C4D4952524F52ULL;  // "PLMIRROR"
 
   [[nodiscard]] Header header() const;
+  /// Shared mirror_in / mirror_in_snapshot implementation; `snapshot`
+  /// selects staged-then-install semantics over decrypt-in-place.
+  std::uint64_t restore_model(ml::Network& net, bool snapshot);
   /// Reads a layer node after validating that [node_off, node_off +
   /// sizeof(LayerNode)) lies inside the PM main region; throws PmError
   /// (naming `ctx`) on a corrupt offset. All layer-list walks use this.

@@ -1,0 +1,52 @@
+#include "serve/admission.h"
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace plinius::serve {
+
+std::optional<ReplyStatus> AdmissionQueue::offer(const Request& request) {
+  ++stats_.offered;
+  if (queue_.size() >= options_.max_queue) {
+    ++stats_.shed_queue_full;
+    return ReplyStatus::kShedQueueFull;
+  }
+  if (options_.deadline_aware && request.deadline_ns != kNoDeadline &&
+      service_estimate_ns_ > 0) {
+    // Best case, service starts after everyone already in line: wait =
+    // depth estimates, plus this request's own service time.
+    const sim::Nanos best_finish =
+        request.arrival_ns +
+        static_cast<sim::Nanos>(queue_.size() + 1) * service_estimate_ns_;
+    if (best_finish > request.deadline_ns) {
+      ++stats_.shed_deadline;
+      return ReplyStatus::kShedDeadline;
+    }
+  }
+  ++stats_.admitted;
+  queue_.push_back({&request, request.arrival_ns});
+  return std::nullopt;
+}
+
+const Request* AdmissionQueue::pop(sim::Nanos now,
+                                   std::vector<const Request*>& expired) {
+  while (!queue_.empty()) {
+    const QueuedRequest front = queue_.front();
+    queue_.pop_front();
+    if (front.request->deadline_ns < now) {
+      ++stats_.expired;
+      expired.push_back(front.request);
+      continue;
+    }
+    return front.request;
+  }
+  return nullptr;
+}
+
+sim::Nanos AdmissionQueue::oldest_enqueue_ns() const {
+  expects(!queue_.empty(), "AdmissionQueue::oldest_enqueue_ns: queue is empty");
+  return queue_.front().enqueue_ns;
+}
+
+}  // namespace plinius::serve

@@ -1,0 +1,96 @@
+// Bounded admission queue with deadline-aware load shedding.
+//
+// An open-loop arrival process offers whatever load it likes; the server's
+// capacity is fixed. Without admission control the queue — and therefore
+// tail latency — grows without bound as offered load passes capacity. The
+// admission queue bounds both failure modes:
+//
+//   * depth bound: past `max_queue` waiting requests, new arrivals are shed
+//     immediately (ReplyStatus::kShedQueueFull). Bounded depth means the
+//     queueing delay of every *admitted* request is bounded by roughly
+//     max_queue / service-rate, which is what pins p99 under overload;
+//   * deadline test: a request whose absolute deadline cannot be met even
+//     if service starts now — estimated wait (depth x per-request service
+//     estimate, fed back by the server) plus one service time exceeds the
+//     deadline — is shed at admission (kShedDeadline) instead of wasting
+//     a queue slot to time out later;
+//   * expiry sweep: admitted requests whose deadline passes while queued
+//     are completed as kExpired at dispatch time, before a worker spends
+//     enclave time on them.
+//
+// Shed and expired requests still get sealed replies (request.h); nothing
+// is dropped without an answer.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/clock.h"
+#include "serve/request.h"
+
+namespace plinius::serve {
+
+struct AdmissionOptions {
+  /// Maximum requests waiting for a worker (admitted, not yet dispatched).
+  std::size_t max_queue = 256;
+  /// Enables the deadline test at admission when true (requests without a
+  /// deadline are never deadline-shed either way).
+  bool deadline_aware = true;
+};
+
+struct AdmissionStats {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t expired = 0;
+};
+
+/// A queued request (admission timestamp == arrival: admission is a bounds
+/// check, not a service).
+struct QueuedRequest {
+  const Request* request;
+  sim::Nanos enqueue_ns;
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(AdmissionOptions options) : options_(options) {}
+
+  /// Admission decision for `request` arriving at `request.arrival_ns`.
+  /// Returns nullopt when admitted (request joins the queue); otherwise the
+  /// shed status the caller must reply with.
+  std::optional<ReplyStatus> offer(const Request& request);
+
+  /// Pops the oldest request whose deadline has not passed at `now`.
+  /// Requests expiring before service are returned via `expired` (the
+  /// caller owes each a sealed kExpired reply). Returns nullptr when empty.
+  const Request* pop(sim::Nanos now, std::vector<const Request*>& expired);
+
+  [[nodiscard]] std::size_t depth() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  /// Arrival time of the oldest queued request (front of the line).
+  [[nodiscard]] sim::Nanos oldest_enqueue_ns() const;
+
+  /// Server feedback: current estimate of per-request service time at the
+  /// head of the line (EWMA of batch-service / batch-size). Drives the
+  /// deadline test; 0 disables it until the first batch completes.
+  void set_service_estimate_ns(sim::Nanos estimate) noexcept {
+    service_estimate_ns_ = estimate;
+  }
+  [[nodiscard]] sim::Nanos service_estimate_ns() const noexcept {
+    return service_estimate_ns_;
+  }
+
+  [[nodiscard]] const AdmissionStats& stats() const noexcept { return stats_; }
+
+ private:
+  AdmissionOptions options_;
+  std::deque<QueuedRequest> queue_;
+  sim::Nanos service_estimate_ns_ = 0;
+  AdmissionStats stats_;
+};
+
+}  // namespace plinius::serve

@@ -1,0 +1,23 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+
+namespace plinius::serve {
+
+sim::Nanos batch_dispatch_ns(const BatchPolicy& policy, sim::Nanos worker_free_ns,
+                             std::size_t queued, sim::Nanos oldest_enqueue_ns,
+                             sim::Nanos next_arrival_ns) {
+  // Earliest instant a batch could physically start: the worker is free and
+  // at least one request is in line.
+  const sim::Nanos floor = std::max(worker_free_ns, oldest_enqueue_ns);
+  if (queued >= policy.max_batch) return floor;        // batch already full
+  if (policy.max_wait_ns <= 0) return floor;           // greedy dispatch
+  if (next_arrival_ns >= kNoArrival) return floor;     // nothing to wait for
+  const sim::Nanos window_end = oldest_enqueue_ns + policy.max_wait_ns;
+  if (next_arrival_ns > window_end) return std::max(floor, window_end);
+  // An arrival lands inside the window: hold the batch open at least until
+  // then; the caller re-evaluates once the arrival is admitted.
+  return std::max(floor, next_arrival_ns);
+}
+
+}  // namespace plinius::serve

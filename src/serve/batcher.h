@@ -1,0 +1,49 @@
+// Dynamic batcher: coalesces sealed queries into one in-enclave pass.
+//
+// The per-request fixed costs of enclave serving — the ecall transition,
+// the GCM per-call setup, the EPC touch of the model's working set — are
+// what TensorSCONE/Privado-class systems spend most of their time on at
+// batch size 1. Batching amortizes all three: one ecall, one model touch
+// and one batched forward serve up to `max_batch` requests.
+//
+// The batching policy is the classic size-or-timeout rule:
+//   * dispatch as soon as `max_batch` requests are waiting, or
+//   * when the oldest waiting request has waited `max_wait_ns`
+// so light load pays at most max_wait_ns of added latency and heavy load
+// converges to full batches. max_wait_ns == 0 degenerates to greedy
+// dispatch (whatever is queued when a worker frees up, at least one).
+#pragma once
+
+#include <cstddef>
+
+#include "common/clock.h"
+
+namespace plinius::serve {
+
+struct BatchPolicy {
+  std::size_t max_batch = 1;
+  sim::Nanos max_wait_ns = 0;
+};
+
+/// Pure dispatch-time rule, separated from the server's event loop so it can
+/// be unit-tested: given a worker free at `worker_free_ns`, `queued` requests
+/// waiting of which the oldest enqueued at `oldest_enqueue_ns`, and the next
+/// future arrival at `next_arrival_ns` (kNoArrival when none), returns the
+/// simulated time at which the worker should form a batch.
+///
+/// The result is >= worker_free_ns and >= oldest_enqueue_ns. A full batch
+/// (or exhausted arrivals, or max_wait expiry) dispatches immediately at
+/// that floor; otherwise the worker holds the batch open until
+/// min(oldest + max_wait, time the batch could fill) — the caller re-invokes
+/// as arrivals land, so the returned time is a *candidate* that stands
+/// unless a new arrival changes the queue first.
+[[nodiscard]] sim::Nanos batch_dispatch_ns(const BatchPolicy& policy,
+                                           sim::Nanos worker_free_ns,
+                                           std::size_t queued,
+                                           sim::Nanos oldest_enqueue_ns,
+                                           sim::Nanos next_arrival_ns);
+
+/// Sentinel for "no further arrivals are coming".
+inline constexpr sim::Nanos kNoArrival = 1e300;
+
+}  // namespace plinius::serve

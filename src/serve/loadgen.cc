@@ -1,0 +1,159 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/histogram.h"
+#include "plinius/mirror.h"  // float_bytes
+
+namespace plinius::serve {
+
+std::vector<Request> poisson_workload(const ml::Dataset& data,
+                                      const crypto::AesGcm& gcm,
+                                      crypto::IvSequence& ivs,
+                                      const LoadGenOptions& options) {
+  data.validate();
+  expects(data.size() > 0, "poisson_workload: empty dataset");
+  expects(options.rate_qps > 0, "poisson_workload: rate_qps must be positive");
+
+  Rng rng(options.seed);
+  const double mean_gap_ns = 1e9 / options.rate_qps;
+
+  std::vector<Request> workload;
+  workload.reserve(options.count);
+  sim::Nanos t = options.start_ns;
+  for (std::size_t i = 0; i < options.count; ++i) {
+    // Exponential inter-arrival: -ln(1-U) * mean gap (U in [0,1), so the
+    // argument of log stays in (0,1]).
+    t += -std::log(1.0 - rng.uniform()) * mean_gap_ns;
+
+    const std::size_t row = rng.below(data.size());
+    const float* x = data.x.row(row);
+    const float* y = data.y.row(row);
+    std::size_t truth = 0;
+    for (std::size_t c = 1; c < data.y.cols; ++c) {
+      if (y[c] > y[truth]) truth = c;
+    }
+
+    Request r;
+    r.id = i;
+    r.arrival_ns = t;
+    r.deadline_ns = options.relative_deadline_ns == kNoDeadline
+                        ? kNoDeadline
+                        : t + options.relative_deadline_ns;
+    r.sealed_query = crypto::seal(
+        gcm, ivs, float_bytes(std::span<const float>(x, data.x.cols)));
+    r.truth = truth;
+    workload.push_back(std::move(r));
+  }
+  return workload;
+}
+
+SloReport make_slo_report(std::span<const Request> workload,
+                          std::span<const Completion> completions) {
+  expects(workload.size() == completions.size(),
+          "make_slo_report: every request needs exactly one completion");
+  SloReport rep;
+  rep.offered = workload.size();
+  if (workload.empty()) return rep;
+
+  std::unordered_map<std::uint64_t, std::size_t> truth;
+  truth.reserve(workload.size());
+  sim::Nanos first_arrival = workload.front().arrival_ns;
+  for (const Request& r : workload) {
+    truth.emplace(r.id, r.truth);
+    first_arrival = std::min(first_arrival, r.arrival_ns);
+  }
+
+  LatencyHistogram hist;
+  sim::Nanos last_done = first_arrival;
+  std::uint64_t correct = 0;
+  sim::Nanos queue = 0, decrypt = 0, forward = 0, seal = 0, other = 0;
+  for (const Completion& c : completions) {
+    last_done = std::max(last_done, c.done_ns);
+    switch (c.status) {
+      case ReplyStatus::kOk: {
+        ++rep.served;
+        hist.record(c.latency());
+        queue += c.stages.queue_ns;
+        decrypt += c.stages.decrypt_ns;
+        forward += c.stages.forward_ns;
+        seal += c.stages.seal_ns;
+        other += c.stages.other_ns;
+        const auto it = truth.find(c.id);
+        expects(it != truth.end(), "make_slo_report: completion for unknown id");
+        if (c.prediction == it->second) ++correct;
+        break;
+      }
+      case ReplyStatus::kShedQueueFull: ++rep.shed_queue_full; break;
+      case ReplyStatus::kShedDeadline: ++rep.shed_deadline; break;
+      case ReplyStatus::kExpired: ++rep.expired; break;
+      case ReplyStatus::kAuthFailed: ++rep.auth_failed; break;
+    }
+  }
+
+  rep.span_ns = last_done - first_arrival;
+  if (rep.span_ns > 0) {
+    rep.offered_qps = static_cast<double>(rep.offered) / (rep.span_ns / 1e9);
+    rep.goodput_qps = static_cast<double>(rep.served) / (rep.span_ns / 1e9);
+  }
+  if (rep.served > 0) {
+    rep.p50_ns = hist.percentile(50.0);
+    rep.p95_ns = hist.percentile(95.0);
+    rep.p99_ns = hist.percentile(99.0);
+    rep.mean_ns = hist.mean();
+    rep.max_ns = hist.max();
+    const auto n = static_cast<sim::Nanos>(rep.served);
+    rep.mean_queue_ns = queue / n;
+    rep.mean_decrypt_ns = decrypt / n;
+    rep.mean_forward_ns = forward / n;
+    rep.mean_seal_ns = seal / n;
+    rep.mean_other_ns = other / n;
+    rep.accuracy = static_cast<double>(correct) / static_cast<double>(rep.served);
+  }
+  return rep;
+}
+
+std::string to_string(const SloReport& r) {
+  char line[192];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "offered %llu (%.0f q/s) over %s\n",
+                static_cast<unsigned long long>(r.offered), r.offered_qps,
+                sim::format_ns(r.span_ns).c_str());
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "served  %llu (%.0f q/s goodput, %.1f%% accuracy)\n",
+                static_cast<unsigned long long>(r.served), r.goodput_qps,
+                100.0 * r.accuracy);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "shed    %llu (queue-full %llu, deadline %llu, expired %llu), "
+                "auth-failed %llu\n",
+                static_cast<unsigned long long>(r.shed_total()),
+                static_cast<unsigned long long>(r.shed_queue_full),
+                static_cast<unsigned long long>(r.shed_deadline),
+                static_cast<unsigned long long>(r.expired),
+                static_cast<unsigned long long>(r.auth_failed));
+  out += line;
+  std::snprintf(line, sizeof(line), "latency p50 %s  p95 %s  p99 %s  max %s\n",
+                sim::format_ns(r.p50_ns).c_str(),
+                sim::format_ns(r.p95_ns).c_str(),
+                sim::format_ns(r.p99_ns).c_str(),
+                sim::format_ns(r.max_ns).c_str());
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "stages  queue %s  decrypt %s  forward %s  seal %s  other %s\n",
+                sim::format_ns(r.mean_queue_ns).c_str(),
+                sim::format_ns(r.mean_decrypt_ns).c_str(),
+                sim::format_ns(r.mean_forward_ns).c_str(),
+                sim::format_ns(r.mean_seal_ns).c_str(),
+                sim::format_ns(r.mean_other_ns).c_str());
+  out += line;
+  return out;
+}
+
+}  // namespace plinius::serve

@@ -1,0 +1,97 @@
+// Open-loop load generation and SLO reporting for the serving subsystem.
+//
+// The generator models the client population of an inference service: an
+// open-loop Poisson arrival process (exponential inter-arrival times at a
+// configured offered rate — arrivals do NOT wait for replies, which is what
+// makes overload possible and admission control necessary), where each
+// arrival seals a real dataset row under the provisioned data key. The
+// sealed queries are genuine AES-GCM envelopes: the server's decrypt stage
+// does real cryptographic work, exactly like the rest of the framework.
+//
+// make_slo_report distills a served workload into the numbers an operator
+// would put on a dashboard: goodput, shed breakdown, latency percentiles
+// (p50/p95/p99 from common/histogram), per-stage means, and accuracy of the
+// served predictions against the clients' ground truth.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "crypto/envelope.h"
+#include "crypto/gcm.h"
+#include "ml/data.h"
+#include "serve/request.h"
+
+namespace plinius::serve {
+
+struct LoadGenOptions {
+  /// Mean offered load, queries per simulated second.
+  double rate_qps = 1000.0;
+  /// Number of requests to generate.
+  std::size_t count = 1000;
+  /// Absolute simulated time of the timeline origin (first inter-arrival
+  /// gap starts here; pass platform.clock().now() to serve "from now").
+  sim::Nanos start_ns = 0;
+  /// Relative per-request deadline (arrival + this); kNoDeadline = none.
+  sim::Nanos relative_deadline_ns = kNoDeadline;
+  /// Workload seed: arrival process and row selection.
+  std::uint64_t seed = 1;
+};
+
+/// Generates a sorted Poisson arrival schedule over rows of `data`, each
+/// query sealed under `gcm` with IVs from `ivs` (client-side sequence —
+/// use a different salt than the server's reply sequence). Request ids are
+/// the indices 0..count-1; `truth` is the row's one-hot label argmax.
+[[nodiscard]] std::vector<Request> poisson_workload(const ml::Dataset& data,
+                                                    const crypto::AesGcm& gcm,
+                                                    crypto::IvSequence& ivs,
+                                                    const LoadGenOptions& options);
+
+/// Operator-facing summary of one serving window.
+struct SloReport {
+  std::uint64_t offered = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t auth_failed = 0;
+
+  sim::Nanos span_ns = 0;        // first arrival -> last completion
+  double offered_qps = 0;        // offered / span
+  double goodput_qps = 0;        // served / span
+
+  // Served-request latency (simulated).
+  sim::Nanos p50_ns = 0;
+  sim::Nanos p95_ns = 0;
+  sim::Nanos p99_ns = 0;
+  sim::Nanos mean_ns = 0;
+  sim::Nanos max_ns = 0;
+
+  // Per-stage means over served requests.
+  sim::Nanos mean_queue_ns = 0;
+  sim::Nanos mean_decrypt_ns = 0;
+  sim::Nanos mean_forward_ns = 0;
+  sim::Nanos mean_seal_ns = 0;
+  sim::Nanos mean_other_ns = 0;
+
+  /// Served predictions matching the client's ground truth (0 when none).
+  double accuracy = 0;
+
+  [[nodiscard]] std::uint64_t shed_total() const noexcept {
+    return shed_queue_full + shed_deadline + expired;
+  }
+};
+
+/// Builds the report from a workload and the completions the server returned
+/// for it (any order). Every workload id must appear exactly once.
+[[nodiscard]] SloReport make_slo_report(std::span<const Request> workload,
+                                        std::span<const Completion> completions);
+
+/// Multi-line human-readable report (examples/secure_serving prints this).
+[[nodiscard]] std::string to_string(const SloReport& report);
+
+}  // namespace plinius::serve

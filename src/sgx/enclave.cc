@@ -45,10 +45,12 @@ sim::Nanos EnclaveRuntime::transition_ns() const {
   return sim::cycles_to_ns(model_.transition_cycles, model_.cpu_ghz);
 }
 
-void EnclaveRuntime::charge_ecall() {
+sim::Nanos EnclaveRuntime::ecall_task_ns() {
   ++stats_.ecalls;
-  clock_->advance(2 * transition_ns());  // enter + return
+  return 2 * transition_ns();  // enter + return
 }
+
+void EnclaveRuntime::charge_ecall() { clock_->advance(ecall_task_ns()); }
 
 void EnclaveRuntime::charge_ocall() {
   ++stats_.ocalls;
@@ -101,18 +103,25 @@ void EnclaveRuntime::touch_enclave(std::size_t bytes) {
   clock_->advance(touch_task_ns(bytes));
 }
 
-void EnclaveRuntime::copy_into_enclave(std::size_t bytes) {
+sim::Nanos EnclaveRuntime::copy_in_task_ns(std::size_t bytes) {
   stats_.bytes_copied_in += bytes;
-  clock_->advance(sim::bandwidth_ns(static_cast<double>(bytes), model_.epc_copy_in_gib_s));
-  touch_enclave(bytes);
+  return sim::bandwidth_ns(static_cast<double>(bytes), model_.epc_copy_in_gib_s) +
+         touch_task_ns(bytes);
+}
+
+void EnclaveRuntime::copy_into_enclave(std::size_t bytes) {
+  clock_->advance(copy_in_task_ns(bytes));
+}
+
+sim::Nanos EnclaveRuntime::copy_out_task_ns(std::size_t bytes) {
+  stats_.bytes_copied_out += bytes;
+  // No touch cost: data being copied out was just produced, so its pages
+  // are EPC-resident (the ocall staging interleaves with the producer).
+  return sim::bandwidth_ns(static_cast<double>(bytes), model_.epc_copy_out_gib_s);
 }
 
 void EnclaveRuntime::copy_out_of_enclave(std::size_t bytes) {
-  stats_.bytes_copied_out += bytes;
-  clock_->advance(
-      sim::bandwidth_ns(static_cast<double>(bytes), model_.epc_copy_out_gib_s));
-  // No touch_enclave: data being copied out was just produced, so its pages
-  // are EPC-resident (the ocall staging interleaves with the producer).
+  clock_->advance(copy_out_task_ns(bytes));
 }
 
 sim::Nanos EnclaveRuntime::crypto_task_ns(std::size_t bytes) {
@@ -146,11 +155,11 @@ void EnclaveRuntime::set_tcs_count(std::size_t n) noexcept {
   model_.tcs_count = n < 1 ? 1 : n;
 }
 
-sim::Nanos EnclaveRuntime::charge_parallel(std::span<const sim::Nanos> task_costs) {
+sim::Nanos EnclaveRuntime::parallel_cost_ns(std::span<const sim::Nanos> task_costs,
+                                            std::size_t lanes) noexcept {
   if (task_costs.empty()) return 0;
-  ++stats_.parallel_regions;
-  const std::size_t lanes =
-      tcs_count() < task_costs.size() ? tcs_count() : task_costs.size();
+  if (lanes < 1) lanes = 1;
+  if (lanes > task_costs.size()) lanes = task_costs.size();
   sim::Nanos critical_path = 0;
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     const par::Range r = par::partition(task_costs.size(), lanes, lane);
@@ -158,6 +167,13 @@ sim::Nanos EnclaveRuntime::charge_parallel(std::span<const sim::Nanos> task_cost
     for (std::size_t t = r.begin; t < r.end; ++t) lane_ns += task_costs[t];
     if (lane_ns > critical_path) critical_path = lane_ns;
   }
+  return critical_path;
+}
+
+sim::Nanos EnclaveRuntime::charge_parallel(std::span<const sim::Nanos> task_costs) {
+  if (task_costs.empty()) return 0;
+  ++stats_.parallel_regions;
+  const sim::Nanos critical_path = parallel_cost_ns(task_costs, tcs_count());
   clock_->advance(critical_path);
   return critical_path;
 }

@@ -119,6 +119,23 @@ class EnclaveRuntime {
   [[nodiscard]] sim::Nanos touch_task_ns(std::size_t bytes);
   /// Cost of a plain enclave-DRAM copy (pure; no stats, no clock).
   [[nodiscard]] sim::Nanos plain_copy_ns(std::size_t bytes) const;
+  /// Cost of one full ecall (enter + return); counts the ecall in stats but
+  /// does not advance the clock. charge_ecall() == clock advance of this.
+  [[nodiscard]] sim::Nanos ecall_task_ns();
+  /// Cost of an untrusted -> enclave copy (MEE write path + paging at
+  /// current EPC pressure); accumulates byte/fault stats, no clock advance.
+  [[nodiscard]] sim::Nanos copy_in_task_ns(std::size_t bytes);
+  /// Cost of an enclave -> untrusted copy; accumulates byte stats only.
+  [[nodiscard]] sim::Nanos copy_out_task_ns(std::size_t bytes);
+
+  /// Critical path of `task_costs` distributed over `lanes` execution lanes
+  /// with the par::partition static split — the pure cost function behind
+  /// charge_parallel, exposed so schedulers that keep their own timeline
+  /// (e.g. the serving subsystem's worker pool, where each worker owns a
+  /// share of the TCS lanes) can price a parallel phase without advancing
+  /// the shared clock. Zero tasks cost zero; lanes is clamped to >= 1.
+  [[nodiscard]] static sim::Nanos parallel_cost_ns(
+      std::span<const sim::Nanos> task_costs, std::size_t lanes) noexcept;
 
   /// Advances the clock by the critical path of `task_costs` over the TCS
   /// lanes and returns the advance. Zero tasks cost zero.

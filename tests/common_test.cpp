@@ -5,6 +5,7 @@
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/error.h"
+#include "common/histogram.h"
 #include "common/rng.h"
 
 namespace plinius {
@@ -203,6 +204,93 @@ TEST(Error, ExpectsThrowsWithMessage) {
   } catch (const Error& e) {
     EXPECT_NE(std::string(e.what()).find("batch size"), std::string::npos);
   }
+}
+
+TEST(LatencyHistogram, EmptyReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0);
+  EXPECT_EQ(h.percentile(50), 0);
+  EXPECT_EQ(h.percentile(99.9), 0);
+}
+
+TEST(LatencyHistogram, ExactStatsAndClampedPercentiles) {
+  LatencyHistogram h;
+  for (int v : {10, 20, 30, 40, 50}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.min(), 10);
+  EXPECT_EQ(h.max(), 50);
+  EXPECT_DOUBLE_EQ(h.mean(), 30.0);
+  // Percentiles are bucket upper edges clamped to the observed range.
+  EXPECT_EQ(h.percentile(0), 10);
+  EXPECT_EQ(h.percentile(100), 50);
+  EXPECT_GE(h.percentile(50), 30 * (1.0 - 1.0 / LatencyHistogram::kSubBuckets));
+  EXPECT_LE(h.percentile(50), 30 * (1.0 + 1.0 / LatencyHistogram::kSubBuckets));
+}
+
+TEST(LatencyHistogram, RelativeErrorBoundedAcrossMagnitudes) {
+  // Any single recorded value must be reported at every percentile within
+  // 1/kSubBuckets relative error — the histogram's design guarantee.
+  for (double v : {3.0, 17.0, 1000.0, 123456.0, 9.87e8, 3.2e11}) {
+    LatencyHistogram h;
+    h.record(v);
+    for (double p : {1.0, 50.0, 99.0}) {
+      EXPECT_NEAR(h.percentile(p), v, v / LatencyHistogram::kSubBuckets)
+          << "value " << v << " at p" << p;
+    }
+  }
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotonic) {
+  LatencyHistogram h;
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) h.record(rng.uniform(1.0, 1e7));
+  double prev = 0;
+  for (double p = 0; p <= 100.0; p += 0.5) {
+    const double cur = h.percentile(p);
+    EXPECT_GE(cur, prev) << "at p" << p;
+    prev = cur;
+  }
+  EXPECT_EQ(h.percentile(100), h.max());
+}
+
+TEST(LatencyHistogram, TailPercentileFindsOutlier) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.record(100.0);
+  h.record(1e6);  // one outlier = the top 1%
+  EXPECT_LT(h.percentile(95), 200.0);
+  EXPECT_NEAR(h.percentile(99.5), 1e6, 1e6 / LatencyHistogram::kSubBuckets);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(0.0, 1e5);
+    ((i % 2 == 0) ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.sum(), combined.sum(), 1e-9 * combined.sum());  // fp order
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), combined.percentile(p));
+  }
+}
+
+TEST(LatencyHistogram, ResetAndNegativeClamp) {
+  LatencyHistogram h;
+  h.record(-5.0);  // clamps to zero rather than corrupting a bucket
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), 0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(99), 0);
+  EXPECT_FALSE(h.summary().empty());
 }
 
 }  // namespace

@@ -1,0 +1,429 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/error.h"
+#include "crypto/envelope.h"
+#include "ml/config.h"
+#include "ml/synth_digits.h"
+#include "plinius/platform.h"
+#include "plinius/trainer.h"
+#include "serve/admission.h"
+#include "serve/batcher.h"
+#include "serve/loadgen.h"
+#include "serve/request.h"
+#include "serve/server.h"
+
+namespace plinius::serve {
+namespace {
+
+crypto::AesGcm test_gcm() {
+  Bytes key(16);
+  Rng(99).fill(key.data(), key.size());
+  return crypto::AesGcm(key);
+}
+
+// --- batcher (pure dispatch rule) ------------------------------------------------
+
+TEST(Batcher, FullBatchDispatchesAtFloor) {
+  const BatchPolicy policy{.max_batch = 4, .max_wait_ns = 1000};
+  // Queue already full: dispatch when the worker frees and a request waits.
+  EXPECT_EQ(batch_dispatch_ns(policy, 500, 4, 100, 600), 500);
+  EXPECT_EQ(batch_dispatch_ns(policy, 50, 4, 100, 600), 100);
+}
+
+TEST(Batcher, GreedyWhenNoWait) {
+  const BatchPolicy policy{.max_batch = 8, .max_wait_ns = 0};
+  EXPECT_EQ(batch_dispatch_ns(policy, 200, 1, 100, 250), 200);
+}
+
+TEST(Batcher, HoldsForWaitWindow) {
+  const BatchPolicy policy{.max_batch = 8, .max_wait_ns = 1000};
+  // Next arrival past the window: dispatch at window end.
+  EXPECT_EQ(batch_dispatch_ns(policy, 0, 1, 100, 5000), 1100);
+  // Next arrival inside the window: hold at least until the arrival.
+  EXPECT_EQ(batch_dispatch_ns(policy, 0, 1, 100, 600), 600);
+  // No arrivals left: nothing to wait for.
+  EXPECT_EQ(batch_dispatch_ns(policy, 0, 1, 100, kNoArrival), 100);
+}
+
+// --- admission queue -------------------------------------------------------------
+
+TEST(Admission, DepthBoundSheds) {
+  AdmissionQueue queue(AdmissionOptions{.max_queue = 2});
+  std::vector<Request> reqs(3);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].id = i;
+    reqs[i].arrival_ns = static_cast<sim::Nanos>(i);
+  }
+  EXPECT_FALSE(queue.offer(reqs[0]).has_value());
+  EXPECT_FALSE(queue.offer(reqs[1]).has_value());
+  EXPECT_EQ(queue.offer(reqs[2]), ReplyStatus::kShedQueueFull);
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.stats().shed_queue_full, 1u);
+}
+
+TEST(Admission, DeadlineTestUsesServiceEstimate) {
+  AdmissionQueue queue(AdmissionOptions{.max_queue = 16});
+  queue.set_service_estimate_ns(1000);
+  Request ok;
+  ok.arrival_ns = 0;
+  ok.deadline_ns = 1500;  // one service fits
+  EXPECT_FALSE(queue.offer(ok).has_value());
+  Request tight;
+  tight.arrival_ns = 0;
+  tight.deadline_ns = 1500;  // behind `ok`: 2 * 1000 > 1500
+  EXPECT_EQ(queue.offer(tight), ReplyStatus::kShedDeadline);
+  // Without a deadline the test never fires.
+  Request open;
+  open.arrival_ns = 0;
+  EXPECT_FALSE(queue.offer(open).has_value());
+}
+
+TEST(Admission, PopSweepsExpired) {
+  AdmissionQueue queue(AdmissionOptions{});
+  Request stale, fresh;
+  stale.id = 1;
+  stale.arrival_ns = 0;
+  stale.deadline_ns = 100;
+  fresh.id = 2;
+  fresh.arrival_ns = 10;
+  EXPECT_FALSE(queue.offer(stale).has_value());
+  EXPECT_FALSE(queue.offer(fresh).has_value());
+  std::vector<const Request*> expired;
+  const Request* got = queue.pop(500, expired);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->id, 2u);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0]->id, 1u);
+  EXPECT_EQ(queue.stats().expired, 1u);
+}
+
+// --- sealed reply envelope -------------------------------------------------------
+
+TEST(Reply, RoundTripAndTamper) {
+  const auto gcm = test_gcm();
+  crypto::IvSequence ivs(7);
+  Bytes sealed = seal_reply(gcm, ivs, ReplyStatus::kOk, 42);
+  EXPECT_EQ(sealed.size(), kReplySealedSize);
+  const OpenedReply opened = open_reply(gcm, sealed);
+  EXPECT_EQ(opened.status, ReplyStatus::kOk);
+  EXPECT_EQ(opened.value, 42u);
+
+  Bytes tampered = sealed;
+  tampered[tampered.size() / 2] ^= 0x10;
+  EXPECT_THROW((void)open_reply(gcm, tampered), CryptoError);
+  EXPECT_THROW((void)open_reply(gcm, ByteSpan(sealed.data(), 5)), CryptoError);
+}
+
+// --- full server -----------------------------------------------------------------
+
+// The fixture runs on the paper's main evaluation platform (emlSGX-PM).
+// Serving there is bound by the per-call GCM setup cost, which batching
+// spreads across the worker's TCS lanes — the regime the batcher targets.
+// (On sgx-emlPM the MEE-throttled per-byte boundary copy caps the win near
+// 2x; bench/serve_sweep covers both platforms.)
+class ServeTest : public ::testing::Test {
+ protected:
+  ServeTest() : platform_(MachineProfile::emlsgx_pm(), 64 * 1024 * 1024) {
+    platform_.enclave().set_tcs_count(8);
+    ml::SynthDigitsOptions opt;
+    opt.train_count = 1024;
+    opt.test_count = 256;
+    digits_ = ml::make_synth_digits(opt);
+    trainer_ = std::make_unique<Trainer>(
+        platform_, ml::make_cnn_config(2, 4, 32), TrainerOptions{});
+    trainer_->load_dataset(digits_.train);
+    (void)trainer_->train(20);
+    gcm_ = std::make_unique<crypto::AesGcm>(trainer_->data_key());
+  }
+
+  std::vector<Request> workload(double rate_qps, std::size_t count,
+                                sim::Nanos relative_deadline = kNoDeadline,
+                                std::uint64_t seed = 1) {
+    LoadGenOptions opt;
+    opt.rate_qps = rate_qps;
+    opt.count = count;
+    opt.start_ns = 0;
+    opt.relative_deadline_ns = relative_deadline;
+    opt.seed = seed;
+    crypto::IvSequence client_iv(1234);
+    return poisson_workload(digits_.test, *gcm_, client_iv, opt);
+  }
+
+  Platform platform_;
+  ml::SynthDigits digits_;
+  std::unique_ptr<Trainer> trainer_;
+  std::unique_ptr<crypto::AesGcm> gcm_;
+};
+
+TEST_F(ServeTest, EveryRequestRepliedAndStagesAccountExactly) {
+  // Overload on purpose: tiny queue + tight deadlines force every reply
+  // path (served, queue-full, deadline-shed, expired) to appear.
+  const auto reqs = workload(1.0e6, 300, 5.0e4);
+  ServerOptions opt;
+  opt.workers = 2;
+  opt.batch = {.max_batch = 8, .max_wait_ns = 10'000};
+  opt.admission = {.max_queue = 16, .deadline_aware = true};
+  InferenceServer server(platform_, trainer_->network(), *gcm_, opt,
+                         &trainer_->mirror());
+  const auto done = server.run(reqs);
+
+  // Zero dropped-without-reply: exactly one completion per request id, and
+  // every completion carries a well-formed sealed reply.
+  ASSERT_EQ(done.size(), reqs.size());
+  std::map<std::uint64_t, const Completion*> by_id;
+  for (const auto& c : done) {
+    EXPECT_TRUE(by_id.emplace(c.id, &c).second) << "duplicate reply id " << c.id;
+    const OpenedReply opened = open_reply(*gcm_, c.sealed_reply);
+    EXPECT_EQ(opened.status, c.status);
+    if (c.served()) EXPECT_EQ(opened.value, c.prediction);
+
+    // The per-stage accounting invariant.
+    EXPECT_NEAR(c.stages.total(), c.done_ns - c.arrival_ns,
+                1e-6 * std::max(1.0, c.done_ns - c.arrival_ns));
+    EXPECT_GE(c.done_ns, c.arrival_ns);
+  }
+  for (const auto& r : reqs) EXPECT_TRUE(by_id.count(r.id));
+
+  const auto& stats = server.stats();
+  EXPECT_EQ(stats.arrived, reqs.size());
+  EXPECT_EQ(stats.completed + stats.shed_total() + stats.auth_failed,
+            reqs.size());
+  EXPECT_GT(stats.completed, 0u);
+  EXPECT_GT(stats.shed_total(), 0u);  // the overload actually shed
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_GT(stats.mean_batch(), 1.0);  // overload coalesced into real batches
+}
+
+TEST_F(ServeTest, DeterministicScheduleAndAccounting) {
+  const auto reqs = workload(20000.0, 200, 5.0e6);
+  ServerOptions opt;
+  opt.workers = 2;
+  opt.batch = {.max_batch = 4, .max_wait_ns = 100'000};
+  opt.admission = {.max_queue = 32};
+
+  auto run_once = [&]() {
+    InferenceServer server(platform_, trainer_->network(), *gcm_, opt);
+    auto done = server.run(reqs);
+    std::sort(done.begin(), done.end(),
+              [](const Completion& a, const Completion& b) { return a.id < b.id; });
+    return done;
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].id, second[i].id);
+    EXPECT_EQ(first[i].status, second[i].status);
+    EXPECT_EQ(first[i].prediction, second[i].prediction);
+    EXPECT_EQ(first[i].batch_size, second[i].batch_size);
+    EXPECT_EQ(first[i].worker, second[i].worker);
+    EXPECT_DOUBLE_EQ(first[i].done_ns, second[i].done_ns);
+    EXPECT_DOUBLE_EQ(first[i].stages.queue_ns, second[i].stages.queue_ns);
+    EXPECT_DOUBLE_EQ(first[i].stages.decrypt_ns, second[i].stages.decrypt_ns);
+    EXPECT_DOUBLE_EQ(first[i].stages.forward_ns, second[i].stages.forward_ns);
+    EXPECT_DOUBLE_EQ(first[i].stages.seal_ns, second[i].stages.seal_ns);
+    EXPECT_DOUBLE_EQ(first[i].stages.other_ns, second[i].stages.other_ns);
+  }
+}
+
+TEST_F(ServeTest, BatchingAmortizesFixedCosts) {
+  // A backlog (arrivals far faster than service) so the batcher always has
+  // work: batch=16 must clear it much faster than batch=1 — one ecall and
+  // one model touch per 16 requests instead of per request.
+  const auto reqs = workload(1e7, 128);
+
+  auto span_with_batch = [&](std::size_t max_batch) {
+    ServerOptions opt;
+    opt.workers = 1;
+    opt.batch = {.max_batch = max_batch, .max_wait_ns = 0};
+    opt.admission = {.max_queue = 1024};
+    InferenceServer server(platform_, trainer_->network(), *gcm_, opt);
+    (void)server.run(reqs);
+    EXPECT_EQ(server.stats().completed, reqs.size());
+    return server.stats().span_ns;
+  };
+
+  const sim::Nanos span1 = span_with_batch(1);
+  const sim::Nanos span16 = span_with_batch(16);
+  EXPECT_LT(span16 * 3.0, span1)
+      << "batch=16 span " << span16 << " vs batch=1 span " << span1;
+}
+
+TEST_F(ServeTest, MoreWorkersDontSlowTheBacklog) {
+  const auto reqs = workload(1e7, 128);
+  auto span_with_workers = [&](std::size_t workers) {
+    ServerOptions opt;
+    opt.workers = workers;
+    opt.batch = {.max_batch = 8, .max_wait_ns = 0};
+    opt.admission = {.max_queue = 1024};
+    InferenceServer server(platform_, trainer_->network(), *gcm_, opt);
+    (void)server.run(reqs);
+    EXPECT_EQ(server.stats().completed, reqs.size());
+    EXPECT_EQ(server.lanes_per_worker(), 8 / workers);
+    return server.stats().span_ns;
+  };
+  // 4 workers x 2 lanes overlap the per-batch fixed costs that 1 worker x
+  // 8 lanes pays serially; aggregate forward throughput is identical.
+  EXPECT_LE(span_with_workers(4), span_with_workers(1) * 1.01);
+}
+
+TEST_F(ServeTest, SheddingBoundsTailLatencyUnderOverload) {
+  // Offered load well past capacity. With an unbounded queue the tail grows
+  // with the backlog; with a bounded queue p99 stays pinned near
+  // queue-depth / service-rate.
+  const auto reqs = workload(1.0e6, 400);
+
+  auto p99_with_queue = [&](std::size_t max_queue) {
+    ServerOptions opt;
+    opt.workers = 1;
+    opt.batch = {.max_batch = 8, .max_wait_ns = 0};
+    opt.admission = {.max_queue = max_queue, .deadline_aware = false};
+    InferenceServer server(platform_, trainer_->network(), *gcm_, opt);
+    const auto done = server.run(reqs);
+    const SloReport rep = make_slo_report(reqs, done);
+    return std::pair<sim::Nanos, std::uint64_t>(rep.p99_ns, rep.shed_queue_full);
+  };
+
+  const auto [p99_bounded, shed_bounded] = p99_with_queue(16);
+  const auto [p99_unbounded, shed_unbounded] = p99_with_queue(1u << 20);
+  EXPECT_EQ(shed_unbounded, 0u);
+  EXPECT_GT(shed_bounded, 0u);
+  EXPECT_LT(p99_bounded * 2, p99_unbounded)
+      << "bounded p99 " << p99_bounded << " vs unbounded " << p99_unbounded;
+}
+
+TEST_F(ServeTest, HotReloadPicksUpNewMirrorWithoutDowntime) {
+  InferenceServer server(platform_, trainer_->network(), *gcm_,
+                         ServerOptions{.workers = 1,
+                                       .batch = {.max_batch = 4, .max_wait_ns = 0},
+                                       .admission = {.max_queue = 256}},
+                         &trainer_->mirror());
+  EXPECT_EQ(server.served_version(), 20u);
+
+  // A concurrent trainer advances the mirror...
+  (void)trainer_->train(30);
+  EXPECT_EQ(trainer_->mirror().iteration(), 30u);
+
+  // ...and the server picks it up between batches, serving every request.
+  const auto reqs = workload(20000.0, 64);
+  const auto done = server.run(reqs);
+  EXPECT_EQ(done.size(), reqs.size());
+  EXPECT_GE(server.stats().reloads, 1u);
+  EXPECT_EQ(server.stats().reload_failures, 0u);
+  EXPECT_EQ(server.served_version(), 30u);
+}
+
+TEST_F(ServeTest, CorruptMirrorNeverTearsTheServingModel) {
+  InferenceServer server(platform_, trainer_->network(), *gcm_,
+                         ServerOptions{.workers = 1,
+                                       .batch = {.max_batch = 4, .max_wait_ns = 0},
+                                       .admission = {.max_queue = 256}},
+                         &trainer_->mirror());
+  (void)trainer_->train(25);  // mirror now ahead of served_version
+
+  // Snapshot the serving weights, then corrupt one sealed mirror buffer.
+  std::vector<float> before;
+  for (std::size_t l = 0; l < trainer_->network().num_layers(); ++l) {
+    for (const auto& p : trainer_->network().layer(l).parameters()) {
+      before.insert(before.end(), p.values.begin(), p.values.end());
+    }
+  }
+  const auto extents = trainer_->mirror().sealed_extents();
+  ASSERT_FALSE(extents.empty());
+  trainer_->romulus().main_base()[extents[0].primary_off + 16] ^= 0x01;
+
+  const auto reqs = workload(20000.0, 64);
+  const auto done = server.run(reqs);
+  EXPECT_EQ(done.size(), reqs.size());
+  EXPECT_GE(server.stats().reload_failures, 1u);
+  EXPECT_EQ(server.stats().reloads, 0u);
+  EXPECT_EQ(server.served_version(), 20u);  // still on the pre-corruption model
+
+  // The failed snapshot restores must not have touched a single weight.
+  std::vector<float> after;
+  for (std::size_t l = 0; l < trainer_->network().num_layers(); ++l) {
+    for (const auto& p : trainer_->network().layer(l).parameters()) {
+      after.insert(after.end(), p.values.begin(), p.values.end());
+    }
+  }
+  EXPECT_EQ(before, after);
+}
+
+TEST_F(ServeTest, AuthFailedQueriesGetSealedErrorReplies) {
+  auto reqs = workload(10000.0, 16);
+  reqs[5].sealed_query[reqs[5].sealed_query.size() / 2] ^= 0xFF;  // tamper
+  reqs[9].sealed_query.resize(10);                                // truncate
+
+  InferenceServer server(platform_, trainer_->network(), *gcm_,
+                         ServerOptions{.workers = 1,
+                                       .batch = {.max_batch = 4, .max_wait_ns = 0},
+                                       .admission = {.max_queue = 256}});
+  const auto done = server.run(reqs);
+  ASSERT_EQ(done.size(), reqs.size());
+  std::size_t auth_failed = 0;
+  for (const auto& c : done) {
+    if (c.id == 5 || c.id == 9) {
+      EXPECT_EQ(c.status, ReplyStatus::kAuthFailed);
+      EXPECT_EQ(open_reply(*gcm_, c.sealed_reply).status, ReplyStatus::kAuthFailed);
+      ++auth_failed;
+    } else {
+      EXPECT_EQ(c.status, ReplyStatus::kOk);
+    }
+  }
+  EXPECT_EQ(auth_failed, 2u);
+  EXPECT_EQ(server.stats().auth_failed, 2u);
+}
+
+TEST_F(ServeTest, ServeLogPersistsWindowRecords) {
+  ServeLog log(trainer_->romulus(), platform_.enclave());
+  EXPECT_FALSE(log.exists());
+  log.create(8);
+  ASSERT_TRUE(log.exists());
+
+  InferenceServer server(platform_, trainer_->network(), *gcm_,
+                         ServerOptions{.workers = 2,
+                                       .batch = {.max_batch = 4, .max_wait_ns = 0},
+                                       .admission = {.max_queue = 8}},
+                         &trainer_->mirror(), &log);
+  const auto reqs = workload(40000.0, 100);
+  const auto done = server.run(reqs);
+  ASSERT_EQ(log.size(), 1u);
+  const ServeWindowRecord rec = log.at(0);
+  EXPECT_EQ(rec.window, 0u);
+  EXPECT_EQ(rec.arrived, reqs.size());
+  const SloReport rep = make_slo_report(reqs, done);
+  EXPECT_EQ(rec.completed, rep.served);
+  EXPECT_EQ(rec.shed, rep.shed_total());
+  EXPECT_EQ(rec.model_version, server.served_version());
+  EXPECT_NEAR(rec.p99_us, rep.p99_ns / 1000.0, 1e-3 * std::max(1.0, rep.p99_ns / 1000.0));
+
+  // A second window appends with the next window number.
+  (void)server.run(workload(40000.0, 50, kNoDeadline, 2));
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.at(1).window, 1u);
+}
+
+TEST_F(ServeTest, SloReportAddsUpAndScoresAccuracy) {
+  const auto reqs = workload(5000.0, 128);
+  InferenceServer server(platform_, trainer_->network(), *gcm_,
+                         ServerOptions{.workers = 2,
+                                       .batch = {.max_batch = 8, .max_wait_ns = 100'000},
+                                       .admission = {.max_queue = 64}});
+  const auto done = server.run(reqs);
+  const SloReport rep = make_slo_report(reqs, done);
+  EXPECT_EQ(rep.offered, reqs.size());
+  EXPECT_EQ(rep.served + rep.shed_total() + rep.auth_failed, reqs.size());
+  EXPECT_GT(rep.goodput_qps, 0.0);
+  EXPECT_LE(rep.p50_ns, rep.p95_ns);
+  EXPECT_LE(rep.p95_ns, rep.p99_ns);
+  EXPECT_LE(rep.p99_ns, rep.max_ns);
+  EXPECT_GT(rep.accuracy, 0.3);  // briefly-trained model still beats chance
+  EXPECT_FALSE(to_string(rep).empty());
+}
+
+}  // namespace
+}  // namespace plinius::serve
