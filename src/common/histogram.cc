@@ -19,6 +19,9 @@ std::size_t LatencyHistogram::bucket_index(std::uint64_t v) noexcept {
 }
 
 sim::Nanos LatencyHistogram::bucket_upper(std::size_t index) noexcept {
+  // Unit buckets hold only values that round to `index`, so `index` itself
+  // is the tightest upper bound (ranges >= kSubBuckets return the bucket's
+  // exclusive upper edge; percentile() clamps to [min, max] either way).
   if (index < kSubBuckets) return static_cast<sim::Nanos>(index);
   const std::size_t range = index / kSubBuckets;
   const std::size_t sub = index % kSubBuckets;

@@ -24,8 +24,9 @@ class LatencyHistogram {
  public:
   /// Linear sub-buckets per power-of-two range: relative error <= 1/16.
   static constexpr std::size_t kSubBuckets = 16;
-  /// Power-of-two ranges covered: values up to 2^40 ns (~18 simulated
-  /// minutes) resolve normally; larger ones clamp into the top bucket.
+  /// Power-of-two ranges covered. The first 16 unit buckets plus the
+  /// clamped range math (range = msb - 3) resolve values up to 2^43 ns
+  /// (~2.4 simulated hours) normally; larger ones clamp into the top bucket.
   static constexpr std::size_t kRanges = 40;
   static constexpr std::size_t kBuckets = kRanges * kSubBuckets;
 

@@ -1,5 +1,6 @@
 #include "serve/admission.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/error.h"
@@ -47,6 +48,12 @@ const Request* AdmissionQueue::pop(sim::Nanos now,
 sim::Nanos AdmissionQueue::oldest_enqueue_ns() const {
   expects(!queue_.empty(), "AdmissionQueue::oldest_enqueue_ns: queue is empty");
   return queue_.front().enqueue_ns;
+}
+
+sim::Nanos AdmissionQueue::fill_enqueue_ns(std::size_t batch_limit) const {
+  expects(!queue_.empty() && batch_limit >= 1,
+          "AdmissionQueue::fill_enqueue_ns: queue is empty or batch_limit == 0");
+  return queue_[std::min(batch_limit, queue_.size()) - 1].enqueue_ns;
 }
 
 }  // namespace plinius::serve

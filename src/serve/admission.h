@@ -73,6 +73,11 @@ class AdmissionQueue {
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
   /// Arrival time of the oldest queued request (front of the line).
   [[nodiscard]] sim::Nanos oldest_enqueue_ns() const;
+  /// Arrival time of the newest request a batch of up to `batch_limit`
+  /// popped now would contain: the min(batch_limit, depth)-th oldest. The
+  /// dispatch rule uses it as a floor so a batch never starts before its
+  /// newest member arrived.
+  [[nodiscard]] sim::Nanos fill_enqueue_ns(std::size_t batch_limit) const;
 
   /// Server feedback: current estimate of per-request service time at the
   /// head of the line (EWMA of batch-service / batch-size). Drives the

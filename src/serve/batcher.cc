@@ -6,10 +6,15 @@ namespace plinius::serve {
 
 sim::Nanos batch_dispatch_ns(const BatchPolicy& policy, sim::Nanos worker_free_ns,
                              std::size_t queued, sim::Nanos oldest_enqueue_ns,
+                             sim::Nanos fill_enqueue_ns,
                              sim::Nanos next_arrival_ns) {
   // Earliest instant a batch could physically start: the worker is free and
-  // at least one request is in line.
-  const sim::Nanos floor = std::max(worker_free_ns, oldest_enqueue_ns);
+  // every request the batch would take has arrived. fill_enqueue_ns is the
+  // enqueue time of the newest of those requests — without it, a batch
+  // filled by a late arrival inside the hold-open window would "dispatch"
+  // before that arrival even existed (negative queue time).
+  const sim::Nanos floor =
+      std::max({worker_free_ns, oldest_enqueue_ns, fill_enqueue_ns});
   if (queued >= policy.max_batch) return floor;        // batch already full
   if (policy.max_wait_ns <= 0) return floor;           // greedy dispatch
   if (next_arrival_ns >= kNoArrival) return floor;     // nothing to wait for

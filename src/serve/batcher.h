@@ -27,20 +27,26 @@ struct BatchPolicy {
 
 /// Pure dispatch-time rule, separated from the server's event loop so it can
 /// be unit-tested: given a worker free at `worker_free_ns`, `queued` requests
-/// waiting of which the oldest enqueued at `oldest_enqueue_ns`, and the next
-/// future arrival at `next_arrival_ns` (kNoArrival when none), returns the
-/// simulated time at which the worker should form a batch.
+/// waiting of which the oldest enqueued at `oldest_enqueue_ns` and the newest
+/// that a batch popped now would contain (the min(queued, max_batch)-th
+/// oldest) at `fill_enqueue_ns`, and the next future arrival at
+/// `next_arrival_ns` (kNoArrival when none), returns the simulated time at
+/// which the worker should form a batch.
 ///
-/// The result is >= worker_free_ns and >= oldest_enqueue_ns. A full batch
-/// (or exhausted arrivals, or max_wait expiry) dispatches immediately at
-/// that floor; otherwise the worker holds the batch open until
-/// min(oldest + max_wait, time the batch could fill) — the caller re-invokes
-/// as arrivals land, so the returned time is a *candidate* that stands
-/// unless a new arrival changes the queue first.
+/// The result is >= worker_free_ns and >= fill_enqueue_ns: a batch never
+/// starts before the worker is free or before its newest member arrived
+/// (a batch filled mid-window by a late arrival dispatches at that arrival,
+/// not at the window's start). A full batch (or exhausted arrivals, or
+/// max_wait expiry) dispatches immediately at that floor; otherwise the
+/// worker holds the batch open until min(oldest + max_wait, time the batch
+/// could fill) — the caller re-invokes as arrivals land, so the returned
+/// time is a *candidate* that stands unless a new arrival changes the queue
+/// first.
 [[nodiscard]] sim::Nanos batch_dispatch_ns(const BatchPolicy& policy,
                                            sim::Nanos worker_free_ns,
                                            std::size_t queued,
                                            sim::Nanos oldest_enqueue_ns,
+                                           sim::Nanos fill_enqueue_ns,
                                            sim::Nanos next_arrival_ns);
 
 /// Sentinel for "no further arrivals are coming".

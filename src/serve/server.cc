@@ -247,6 +247,7 @@ std::vector<Completion> InferenceServer::run(std::span<const Request> workload) 
           next < workload.size() ? workload[next].arrival_ns : kNoArrival;
       dispatch = batch_dispatch_ns(options_.batch, worker_free[w],
                                    queue_.depth(), queue_.oldest_enqueue_ns(),
+                                   queue_.fill_enqueue_ns(options_.batch.max_batch),
                                    next_arrival);
       if (next_arrival > dispatch) break;
       admit_until(dispatch);

@@ -104,8 +104,9 @@ class InferenceServer {
   [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = ServerStats{}; }
 
-  /// Mirror iteration currently being served (0 until the first reload when
-  /// no mirror is attached).
+  /// Model version currently served: starts at the serving network's
+  /// iteration count (net.iterations() at construction) and tracks the
+  /// mirror's iteration after each successful hot reload.
   [[nodiscard]] std::uint64_t served_version() const noexcept { return served_version_; }
 
   /// TCS lanes each worker's intra-batch parallelism is priced over.

@@ -30,23 +30,41 @@ crypto::AesGcm test_gcm() {
 TEST(Batcher, FullBatchDispatchesAtFloor) {
   const BatchPolicy policy{.max_batch = 4, .max_wait_ns = 1000};
   // Queue already full: dispatch when the worker frees and a request waits.
-  EXPECT_EQ(batch_dispatch_ns(policy, 500, 4, 100, 600), 500);
-  EXPECT_EQ(batch_dispatch_ns(policy, 50, 4, 100, 600), 100);
+  EXPECT_EQ(batch_dispatch_ns(policy, 500, 4, 100, 100, 600), 500);
+  EXPECT_EQ(batch_dispatch_ns(policy, 50, 4, 100, 100, 600), 100);
+}
+
+TEST(Batcher, FullBatchWaitsForItsNewestMember) {
+  const BatchPolicy policy{.max_batch = 4, .max_wait_ns = 1000};
+  // Regression: a batch filled mid-window by a late arrival (oldest at 100,
+  // the filling request at 500) must dispatch at 500, not collapse to the
+  // idle-worker/oldest floor — that would put a request "in service" before
+  // it arrived (negative queue time).
+  EXPECT_EQ(batch_dispatch_ns(policy, 0, 4, 100, 500, kNoArrival), 500);
+  // A busy worker still dominates once it frees past the newest member.
+  EXPECT_EQ(batch_dispatch_ns(policy, 800, 4, 100, 500, kNoArrival), 800);
+}
+
+TEST(Batcher, PartialBatchNeverDispatchesBeforeNewestMember) {
+  const BatchPolicy policy{.max_batch = 8, .max_wait_ns = 1000};
+  // No arrivals left and the batch won't fill: dispatch immediately, but
+  // not before the newest queued request arrived.
+  EXPECT_EQ(batch_dispatch_ns(policy, 0, 2, 100, 500, kNoArrival), 500);
 }
 
 TEST(Batcher, GreedyWhenNoWait) {
   const BatchPolicy policy{.max_batch = 8, .max_wait_ns = 0};
-  EXPECT_EQ(batch_dispatch_ns(policy, 200, 1, 100, 250), 200);
+  EXPECT_EQ(batch_dispatch_ns(policy, 200, 1, 100, 100, 250), 200);
 }
 
 TEST(Batcher, HoldsForWaitWindow) {
   const BatchPolicy policy{.max_batch = 8, .max_wait_ns = 1000};
   // Next arrival past the window: dispatch at window end.
-  EXPECT_EQ(batch_dispatch_ns(policy, 0, 1, 100, 5000), 1100);
+  EXPECT_EQ(batch_dispatch_ns(policy, 0, 1, 100, 100, 5000), 1100);
   // Next arrival inside the window: hold at least until the arrival.
-  EXPECT_EQ(batch_dispatch_ns(policy, 0, 1, 100, 600), 600);
+  EXPECT_EQ(batch_dispatch_ns(policy, 0, 1, 100, 100, 600), 600);
   // No arrivals left: nothing to wait for.
-  EXPECT_EQ(batch_dispatch_ns(policy, 0, 1, 100, kNoArrival), 100);
+  EXPECT_EQ(batch_dispatch_ns(policy, 0, 1, 100, 100, kNoArrival), 100);
 }
 
 // --- admission queue -------------------------------------------------------------
@@ -196,6 +214,39 @@ TEST_F(ServeTest, EveryRequestRepliedAndStagesAccountExactly) {
   EXPECT_GT(stats.shed_total(), 0u);  // the overload actually shed
   EXPECT_GT(stats.batches, 0u);
   EXPECT_GT(stats.mean_batch(), 1.0);  // overload coalesced into real batches
+}
+
+TEST_F(ServeTest, BatchFilledMidWindowDispatchesAtFillingArrival) {
+  // The reviewer-reported schedule: idle worker, max_batch = 4, a long hold
+  // window, arrivals at 100/150/200/500 us. The t=500us arrival fills the
+  // batch, so dispatch happens at t=500us — never at the t=100us floor,
+  // which would give the filling request a negative queue time and a
+  // completion before its own arrival.
+  const sim::Nanos us = 1000.0;
+  auto reqs = workload(20000.0, 4);
+  reqs[0].arrival_ns = 100 * us;
+  reqs[1].arrival_ns = 150 * us;
+  reqs[2].arrival_ns = 200 * us;
+  reqs[3].arrival_ns = 500 * us;
+
+  ServerOptions opt;
+  opt.workers = 1;
+  opt.batch = {.max_batch = 4, .max_wait_ns = 1000 * us};
+  opt.admission = {.max_queue = 16};
+  InferenceServer server(platform_, trainer_->network(), *gcm_, opt);
+  const auto done = server.run(reqs);
+
+  ASSERT_EQ(done.size(), 4u);
+  for (const auto& c : done) {
+    EXPECT_EQ(c.status, ReplyStatus::kOk);
+    EXPECT_EQ(c.batch_size, 4u);  // one batch, filled by the last arrival
+    EXPECT_GE(c.stages.queue_ns, 0.0) << "request " << c.id;
+    EXPECT_GE(c.done_ns, c.arrival_ns) << "request " << c.id;
+  }
+  for (const auto& c : done) {
+    const sim::Nanos expect_queue = 500 * us - reqs[c.id].arrival_ns;
+    EXPECT_DOUBLE_EQ(c.stages.queue_ns, expect_queue) << "request " << c.id;
+  }
 }
 
 TEST_F(ServeTest, DeterministicScheduleAndAccounting) {
