@@ -5,9 +5,14 @@
 // "Figure 6 shows the throughput of swap operations on a 10 MB persistent
 // array with different transaction sizes ... single threaded."
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/stats_bridge.h"
 #include "pm/device.h"
 #include "romulus/romulus.h"
 #include "romulus/sps.h"
@@ -17,8 +22,10 @@ namespace {
 
 using namespace plinius;
 
+obs::Registry g_registry;
+
 double sps_for(const romulus::ExecutionProfile& profile, romulus::PwbPolicy policy,
-               std::size_t swaps_per_tx) {
+               std::size_t swaps_per_tx, const char* runtime, const char* panel) {
   sim::Clock clock;
   // The experiment runs on sgx-emlPM (Ramdisk PM): real SGX is the factor.
   constexpr std::size_t kMain = 24 * 1024 * 1024;
@@ -30,7 +37,15 @@ double sps_for(const romulus::ExecutionProfile& profile, romulus::PwbPolicy poli
   cfg.array_bytes = 10 * 1000 * 1000;  // the paper's 10 MB array
   cfg.swaps_per_tx = swaps_per_tx;
   cfg.total_swaps = std::max<std::size_t>(1 << 15, 16 * swaps_per_tx);
-  return run_sps(rom, cfg).swaps_per_second;
+  const double sps = run_sps(rom, cfg).swaps_per_second;
+
+  char swaps[32];
+  std::snprintf(swaps, sizeof(swaps), "%zu", swaps_per_tx);
+  const obs::Labels labels{
+      {"runtime", runtime}, {"pwb", panel}, {"swaps_per_tx", swaps}};
+  obs::publish(g_registry, dev.stats(), labels);
+  g_registry.set_gauge("fig6.swaps_per_second", sps, labels);
+  return sps;
 }
 
 void run_panel(const char* title, romulus::PwbPolicy policy) {
@@ -38,9 +53,12 @@ void run_panel(const char* title, romulus::PwbPolicy policy) {
   std::printf("%-10s %16s %16s %16s %11s %11s\n", "swaps/txn", "native",
               "sgx-romulus", "romulus-scone", "sgx/native", "scone/sgx");
   for (std::size_t swaps = 2; swaps <= 2048; swaps *= 2) {
-    const double native = sps_for(romulus::ExecutionProfile::native(), policy, swaps);
-    const double sgx = sps_for(romulus::ExecutionProfile::sgx_enclave(), policy, swaps);
-    const double scone = sps_for(scone::scone_container(), policy, swaps);
+    const double native =
+        sps_for(romulus::ExecutionProfile::native(), policy, swaps, "native", title);
+    const double sgx = sps_for(romulus::ExecutionProfile::sgx_enclave(), policy,
+                               swaps, "sgx-romulus", title);
+    const double scone =
+        sps_for(scone::scone_container(), policy, swaps, "romulus-scone", title);
     std::printf("%-10zu %16.0f %16.0f %16.0f %10.2fx %10.2fx\n", swaps, native, sgx,
                 scone, native / sgx, scone / sgx);
   }
@@ -48,7 +66,11 @@ void run_panel(const char* title, romulus::PwbPolicy policy) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
   std::printf("# Fig. 6 reproduction: SPS on a 10 MB persistent array (simulated)\n");
   std::printf("# Paper shape: fences 1.6-3.7x longer in SGX-Romulus vs native;\n");
   std::printf("# SCONE ahead of SGX-Romulus up to ~64 swaps/txn, then collapses\n");
@@ -56,5 +78,9 @@ int main() {
 
   run_panel("CLFLUSH + NOP", romulus::PwbPolicy::clflush_nop());
   run_panel("CLFLUSHOPT + SFENCE", romulus::PwbPolicy::clflushopt_sfence());
+  if (!json_path.empty()) {
+    if (!obs::write_text_file(json_path, g_registry.snapshot_json())) return 1;
+    std::printf("# metrics snapshot -> %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -9,9 +9,14 @@
 //   * Table Ib: Plinius speed-ups over SSD checkpointing.
 // All data points average 3 runs (paper: 5).
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "crypto/gcm.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/stats_bridge.h"
 #include "ml/config.h"
 #include "plinius/checkpoint.h"
 #include "plinius/mirror.h"
@@ -42,7 +47,14 @@ struct Point {
   double ssd_save_ms = 0, ssd_restore_ms = 0;
   MirrorStats mirror;      // accumulated step breakdown
   CheckpointStats ssd;
+  // Save-step encryption share derived purely from the span trace:
+  // attribute_under("mirror.save") rolled up by category, then the
+  // (GCM + EPC paging) share of self-time. No MirrorStats involved — this
+  // is the observability-layer reproduction of Table Ia's encrypt column.
+  double trace_enc_share = 0;
 };
+
+obs::Registry g_registry;
 
 Point measure(const MachineProfile& profile, std::size_t conv_layers) {
   Rng init_rng(7);
@@ -51,6 +63,8 @@ Point measure(const MachineProfile& profile, std::size_t conv_layers) {
 
   const std::size_t main_size = model_bytes + model_bytes / 8 + (32u << 20);
   Platform platform(profile, romulus::Romulus::region_bytes(main_size) + (1u << 20));
+  obs::Tracer tracer;
+  platform.clock().set_tracer(&tracer);
   // Enclave residency: the model plus ~16 MB of code/temp buffers — the
   // paper reports the 93.5 MB EPC limit being reached at model size 78 MB.
   const sgx::EnclaveBuffer enclave_mem(platform.enclave(), model_bytes + (16u << 20));
@@ -91,6 +105,22 @@ Point measure(const MachineProfile& profile, std::size_t conv_layers) {
   p.ssd_restore_ms /= kRuns;
   p.mirror = mirror.stats();
   p.ssd = ckpt.stats();
+
+  const obs::CostReport save_report = obs::attribute_under(tracer, "mirror.save");
+  p.trace_enc_share =
+      save_report.share_of({obs::Category::kGcm, obs::Category::kEpcPaging});
+
+  char mb[32];
+  std::snprintf(mb, sizeof(mb), "%.1f", p.model_mb);
+  const obs::Labels labels{{"platform", profile.name}, {"model_mb", mb}};
+  obs::publish(g_registry, p.mirror, labels);
+  obs::publish(g_registry, p.ssd, labels);
+  g_registry.set_gauge("fig7.mirror_save_ms", p.mirror_save_ms, labels);
+  g_registry.set_gauge("fig7.mirror_restore_ms", p.mirror_restore_ms, labels);
+  g_registry.set_gauge("fig7.ssd_save_ms", p.ssd_save_ms, labels);
+  g_registry.set_gauge("fig7.ssd_restore_ms", p.ssd_restore_ms, labels);
+  g_registry.set_gauge("fig7.trace_encrypt_share", p.trace_enc_share, labels);
+  platform.clock().set_tracer(nullptr);  // tracer dies before the platform
   return p;
 }
 
@@ -121,13 +151,20 @@ void report_server(const MachineProfile& profile) {
               "ssd-save", "mirror-rest", "ssd-rest", "saveX", "restX");
 
   Aggregate below, beyond;
+  double trace_enc_below = 0, trace_enc_beyond = 0;
   for (const std::size_t layers : {3u, 5u, 7u, 9u, 11u, 13u, 15u, 17u}) {
     const Point p = measure(profile, layers);
     std::printf("%-10.1f %12.1fms %12.1fms %12.1fms %12.1fms %9.2fx %9.2fx\n",
                 p.model_mb, p.mirror_save_ms, p.ssd_save_ms, p.mirror_restore_ms,
                 p.ssd_restore_ms, p.ssd_save_ms / p.mirror_save_ms,
                 p.ssd_restore_ms / p.mirror_restore_ms);
-    (p.model_mb < kEpcLimitMb - 16.0 ? below : beyond).add(p);
+    if (p.model_mb < kEpcLimitMb - 16.0) {
+      below.add(p);
+      trace_enc_below += p.trace_enc_share;
+    } else {
+      beyond.add(p);
+      trace_enc_beyond += p.trace_enc_share;
+    }
   }
 
   auto print_tables = [&](const char* label, const Aggregate& a) {
@@ -147,11 +184,32 @@ void report_server(const MachineProfile& profile) {
   };
   print_tables("beneath", below);
   print_tables("beyond", beyond);
+
+  // Cross-check Table Ia against the span-trace rollup: the encryption share
+  // must show the same jump across the EPC limit using only span self-times
+  // (no figure-specific accounting in the mirror code).
+  std::printf("\n-- Table Ia via span rollup (%s, attribute_under \"mirror.save\") --\n",
+              profile.name.c_str());
+  const obs::Labels plabels{{"platform", profile.name}};
+  if (below.n > 0) {
+    const double share = trace_enc_below / below.n;
+    std::printf("  save encrypt share beneath EPC: %5.1f%%\n", 100.0 * share);
+    g_registry.set_gauge("fig7.trace_encrypt_share_below_epc", share, plabels);
+  }
+  if (beyond.n > 0) {
+    const double share = trace_enc_beyond / beyond.n;
+    std::printf("  save encrypt share beyond EPC:  %5.1f%%\n", 100.0 * share);
+    g_registry.set_gauge("fig7.trace_encrypt_share_beyond_epc", share, plabels);
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
   std::printf("# Fig. 7 + Table I reproduction: PM mirroring vs SSD checkpointing\n");
   std::printf("# (simulated time; model grows by adding 512-filter conv layers;\n");
   std::printf("#  EPC usable limit 93.5 MB, reached near model size 78 MB)\n");
@@ -163,5 +221,9 @@ int main() {
       "# Speed-ups: writes 7.9x/9.6x, saves 3.5x/1.7x, reads 3x/1.8x,\n"
       "# restores 2.5x/1.7x (sgx-emlPM); emlSGX-PM: write 4.5x, save 3.2x,\n"
       "# read 16.8x, restore 3.7x.\n");
+  if (!json_path.empty()) {
+    if (!obs::write_text_file(json_path, g_registry.snapshot_json())) return 1;
+    std::printf("# metrics snapshot -> %s\n", json_path.c_str());
+  }
   return 0;
 }

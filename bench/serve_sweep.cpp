@@ -16,7 +16,11 @@
 //     effectively unbounded one — shedding pins the tail, the unbounded
 //     queue lets it grow with the backlog.
 //
-// Usage: serve_sweep [--smoke] [--json <path>]
+// Usage: serve_sweep [--smoke] [--json <path>] [--metrics <path>]
+//
+// --metrics additionally snapshots every point's ServerStats (counters,
+// stage/latency histograms) into the unified obs::Registry, labelled by
+// {platform, offered_qps, batch, workers}, and writes the registry JSON.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -25,6 +29,9 @@
 
 #include "ml/config.h"
 #include "ml/synth_digits.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/stats_bridge.h"
 #include "plinius/metrics_log.h"
 #include "plinius/platform.h"
 #include "plinius/trainer.h"
@@ -37,6 +44,8 @@ using namespace plinius;
 using namespace plinius::serve;
 
 constexpr double kSloP99Us = 150.0;
+
+obs::Registry g_registry;
 
 struct Point {
   double offered_qps;
@@ -82,7 +91,7 @@ SweepResult sweep_platform(const MachineProfile& profile,
   serve_log.create(256);
 
   auto run_point = [&](double rate, std::size_t batch, std::size_t workers,
-                       std::size_t max_queue) {
+                       std::size_t max_queue, const char* phase = "sweep") {
     LoadGenOptions lg;
     lg.rate_qps = rate;
     lg.count = count;
@@ -99,6 +108,18 @@ SweepResult sweep_platform(const MachineProfile& profile,
     InferenceServer server(platform, trainer.network(), gcm, opt,
                            &trainer.mirror(), &serve_log);
     const auto done = server.run(reqs);
+
+    char rate_s[32], batch_s[32], workers_s[32];
+    std::snprintf(rate_s, sizeof(rate_s), "%.0f", rate);
+    std::snprintf(batch_s, sizeof(batch_s), "%zu", batch);
+    std::snprintf(workers_s, sizeof(workers_s), "%zu", workers);
+    obs::publish(g_registry, server.stats(),
+                 {{"platform", profile.name},
+                  {"phase", phase},
+                  {"offered_qps", rate_s},
+                  {"batch", batch_s},
+                  {"workers", workers_s}});
+
     return make_slo_report(reqs, done);
   };
 
@@ -139,8 +160,10 @@ SweepResult sweep_platform(const MachineProfile& profile,
   // 6x the top swept rate sits well past batched capacity on both platforms
   // even in the short --smoke run.
   result.overload_qps = rates.back() * 6;
-  result.overload_bounded = run_point(result.overload_qps, 16, 1, 32);
-  result.overload_unbounded = run_point(result.overload_qps, 16, 1, 1u << 20);
+  result.overload_bounded =
+      run_point(result.overload_qps, 16, 1, 32, "overload_bounded");
+  result.overload_unbounded =
+      run_point(result.overload_qps, 16, 1, 1u << 20, "overload_unbounded");
   result.serve_log_windows = serve_log.size();
 
   std::printf(
@@ -219,9 +242,13 @@ std::string to_json(const std::vector<SweepResult>& results) {
 int main(int argc, char** argv) {
   bool smoke = false;
   const char* json_path = nullptr;
+  const char* metrics_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+    if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    }
   }
 
   std::printf("# Secure inference serving sweep: open-loop Poisson load vs\n");
@@ -249,6 +276,10 @@ int main(int argc, char** argv) {
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
     std::printf("\nwrote %s\n", json_path);
+  }
+  if (metrics_path != nullptr) {
+    if (!obs::write_text_file(metrics_path, g_registry.snapshot_json())) return 1;
+    std::printf("wrote %s\n", metrics_path);
   }
 
   // The smoke run doubles as a CI check on the two headline properties.

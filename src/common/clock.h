@@ -12,6 +12,11 @@
 #include <stdexcept>
 #include <string>
 
+namespace plinius::obs {
+class Tracer;  // obs/trace.h — forward-declared so the clock can carry the
+               // observability hook without common depending on obs
+}
+
 namespace plinius::sim {
 
 /// Simulated nanoseconds. Fractional values are allowed so that cost models
@@ -42,8 +47,16 @@ class Clock {
   /// Resets time to zero (used between benchmark repetitions).
   void reset() noexcept { now_ = 0; }
 
+  /// Observability hook: every component that charges this clock can emit
+  /// spans to the attached tracer (obs/trace.h) keyed to simulated time.
+  /// Null (the default) means tracing is off — span sites reduce to one
+  /// pointer check, and nothing about simulated timing ever depends on it.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
  private:
   Nanos now_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 /// Measures a span of simulated time on a clock.

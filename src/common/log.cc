@@ -1,11 +1,15 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/clock.h"
 
 namespace plinius::log {
 
 namespace {
-std::atomic<Level> g_threshold{Level::kWarn};
 
 const char* level_name(Level level) {
   switch (level) {
@@ -22,6 +26,25 @@ const char* level_name(Level level) {
   }
   return "?";
 }
+
+/// Parses PLINIUS_LOG_LEVEL (name or numeric value, case-insensitive);
+/// unset or unparsable keeps the compiled-in default.
+Level initial_threshold() {
+  const char* env = std::getenv("PLINIUS_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return Level::kWarn;
+  std::string v(env);
+  for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (v == "debug" || v == "0") return Level::kDebug;
+  if (v == "info" || v == "1") return Level::kInfo;
+  if (v == "warn" || v == "warning" || v == "2") return Level::kWarn;
+  if (v == "error" || v == "3") return Level::kError;
+  if (v == "off" || v == "none" || v == "4") return Level::kOff;
+  return Level::kWarn;
+}
+
+std::atomic<Level> g_threshold{initial_threshold()};
+std::atomic<const sim::Clock*> g_clock{nullptr};
+
 }  // namespace
 
 Level threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
@@ -30,8 +53,20 @@ void set_threshold(Level level) noexcept {
   g_threshold.store(level, std::memory_order_relaxed);
 }
 
+void set_clock(const sim::Clock* clock) noexcept {
+  g_clock.store(clock, std::memory_order_relaxed);
+}
+
 void write(Level level, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  const sim::Clock* clock = g_clock.load(std::memory_order_relaxed);
+  if (clock != nullptr) {
+    // Simulated timestamp, in microseconds — the timeline the spans and
+    // benches report in, so log lines line up with the trace.
+    std::fprintf(stderr, "[%s @%.3fus] %s\n", level_name(level),
+                 clock->now() / 1e3, msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  }
 }
 
 }  // namespace plinius::log

@@ -7,13 +7,25 @@
 #include <cstdio>
 #include <string>
 
+namespace plinius::sim {
+class Clock;
+}
+
 namespace plinius::log {
 
 enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global threshold. Defaults to kWarn; tests/benches may lower it.
+/// Global threshold. Defaults to kWarn, or to the PLINIUS_LOG_LEVEL
+/// environment variable when set (debug/info/warn/error/off or 0–4);
+/// tests/benches may still override it programmatically.
 Level threshold() noexcept;
 void set_threshold(Level level) noexcept;
+
+/// Registers a simulated clock; subsequent log lines carry its current time
+/// so stderr diagnostics line up with the trace/bench timeline. Null
+/// unregisters (lines revert to level-only). The registered clock must
+/// outlive its registration.
+void set_clock(const sim::Clock* clock) noexcept;
 
 void write(Level level, const std::string& msg);
 

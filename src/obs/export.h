@@ -1,0 +1,70 @@
+// Exporters over the span ring: Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing) and the category cost-attribution report.
+//
+// The attribution model is self-time: a span's self time is its duration
+// minus the summed durations of its *direct* children (clamped at zero —
+// manual-timestamp children may overlap under ring eviction). Rolling
+// self-time up by Category partitions the simulated time of any properly
+// nested trace exactly once, which is what lets the paper's per-phase
+// breakdowns (encrypt vs write share of mirroring, serve stage splits) fall
+// out of a generic query instead of bespoke bench accounting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace plinius::obs {
+
+/// Serializes the tracer's ring as Chrome trace-event JSON ("X" complete
+/// events; ts/dur in microseconds of *simulated* time; tid = span track).
+[[nodiscard]] std::string to_chrome_trace(const Tracer& tracer);
+
+/// Per-category simulated self-time totals.
+struct CategoryCost {
+  sim::Nanos self_ns = 0;
+  std::uint64_t spans = 0;
+};
+
+struct CostReport {
+  std::array<CategoryCost, kCategoryCount> by_category{};
+  sim::Nanos total_ns = 0;  // sum of self times (== covered simulated time)
+  std::uint64_t spans = 0;
+
+  [[nodiscard]] sim::Nanos ns(Category c) const noexcept {
+    return by_category[static_cast<std::size_t>(c)].self_ns;
+  }
+  /// Fraction of total_ns attributed to `c` (0 when the report is empty).
+  [[nodiscard]] double share(Category c) const noexcept {
+    return total_ns > 0 ? ns(c) / total_ns : 0.0;
+  }
+  /// Combined fraction for a set of categories (e.g. GCM + EPC paging =
+  /// the paper's "encryption" step of the mirroring breakdown).
+  [[nodiscard]] double share_of(std::initializer_list<Category> cs) const noexcept;
+
+  /// {"total_ns": ..., "categories": [{"category", "self_ns", "share",
+  /// "spans"}, ...]} — categories with zero self time are omitted.
+  [[nodiscard]] std::string to_json() const;
+  /// Fixed-width text table for bench stdout.
+  [[nodiscard]] std::string to_table() const;
+};
+
+/// Rolls the whole ring up by category.
+[[nodiscard]] CostReport rollup(const std::vector<SpanRecord>& spans);
+[[nodiscard]] CostReport rollup(const Tracer& tracer);
+
+/// Rolls up only the trees rooted at spans named `root_name`: each matching
+/// root contributes its own self time and that of every descendant. This is
+/// the cost-attribution query — e.g. attribute_under(trace, "mirror.save")
+/// yields Table Ia's encrypt/write split without touching MirrorStats.
+[[nodiscard]] CostReport attribute_under(const std::vector<SpanRecord>& spans,
+                                         const char* root_name);
+[[nodiscard]] CostReport attribute_under(const Tracer& tracer, const char* root_name);
+
+/// Writes `content` to `path`; returns false (and logs) on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace plinius::obs

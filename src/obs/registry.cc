@@ -1,0 +1,178 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace plinius::obs {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
+  char buf[40];
+  // %.17g round-trips doubles; trim to %g-style readability for whole values.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  out += buf;
+}
+
+void append_labels(std::string& out, const Labels& labels) {
+  out += "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ", ";
+    append_json_string(out, labels[i].first);
+    out += ": ";
+    append_json_string(out, labels[i].second);
+  }
+  out += "}";
+}
+
+}  // namespace
+
+Registry::Key Registry::make_key(const std::string& name, const Labels& labels) {
+  Key key{name, labels};
+  std::sort(key.labels.begin(), key.labels.end());
+  return key;
+}
+
+void Registry::set_counter(const std::string& name, std::uint64_t value,
+                           const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_[make_key(name, labels)] = value;
+}
+
+void Registry::add_counter(const std::string& name, std::uint64_t delta,
+                           const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_[make_key(name, labels)] += delta;
+}
+
+void Registry::set_gauge(const std::string& name, double value, const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  gauges_[make_key(name, labels)] = value;
+}
+
+void Registry::merge_histogram(const std::string& name, const LatencyHistogram& h,
+                               const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  histograms_[make_key(name, labels)].merge(h);
+}
+
+void Registry::record(const std::string& name, sim::Nanos value, const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  histograms_[make_key(name, labels)].record(value);
+}
+
+std::uint64_t Registry::counter(const std::string& name, const Labels& labels) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(make_key(name, labels));
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Registry::gauge(const std::string& name, const Labels& labels) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(make_key(name, labels));
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+LatencyHistogram Registry::histogram(const std::string& name,
+                                     const Labels& labels) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(make_key(name, labels));
+  return it == histograms_.end() ? LatencyHistogram{} : it->second;
+}
+
+std::size_t Registry::series_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void Registry::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string Registry::snapshot_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": [\n";
+  std::size_t i = 0;
+  for (const auto& [key, value] : counters_) {
+    out += "    {\"name\": ";
+    append_json_string(out, key.name);
+    out += ", \"labels\": ";
+    append_labels(out, key.labels);
+    out += ", \"value\": ";
+    append_number(out, static_cast<double>(value));
+    out += ++i < counters_.size() ? "},\n" : "}\n";
+  }
+  out += "  ],\n  \"gauges\": [\n";
+  i = 0;
+  for (const auto& [key, value] : gauges_) {
+    out += "    {\"name\": ";
+    append_json_string(out, key.name);
+    out += ", \"labels\": ";
+    append_labels(out, key.labels);
+    out += ", \"value\": ";
+    append_number(out, value);
+    out += ++i < gauges_.size() ? "},\n" : "}\n";
+  }
+  out += "  ],\n  \"histograms\": [\n";
+  i = 0;
+  for (const auto& [key, h] : histograms_) {
+    out += "    {\"name\": ";
+    append_json_string(out, key.name);
+    out += ", \"labels\": ";
+    append_labels(out, key.labels);
+    out += ", \"count\": ";
+    append_number(out, static_cast<double>(h.count()));
+    out += ", \"sum\": ";
+    append_number(out, h.sum());
+    out += ", \"min\": ";
+    append_number(out, h.min());
+    out += ", \"max\": ";
+    append_number(out, h.max());
+    out += ", \"mean\": ";
+    append_number(out, h.mean());
+    out += ", \"p50\": ";
+    append_number(out, h.percentile(50));
+    out += ", \"p95\": ";
+    append_number(out, h.percentile(95));
+    out += ", \"p99\": ";
+    append_number(out, h.percentile(99));
+    out += ++i < histograms_.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace plinius::obs

@@ -1,0 +1,88 @@
+// Unified counter/gauge/histogram registry.
+//
+// The repo's subsystems each grew their own stats struct (EnclaveStats,
+// PmStats, MirrorStats, ServerStats, …). Those structs remain the cheap
+// recording mechanism on the hot paths; the registry is the uniform
+// *export* surface: every metric becomes a named series with labels, and
+// one snapshot() call serializes the lot to a single JSON blob that benches
+// drop next to their human-readable tables (obs/stats_bridge.h publishes
+// each legacy struct under canonical metric names).
+//
+// Metric model (prometheus-flavored, simulation-sized):
+//   * counter — monotonically set u64 (set-on-publish, not increment-only:
+//     sources are snapshots of the underlying structs);
+//   * gauge   — double, last-write-wins;
+//   * histogram — a LatencyHistogram; publishing merges into the series
+//     (common/histogram merge), so per-worker recorders aggregate.
+// Series identity = name + sorted label set. Thread-safe under one mutex —
+// publishing happens at bench/report cadence, never per simulated event.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace plinius::obs {
+
+/// Label set, e.g. {{"platform", "sgx-emlPM"}, {"batch", "16"}}. Order is
+/// irrelevant: series identity uses the sorted set.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Sets counter `name{labels}` to `value` (creating the series).
+  void set_counter(const std::string& name, std::uint64_t value,
+                   const Labels& labels = {});
+  /// Adds `delta` to counter `name{labels}` (creating it at `delta`).
+  void add_counter(const std::string& name, std::uint64_t delta,
+                   const Labels& labels = {});
+  /// Sets gauge `name{labels}` to `value`.
+  void set_gauge(const std::string& name, double value, const Labels& labels = {});
+  /// Merges `h` into histogram series `name{labels}`.
+  void merge_histogram(const std::string& name, const LatencyHistogram& h,
+                       const Labels& labels = {});
+  /// Records a single value into histogram series `name{labels}`.
+  void record(const std::string& name, sim::Nanos value, const Labels& labels = {});
+
+  [[nodiscard]] std::uint64_t counter(const std::string& name,
+                                      const Labels& labels = {}) const;
+  [[nodiscard]] double gauge(const std::string& name, const Labels& labels = {}) const;
+  /// Copy of a histogram series (empty histogram when absent).
+  [[nodiscard]] LatencyHistogram histogram(const std::string& name,
+                                           const Labels& labels = {}) const;
+
+  [[nodiscard]] std::size_t series_count() const;
+  void clear();
+
+  /// One JSON blob: {"counters": [...], "gauges": [...], "histograms": [...]}.
+  /// Series are sorted by (name, labels) so snapshots diff cleanly; histogram
+  /// series export count/sum/min/max/mean and p50/p95/p99.
+  [[nodiscard]] std::string snapshot_json() const;
+
+ private:
+  struct Key {
+    std::string name;
+    Labels labels;  // sorted
+    bool operator<(const Key& o) const {
+      if (name != o.name) return name < o.name;
+      return labels < o.labels;
+    }
+  };
+  static Key make_key(const std::string& name, const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::map<Key, std::uint64_t> counters_;
+  std::map<Key, double> gauges_;
+  std::map<Key, LatencyHistogram> histograms_;
+};
+
+}  // namespace plinius::obs

@@ -1,0 +1,124 @@
+#include "obs/stats_bridge.h"
+
+#include "plinius/checkpoint.h"
+#include "plinius/distributed.h"
+#include "plinius/mirror.h"
+#include "plinius/pm_data.h"
+#include "plinius/scrub.h"
+#include "plinius/trainer.h"
+#include "pm/device.h"
+#include "serve/server.h"
+#include "sgx/enclave.h"
+
+namespace plinius::obs {
+
+void publish(Registry& reg, const sgx::EnclaveStats& s, const Labels& labels) {
+  reg.set_counter("enclave.ecalls", s.ecalls, labels);
+  reg.set_counter("enclave.ocalls", s.ocalls, labels);
+  reg.set_counter("enclave.epc_faults", s.epc_faults, labels);
+  reg.set_counter("enclave.bytes_copied_in", s.bytes_copied_in, labels);
+  reg.set_counter("enclave.bytes_copied_out", s.bytes_copied_out, labels);
+  reg.set_counter("enclave.crypto_bytes", s.crypto_bytes, labels);
+  reg.set_counter("enclave.parallel_regions", s.parallel_regions, labels);
+}
+
+void publish(Registry& reg, const pm::PmStats& s, const Labels& labels) {
+  reg.set_counter("pm.stores", s.stores, labels);
+  reg.set_counter("pm.bytes_stored", s.bytes_stored, labels);
+  reg.set_counter("pm.flushes", s.flushes, labels);
+  reg.set_counter("pm.lines_flushed", s.lines_flushed, labels);
+  reg.set_counter("pm.fences", s.fences, labels);
+  reg.set_counter("pm.bytes_read", s.bytes_read, labels);
+  reg.set_counter("pm.crashes", s.crashes, labels);
+  reg.set_counter("pm.media_bit_flips", s.media_bit_flips, labels);
+  reg.set_counter("pm.media_torn_lines", s.media_torn_lines, labels);
+  reg.set_counter("pm.media_poisoned_lines", s.media_poisoned_lines, labels);
+  reg.set_counter("pm.poison_cleared", s.poison_cleared, labels);
+  reg.set_counter("pm.scrub_bytes", s.scrub_bytes, labels);
+}
+
+void publish(Registry& reg, const MirrorStats& s, const Labels& labels) {
+  reg.set_gauge("mirror.encrypt_ns", s.encrypt_ns, labels);
+  reg.set_gauge("mirror.write_ns", s.write_ns, labels);
+  reg.set_gauge("mirror.read_ns", s.read_ns, labels);
+  reg.set_gauge("mirror.decrypt_ns", s.decrypt_ns, labels);
+  reg.set_counter("mirror.saves", s.saves, labels);
+  reg.set_counter("mirror.restores", s.restores, labels);
+  reg.set_counter("mirror.replica_repairs", s.replica_repairs, labels);
+}
+
+void publish(Registry& reg, const MirrorScrubReport& s, const Labels& labels) {
+  reg.set_counter("scrub.mirror.buffers_checked", s.buffers_checked, labels);
+  reg.set_counter("scrub.mirror.auth_failures", s.auth_failures, labels);
+  reg.set_counter("scrub.mirror.repaired", s.repaired, labels);
+  reg.set_counter("scrub.mirror.unrecoverable", s.unrecoverable, labels);
+}
+
+void publish(Registry& reg, const CheckpointStats& s, const Labels& labels) {
+  reg.set_gauge("checkpoint.encrypt_ns", s.encrypt_ns, labels);
+  reg.set_gauge("checkpoint.write_ns", s.write_ns, labels);
+  reg.set_gauge("checkpoint.read_ns", s.read_ns, labels);
+  reg.set_gauge("checkpoint.decrypt_ns", s.decrypt_ns, labels);
+  reg.set_counter("checkpoint.saves", s.saves, labels);
+  reg.set_counter("checkpoint.restores", s.restores, labels);
+}
+
+void publish(Registry& reg, const PmDataStats& s, const Labels& labels) {
+  reg.set_gauge("data.decrypt_ns", s.decrypt_ns, labels);
+  reg.set_counter("data.batches", s.batches, labels);
+  reg.set_counter("data.records", s.records, labels);
+  reg.set_counter("data.corrupt_records", s.corrupt_records, labels);
+  reg.set_counter("data.resampled", s.resampled, labels);
+}
+
+void publish(Registry& reg, const ScrubReport& s, const Labels& labels) {
+  reg.set_counter("scrub.header_ok", s.header_ok ? 1 : 0, labels);
+  reg.set_counter("scrub.allocator_ok", s.allocator_ok ? 1 : 0, labels);
+  reg.set_counter("scrub.mirror_layout_ok", s.mirror_layout_ok ? 1 : 0, labels);
+  reg.set_counter("scrub.twin_restored", s.twin_restored ? 1 : 0, labels);
+  reg.set_counter("scrub.twins_resynced", s.twins_resynced ? 1 : 0, labels);
+  reg.set_counter("scrub.dataset_layout_ok", s.dataset_layout_ok ? 1 : 0, labels);
+  reg.set_counter("scrub.corrupt_records", s.corrupt_records.size(), labels);
+  reg.set_counter("scrub.poisoned_lines", s.poisoned_lines, labels);
+  reg.set_counter("scrub.healthy", s.healthy() ? 1 : 0, labels);
+  if (s.mirror_present) publish(reg, s.mirror, labels);
+}
+
+void publish(Registry& reg, const RecoveryReport& s, const Labels& labels) {
+  reg.set_counter("recovery.tier", static_cast<std::uint64_t>(s.tier), labels);
+  reg.set_counter("recovery.resume_iteration", s.resume_iteration, labels);
+  reg.set_counter("recovery.replica_repairs", s.replica_repairs, labels);
+  reg.set_counter("recovery.region_reformatted", s.region_reformatted ? 1 : 0, labels);
+  reg.set_counter("recovery.mirror_rebuilt", s.mirror_rebuilt ? 1 : 0, labels);
+  reg.set_counter("recovery.dataset_lost", s.dataset_lost ? 1 : 0, labels);
+  reg.set_counter("recovery.rungs_failed", s.rungs_failed.size(), labels);
+}
+
+void publish(Registry& reg, const ClusterStats& s, const Labels& labels) {
+  reg.set_counter("cluster.peer_provisions", s.peer_provisions, labels);
+  reg.set_counter("cluster.peer_retries", s.peer_retries, labels);
+  reg.set_counter("cluster.peer_provision_failures", s.peer_provision_failures,
+                  labels);
+}
+
+void publish(Registry& reg, const serve::ServerStats& s, const Labels& labels) {
+  reg.set_counter("serve.arrived", s.arrived, labels);
+  reg.set_counter("serve.completed", s.completed, labels);
+  reg.set_counter("serve.shed_queue_full", s.shed_queue_full, labels);
+  reg.set_counter("serve.shed_deadline", s.shed_deadline, labels);
+  reg.set_counter("serve.expired", s.expired, labels);
+  reg.set_counter("serve.auth_failed", s.auth_failed, labels);
+  reg.set_counter("serve.batches", s.batches, labels);
+  reg.set_counter("serve.reloads", s.reloads, labels);
+  reg.set_counter("serve.reload_failures", s.reload_failures, labels);
+  reg.set_gauge("serve.busy_ns", s.busy_ns, labels);
+  reg.set_gauge("serve.span_ns", s.span_ns, labels);
+  reg.merge_histogram("serve.latency.total", s.total_hist, labels);
+  reg.merge_histogram("serve.latency.queue", s.queue_hist, labels);
+  reg.merge_histogram("serve.latency.decrypt", s.decrypt_hist, labels);
+  reg.merge_histogram("serve.latency.forward", s.forward_hist, labels);
+  reg.merge_histogram("serve.latency.seal", s.seal_hist, labels);
+  reg.merge_histogram("serve.batch_size", s.batch_hist, labels);
+}
+
+}  // namespace plinius::obs

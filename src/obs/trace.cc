@@ -1,0 +1,159 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace plinius::obs {
+
+const char* to_string(Category c) noexcept {
+  switch (c) {
+    case Category::kEcall: return "ecall";
+    case Category::kOcall: return "ocall";
+    case Category::kGcm: return "gcm";
+    case Category::kPlainCopy: return "plain_copy";
+    case Category::kBoundaryCopy: return "boundary_copy";
+    case Category::kEpcPaging: return "epc_paging";
+    case Category::kCompute: return "compute";
+    case Category::kPmStore: return "pm_store";
+    case Category::kPmRead: return "pm_read";
+    case Category::kPmFlush: return "pm_flush";
+    case Category::kPmFence: return "pm_fence";
+    case Category::kRomulusTx: return "romulus_tx";
+    case Category::kSsd: return "ssd";
+    case Category::kMirrorSave: return "mirror_save";
+    case Category::kMirrorRestore: return "mirror_restore";
+    case Category::kTrainIter: return "train_iter";
+    case Category::kDataBatch: return "data_batch";
+    case Category::kScrub: return "scrub";
+    case Category::kServeBatch: return "serve_batch";
+    case Category::kServeQueue: return "serve_queue";
+    case Category::kServeDecrypt: return "serve_decrypt";
+    case Category::kServeForward: return "serve_forward";
+    case Category::kServeSeal: return "serve_seal";
+    case Category::kServeOther: return "serve_other";
+    case Category::kOther: return "other";
+  }
+  return "?";
+}
+
+// Per-thread nesting stack. Keyed by tracer so two concurrent tracers (e.g.
+// two Platforms in a distributed test) never share nesting state; entries
+// are dropped lazily when a tracer's generation moves on.
+struct Tracer::ThreadStack {
+  const Tracer* owner = nullptr;
+  std::vector<SpanRecord> open;
+};
+
+Tracer::ThreadStack& Tracer::stack() {
+  thread_local std::vector<ThreadStack> stacks;
+  for (auto& s : stacks) {
+    if (s.owner == this) return s;
+  }
+  stacks.push_back(ThreadStack{this, {}});
+  return stacks.back();
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+std::uint64_t Tracer::open(Category category, const char* name, sim::Nanos now_ns) {
+  ThreadStack& st = stack();
+  SpanRecord rec;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    rec.id = next_id_++;
+  }
+  rec.parent = st.open.empty() ? 0 : st.open.back().id;
+  rec.depth = static_cast<std::uint32_t>(st.open.size());
+  rec.name = name;
+  rec.category = category;
+  rec.begin_ns = now_ns;
+  st.open.push_back(rec);
+  return rec.id;
+}
+
+void Tracer::close(std::uint64_t id, sim::Nanos now_ns, const Attr* attrs,
+                   std::size_t num_attrs) {
+  ThreadStack& st = stack();
+  expects(!st.open.empty() && st.open.back().id == id,
+          "obs::Tracer::close: spans must close innermost-first");
+  SpanRecord rec = st.open.back();
+  st.open.pop_back();
+  rec.end_ns = now_ns;
+  rec.num_attrs = std::min(num_attrs, SpanRecord::kMaxAttrs);
+  for (std::size_t i = 0; i < rec.num_attrs; ++i) rec.attrs[i] = attrs[i];
+  commit(std::move(rec));
+}
+
+void Tracer::cancel(std::uint64_t id) noexcept {
+  ThreadStack& st = stack();
+  if (!st.open.empty() && st.open.back().id == id) st.open.pop_back();
+}
+
+std::uint64_t Tracer::complete(Category category, const char* name,
+                               sim::Nanos begin_ns, sim::Nanos end_ns,
+                               std::uint64_t parent, std::uint32_t track,
+                               const Attr* attrs, std::size_t num_attrs) {
+  SpanRecord rec;
+  rec.name = name;
+  rec.category = category;
+  rec.begin_ns = begin_ns;
+  rec.end_ns = end_ns;
+  rec.track = track;
+  rec.num_attrs = std::min(num_attrs, SpanRecord::kMaxAttrs);
+  for (std::size_t i = 0; i < rec.num_attrs; ++i) rec.attrs[i] = attrs[i];
+  // An explicit parent wins; otherwise nest under this thread's innermost
+  // open span so decomposition spans roll up to their charge site.
+  ThreadStack& st = stack();
+  if (parent == 0 && !st.open.empty()) {
+    rec.parent = st.open.back().id;
+    rec.depth = static_cast<std::uint32_t>(st.open.size());
+  } else {
+    rec.parent = parent;
+  }
+  std::uint64_t id;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+  }
+  rec.id = id;
+  commit(std::move(rec));
+  return id;
+}
+
+void Tracer::commit(SpanRecord&& rec) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(rec));
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SpanRecord>(ring_.begin(), ring_.end());
+}
+
+std::size_t Tracer::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::uint64_t Tracer::total_recorded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_ + ring_.size();
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace plinius::obs

@@ -1,0 +1,215 @@
+// Simulated-time span tracer.
+//
+// Every cost model in the repo charges a sim::Clock; the tracer records
+// *where* that simulated time went. A Span brackets a region of code and
+// stores begin/end timestamps read from the clock — never wall time — plus a
+// category (the cost-attribution axis: ecall, GCM, EPC paging, PM flush, …)
+// and a handful of typed attributes (bytes moved, batch size, iteration).
+// Completed spans land in a bounded ring buffer that exporters (obs/export.h)
+// turn into Chrome trace-event JSON or a category cost-attribution rollup.
+//
+// Wiring: the tracer attaches to the clock (sim::Clock::set_tracer), so every
+// component that already holds the clock — which is all of them; the clock is
+// how a Platform threads its cost models together — can emit spans with zero
+// constructor plumbing. `trace(clock, ...)` returns an inert span when no
+// tracer is attached or tracing is disabled.
+//
+// Contracts:
+//   * Zero cost when off. Spans only *read* the clock; they never advance
+//     it, so enabling tracing cannot change simulated timings, and disabled
+//     tracing is a null-pointer check per site — training/serve results are
+//     bitwise identical either way (tests/obs_test.cpp asserts this).
+//   * Deterministic. Simulated time is charged only by the orchestrating
+//     thread (see common/parallel.h), so span order is a function of the
+//     workload, not of PLINIUS_THREADS. The tracer is nonetheless
+//     thread-safe: a mutex guards the ring and nesting stacks are
+//     thread-local, so a span opened on a worker thread is merely unordered
+//     relative to other threads, never a data race.
+//   * Bounded. The ring keeps the newest `capacity` spans; older ones are
+//     evicted (dropped() counts them). Span ids stay monotonic across
+//     eviction, so parent links to evicted spans simply dangle and rollups
+//     treat such children as roots.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace plinius::obs {
+
+/// Cost-attribution category. One axis for the whole system: the rollup
+/// report groups simulated self-time by this enum, which is how the paper's
+/// per-phase breakdowns (Table Ia, serve stage splits) fall out of a query.
+enum class Category : std::uint8_t {
+  kEcall = 0,      // enclave boundary transitions (enter+return)
+  kOcall,          // ocall exit+re-enter pairs
+  kGcm,            // AES-GCM time (seal/open, in-enclave or native rate)
+  kPlainCopy,      // enclave-DRAM memcpy (no boundary, no paging)
+  kBoundaryCopy,   // MEE-throttled copies across the enclave boundary
+  kEpcPaging,      // EPC page faults beyond the usable limit
+  kCompute,        // training/inference MACs (GEMM et al.)
+  kPmStore,        // PM store bandwidth
+  kPmRead,         // PM read latency + bandwidth (incl. scrub traffic)
+  kPmFlush,        // CLFLUSH/CLFLUSHOPT/CLWB write-backs
+  kPmFence,        // SFENCE drains
+  kRomulusTx,      // durable-transaction bracket (self = log/state overhead)
+  kSsd,            // SSD/file-system time (checkpoints, sealed key)
+  kMirrorSave,     // mirror_out bracket
+  kMirrorRestore,  // mirror_in / mirror_in_snapshot bracket
+  kTrainIter,      // one training iteration bracket
+  kDataBatch,      // PM dataset batch sample bracket
+  kScrub,          // scrub / recovery-ladder work
+  kServeBatch,     // one served batch bracket (per-worker timeline)
+  kServeQueue,     // admission-to-dispatch wait
+  kServeDecrypt,   // batch GCM open stage
+  kServeForward,   // batched forward stage
+  kServeSeal,      // reply sealing stage
+  kServeOther,     // reload + ecall + boundary copies within a batch
+  kOther,
+};
+
+inline constexpr std::size_t kCategoryCount =
+    static_cast<std::size_t>(Category::kOther) + 1;
+
+[[nodiscard]] const char* to_string(Category c) noexcept;
+
+/// One typed key/value attached to a span. Values are numeric (the hot-path
+/// attributes are byte counts, page counts, batch sizes, iterations); keys
+/// must be string literals (stored by pointer, never copied).
+struct Attr {
+  const char* key = nullptr;
+  double value = 0;
+};
+
+/// A completed (or still-open) span in the ring.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = root
+  const char* name = "";
+  Category category = Category::kOther;
+  sim::Nanos begin_ns = 0;
+  sim::Nanos end_ns = 0;
+  std::uint32_t track = 0;  // exporter lane: 0 = orchestrator, 1+N = worker N
+  std::uint32_t depth = 0;
+  static constexpr std::size_t kMaxAttrs = 4;
+  Attr attrs[kMaxAttrs]{};
+  std::size_t num_attrs = 0;
+
+  [[nodiscard]] sim::Nanos duration() const noexcept { return end_ns - begin_ns; }
+};
+
+class Tracer {
+ public:
+  /// `capacity` bounds the ring (spans kept); 0 means "effectively
+  /// unbounded" is NOT offered — the default keeps the newest 1M spans.
+  explicit Tracer(std::size_t capacity = 1u << 20);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+
+  /// Opens a span at `now_ns` on the calling thread's nesting stack and
+  /// returns its id. Pair with close(). Prefer the RAII Span below.
+  std::uint64_t open(Category category, const char* name, sim::Nanos now_ns);
+  /// Closes the innermost open span on this thread (must be `id`),
+  /// stamping `now_ns` and committing the record to the ring.
+  void close(std::uint64_t id, sim::Nanos now_ns,
+             const Attr* attrs = nullptr, std::size_t num_attrs = 0);
+  /// Discards the innermost open span on this thread if it is `id`; no-op
+  /// otherwise. For abandoned brackets (e.g. a transaction wiped out by a
+  /// simulated crash) on paths that must not throw.
+  void cancel(std::uint64_t id) noexcept;
+
+  /// Records an already-bounded span (explicit timestamps, optional explicit
+  /// parent and track) without touching the nesting stack — used for
+  /// per-worker serve timelines and for decomposing one clock advance into
+  /// category shares. Returns the span id (usable as `parent`).
+  std::uint64_t complete(Category category, const char* name, sim::Nanos begin_ns,
+                         sim::Nanos end_ns, std::uint64_t parent = 0,
+                         std::uint32_t track = 0, const Attr* attrs = nullptr,
+                         std::size_t num_attrs = 0);
+
+  /// Snapshot of the ring, oldest first. Open spans are not included.
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Spans evicted from the ring since construction/clear.
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Total spans ever committed (ring + dropped).
+  [[nodiscard]] std::uint64_t total_recorded() const;
+
+  /// Empties the ring and resets drop accounting (span ids keep growing).
+  void clear();
+
+ private:
+  struct OpenSpan {
+    SpanRecord rec;
+  };
+  struct ThreadStack;  // thread-local nesting stack, registered per thread
+  ThreadStack& stack();
+  void commit(SpanRecord&& rec);
+
+  std::size_t capacity_;
+  bool enabled_ = true;
+  mutable std::mutex mu_;
+  std::deque<SpanRecord> ring_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII span bound to a clock: timestamps are clock.now() at construction
+/// and destruction. Inert (two pointer checks, no allocation) when the clock
+/// has no tracer or tracing is disabled.
+class Span {
+ public:
+  Span(sim::Clock& clock, Category category, const char* name) noexcept
+      : clock_(&clock), tracer_(clock.tracer()) {
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      id_ = tracer_->open(category, name, clock.now());
+    } else {
+      tracer_ = nullptr;
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a numeric attribute (kept until close; silently dropped past
+  /// SpanRecord::kMaxAttrs or when tracing is off).
+  void attr(const char* key, double value) noexcept {
+    if (tracer_ == nullptr) return;
+    if (num_attrs_ < SpanRecord::kMaxAttrs) attrs_[num_attrs_++] = {key, value};
+  }
+
+  ~Span() {
+    if (tracer_ != nullptr) tracer_->close(id_, clock_->now(), attrs_, num_attrs_);
+  }
+
+ private:
+  sim::Clock* clock_;
+  Tracer* tracer_;  // null when inert
+  std::uint64_t id_ = 0;
+  Attr attrs_[SpanRecord::kMaxAttrs]{};
+  std::size_t num_attrs_ = 0;
+};
+
+/// Emits a pre-bounded leaf span on `clock`'s tracer; no-op when tracing is
+/// off. For charge sites that know their advance up front, and for splitting
+/// one advance into category shares (e.g. GCM vs paging within a parallel
+/// sealing pass).
+inline void trace_complete(sim::Clock& clock, Category category, const char* name,
+                           sim::Nanos begin_ns, sim::Nanos end_ns,
+                           const Attr* attrs = nullptr, std::size_t num_attrs = 0) {
+  Tracer* t = clock.tracer();
+  if (t == nullptr || !t->enabled() || end_ns <= begin_ns) return;
+  t->complete(category, name, begin_ns, end_ns, /*parent=*/0, /*track=*/0, attrs,
+              num_attrs);
+}
+
+}  // namespace plinius::obs

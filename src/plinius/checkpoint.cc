@@ -3,6 +3,7 @@
 #include "common/error.h"
 #include "crypto/envelope.h"
 #include "ml/serialize.h"
+#include "obs/trace.h"
 
 namespace plinius {
 
@@ -20,6 +21,7 @@ bool SsdCheckpointer::exists() const { return fs_->exists(path_); }
 
 void SsdCheckpointer::save(ml::Network& net) {
   ++stats_.saves;
+  obs::Span span(enclave_->clock(), obs::Category::kSsd, "ckpt.save");
   enclave_->charge_ecall();
 
   // Encrypt step: serialize the model inside the enclave and seal it.
@@ -43,6 +45,7 @@ void SsdCheckpointer::save(ml::Network& net) {
 std::uint64_t SsdCheckpointer::restore(ml::Network& net) {
   if (!exists()) throw StorageError("SsdCheckpointer: no checkpoint at " + path_);
   ++stats_.restores;
+  obs::Span span(enclave_->clock(), obs::Category::kSsd, "ckpt.restore");
   enclave_->charge_ecall();
 
   // Read step: ocall-wrapped fread from the SSD into enclave memory.

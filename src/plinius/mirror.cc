@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "common/parallel.h"
 #include "crypto/envelope.h"
+#include "obs/trace.h"
 
 namespace plinius {
 
@@ -102,6 +103,8 @@ void MirrorModel::mirror_out(ml::Network& net, std::uint64_t iteration) {
     throw MlError("MirrorModel::mirror_out: layer count mismatch");
   }
   ++stats_.saves;
+  obs::Span span(enclave_->clock(), obs::Category::kMirrorSave, "mirror.save");
+  span.attr("iteration", static_cast<double>(iteration));
   enclave_->charge_ecall();
 
   // Phase 1 (serial): walk the PM layer list, validate it against the model,
@@ -118,6 +121,8 @@ void MirrorModel::mirror_out(ml::Network& net, std::uint64_t iteration) {
   };
   std::vector<SealTask> tasks;
   std::vector<sim::Nanos> costs;
+  sim::Nanos touch_sum = 0;   // EPC paging share of the seal costs
+  sim::Nanos crypto_sum = 0;  // GCM share
   std::size_t scratch_bytes = 0;
   std::uint64_t node_off = hdr.head;
   for (std::size_t i = 0; i < net.num_layers(); ++i) {
@@ -138,8 +143,11 @@ void MirrorModel::mirror_out(ml::Network& net, std::uint64_t iteration) {
       iv_seq_.next(task.iv);
       scratch_bytes += task.sealed_len;
       // Encrypt cost: touch the (EPC-resident) weights + one GCM pass.
-      costs.push_back(enclave_->touch_task_ns(plain.size()) +
-                      enclave_->crypto_task_ns(plain.size()));
+      const sim::Nanos touch_ns = enclave_->touch_task_ns(plain.size());
+      const sim::Nanos crypto_ns = enclave_->crypto_task_ns(plain.size());
+      touch_sum += touch_ns;
+      crypto_sum += crypto_ns;
+      costs.push_back(touch_ns + crypto_ns);
       tasks.push_back(task);
     }
     node_off = node.next;
@@ -156,7 +164,19 @@ void MirrorModel::mirror_out(ml::Network& net, std::uint64_t iteration) {
     }
   });
   // Simulated encryption time: critical path over the enclave's TCS lanes.
-  stats_.encrypt_ns += enclave_->charge_parallel(costs);
+  const sim::Nanos seal_t0 = enclave_->clock().now();
+  const sim::Nanos enc_ns = enclave_->charge_parallel(costs);
+  stats_.encrypt_ns += enc_ns;
+  // Attribute the critical-path advance to its components in proportion to
+  // their task-cost shares: paging dominates past the EPC limit, GCM below
+  // it — which is exactly the Table Ia crossover the trace should expose.
+  if (enc_ns > 0 && touch_sum + crypto_sum > 0) {
+    const sim::Nanos paging_ns = enc_ns * (touch_sum / (touch_sum + crypto_sum));
+    obs::trace_complete(enclave_->clock(), obs::Category::kEpcPaging,
+                        "mirror.seal.paging", seal_t0, seal_t0 + paging_ns);
+    obs::trace_complete(enclave_->clock(), obs::Category::kGcm, "mirror.seal.gcm",
+                        seal_t0 + paging_ns, seal_t0 + enc_ns);
+  }
 
   // Phase 3: commit. Romulus transactions are single-writer, so the sealed
   // buffers and the iteration counter go to PM serially, atomically. The PM
@@ -191,6 +211,8 @@ std::uint64_t MirrorModel::restore_model(ml::Network& net, bool snapshot) {
     throw MlError(std::string(ctx) + ": layer count mismatch");
   }
   ++stats_.restores;
+  obs::Span span(enclave_->clock(), obs::Category::kMirrorRestore,
+                 snapshot ? "mirror.restore.snapshot" : "mirror.restore");
   enclave_->charge_ecall();
 
   // Phase 1 (serial): walk the PM layer list with the same range checks
@@ -210,6 +232,8 @@ std::uint64_t MirrorModel::restore_model(ml::Network& net, bool snapshot) {
   };
   std::vector<OpenTask> tasks;
   std::vector<sim::Nanos> costs;
+  sim::Nanos open_crypto_sum = 0;  // GCM share of the decrypt costs
+  sim::Nanos open_copy_sum = 0;    // plain-copy share
   std::size_t scratch_bytes = 0;
   std::size_t plain_floats = 0;
   std::uint64_t node_off = hdr.head;
@@ -232,8 +256,12 @@ std::uint64_t MirrorModel::restore_model(ml::Network& net, bool snapshot) {
       scratch_bytes += sealed_len;
       plain_floats += buffers[b].values.size();
       // Decrypt cost: one GCM pass + the plain copy into the layer arrays.
-      costs.push_back(enclave_->crypto_task_ns(sealed_len) +
-                      enclave_->plain_copy_ns(buffers[b].values.size_bytes()));
+      const sim::Nanos crypto_ns = enclave_->crypto_task_ns(sealed_len);
+      const sim::Nanos copy_ns =
+          enclave_->plain_copy_ns(buffers[b].values.size_bytes());
+      open_crypto_sum += crypto_ns;
+      open_copy_sum += copy_ns;
+      costs.push_back(crypto_ns + copy_ns);
     }
     node_off = node.next;
   }
@@ -272,7 +300,17 @@ std::uint64_t MirrorModel::restore_model(ml::Network& net, bool snapshot) {
                        : 0;
     }
   });
-  stats_.decrypt_ns += enclave_->charge_parallel(costs);
+  const sim::Nanos open_t0 = enclave_->clock().now();
+  const sim::Nanos dec_ns = enclave_->charge_parallel(costs);
+  stats_.decrypt_ns += dec_ns;
+  if (dec_ns > 0 && open_crypto_sum + open_copy_sum > 0) {
+    const sim::Nanos gcm_ns =
+        dec_ns * (open_crypto_sum / (open_crypto_sum + open_copy_sum));
+    obs::trace_complete(enclave_->clock(), obs::Category::kGcm, "mirror.open.gcm",
+                        open_t0, open_t0 + gcm_ns);
+    obs::trace_complete(enclave_->clock(), obs::Category::kPlainCopy,
+                        "mirror.open.copy", open_t0 + gcm_ns, open_t0 + dec_ns);
+  }
 
   // Phase 3 (rare, serial): any buffer whose primary failed authentication
   // retries from its A/B sibling. A sibling that authenticates both restores
@@ -379,6 +417,7 @@ MirrorScrubReport MirrorModel::scrub(ml::Network& net, bool repair) {
     throw MlError("MirrorModel::scrub: layer count mismatch");
   }
   MirrorScrubReport report;
+  obs::Span span(enclave_->clock(), obs::Category::kScrub, "mirror.scrub");
 
   struct Repair {
     std::uint64_t dest_off;

@@ -1,4 +1,5 @@
 #include "plinius/platform.h"
+#include "obs/trace.h"
 
 namespace plinius {
 
@@ -37,7 +38,11 @@ void Platform::charge_compute(double macs) {
   // path is the per-lane share. tcs_count == 1 (default) reproduces the
   // paper's single-threaded iteration times exactly.
   const auto lanes = static_cast<double>(enclave_->tcs_count());
+  const sim::Nanos t0 = clock_.now();
   clock_.advance(macs / (profile_.compute_macs_per_s * lanes) * 1e9);
+  const obs::Attr a[] = {{"macs", macs}};
+  obs::trace_complete(clock_, obs::Category::kCompute, "compute", t0, clock_.now(),
+                      a, 1);
 }
 
 }  // namespace plinius

@@ -1,4 +1,5 @@
 #include "plinius/pm_data.h"
+#include "obs/trace.h"
 
 #include <cstring>
 #include <vector>
@@ -114,6 +115,8 @@ void PmDataStore::read_record(std::size_t index, float* x_out, float* y_out) {
 void PmDataStore::sample_batch(std::size_t batch, Rng& rng, float* x_out,
                                float* y_out) {
   const Header hdr = header();
+  obs::Span span(enclave_->clock(), obs::Category::kDataBatch, "data.batch");
+  span.attr("batch", static_cast<double>(batch));
   sim::Stopwatch sw(enclave_->clock());
   const std::size_t plain_len = (hdr.x_cols + hdr.y_cols) * sizeof(float);
 
@@ -160,7 +163,16 @@ void PmDataStore::sample_batch(std::size_t batch, Rng& rng, float* x_out,
                   hdr.y_cols * sizeof(float));
     }
   });
-  enclave_->charge_parallel(costs);
+  {
+    // The decrypt critical path is GCM (or plain copies for unencrypted
+    // data); attribute the whole advance to the matching category.
+    const sim::Nanos t0 = enclave_->clock().now();
+    const sim::Nanos dec_ns = enclave_->charge_parallel(costs);
+    obs::trace_complete(enclave_->clock(),
+                        hdr.encrypted != 0 ? obs::Category::kGcm
+                                           : obs::Category::kPlainCopy,
+                        "data.batch.open", t0, t0 + dec_ns);
+  }
 
   // Phase 3 (rare, serial): corrupt records. kThrow names the failing index;
   // kResample draws replacements so a batch survives media faults in the

@@ -1,6 +1,7 @@
 #include "plinius/scrub.h"
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace plinius {
 
@@ -8,6 +9,7 @@ ScrubReport scrub_arena(romulus::Romulus& rom, MirrorModel* mirror,
                         ml::Network* net, PmDataStore* data,
                         const ScrubOptions& options) {
   expects(!rom.in_transaction(), "scrub_arena: cannot scrub mid-transaction");
+  obs::Span span(rom.device().clock(), obs::Category::kScrub, "scrub.arena");
   ScrubReport report;
   report.poisoned_lines = rom.device().poisoned_line_count();
 

@@ -1,6 +1,7 @@
 #include "plinius/trainer.h"
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace plinius {
 
@@ -205,6 +206,7 @@ void Trainer::record_recovery(const RecoveryReport& rep) {
 }
 
 std::uint64_t Trainer::run_recovery_ladder(RecoveryReport& rep) {
+  obs::Span span(platform_->clock(), obs::Category::kScrub, "train.recovery");
   // Rung 0: allocator metadata. A media fault here would silently poison
   // every later pmalloc even if the mirror authenticates, so validate up
   // front and let the scrubber repair from the back twin before anything
@@ -378,6 +380,7 @@ std::uint64_t Trainer::resume_or_init() {
 }
 
 void Trainer::recover_mirror_out(std::uint64_t iteration, const std::string& why) {
+  obs::Span span(platform_->clock(), obs::Category::kScrub, "train.recover_mirror_out");
   RecoveryReport rep;
   rep.resume_iteration = iteration;
   rep.rungs_failed.push_back("mirror-out: " + why);
@@ -441,6 +444,10 @@ float Trainer::train(std::uint64_t target_iterations,
 
   float loss = 0;
   while (net_.iterations() < target_iterations) {
+    obs::Span iter_span(platform_->clock(), obs::Category::kTrainIter,
+                        "train.iteration");
+    iter_span.attr("iteration", static_cast<double>(net_.iterations()));
+    iter_span.attr("batch", static_cast<double>(batch_));
     // Algorithm 2, line 15: decrypt a batch of training data from PM.
     data_->sample_batch(batch_, batch_rng_, bx.data(), by.data());
     if (augmenter_) {

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/error.h"
+#include "obs/trace.h"
 #include "pm/faultpoint.h"
 
 namespace plinius::pm {
@@ -74,7 +75,11 @@ void PmDevice::record_store(std::size_t offset, std::size_t len) {
   }
   ++stats_.stores;
   stats_.bytes_stored += len;
+  const sim::Nanos t0 = clock_->now();
   clock_->advance(sim::bandwidth_ns(static_cast<double>(len), model_.store_gib_s));
+  const obs::Attr a[] = {{"bytes", static_cast<double>(len)}};
+  obs::trace_complete(*clock_, obs::Category::kPmStore, "pm.store", t0,
+                      clock_->now(), a, 1);
 }
 
 void PmDevice::load(std::size_t offset, void* dst, std::size_t len) {
@@ -96,8 +101,12 @@ void PmDevice::load(std::size_t offset, void* dst, std::size_t len) {
 
 void PmDevice::charge_read(std::size_t len) {
   stats_.bytes_read += len;
+  const sim::Nanos t0 = clock_->now();
   clock_->advance(model_.read_latency_ns +
                   sim::bandwidth_ns(static_cast<double>(len), model_.read_gib_s));
+  const obs::Attr a[] = {{"bytes", static_cast<double>(len)}};
+  obs::trace_complete(*clock_, obs::Category::kPmRead, "pm.read", t0,
+                      clock_->now(), a, 1);
 }
 
 void PmDevice::commit_line(std::size_t line, const std::uint8_t* snapshot) {
@@ -161,8 +170,12 @@ void PmDevice::flush(std::size_t offset, std::size_t len, FlushKind kind) {
   const double issue_ns = kind == FlushKind::kClflush       ? model_.clflush_ns
                           : kind == FlushKind::kClflushOpt ? model_.clflushopt_issue_ns
                                                            : model_.clwb_issue_ns;
+  const sim::Nanos t0 = clock_->now();
   clock_->advance(static_cast<double>(acted) *
                   (issue_ns + sim::bandwidth_ns(kCacheLine, model_.flush_drain_gib_s)));
+  const obs::Attr a[] = {{"lines", static_cast<double>(acted)}};
+  obs::trace_complete(*clock_, obs::Category::kPmFlush, "pm.flush", t0,
+                      clock_->now(), a, 1);
 }
 
 void PmDevice::fence(FenceKind kind) {
@@ -171,7 +184,10 @@ void PmDevice::fence(FenceKind kind) {
   if (injector_ != nullptr) injector_->on_op(FaultOp::kFence, 0, 0);
   ++stats_.fences;
   if (kind == FenceKind::kNop) return;
+  const sim::Nanos t0 = clock_->now();
   clock_->advance(model_.sfence_ns);
+  obs::trace_complete(*clock_, obs::Category::kPmFence, "pm.fence", t0,
+                      clock_->now());
   for (const std::size_t line : pending_list_) {
     if (!test_bit(pending_bits_, line)) continue;  // already committed by clflush
     const auto it = pending_snapshots_.find(line);
@@ -303,8 +319,12 @@ std::vector<std::size_t> PmDevice::scrub_range(std::size_t offset, std::size_t l
   std::vector<std::size_t> poisoned;
   if (len == 0) return poisoned;
   stats_.scrub_bytes += len;
+  const sim::Nanos t0 = clock_->now();
   clock_->advance(model_.read_latency_ns +
                   sim::bandwidth_ns(static_cast<double>(len), model_.read_gib_s));
+  const obs::Attr a[] = {{"bytes", static_cast<double>(len)}};
+  obs::trace_complete(*clock_, obs::Category::kPmRead, "pm.scrub_read", t0,
+                      clock_->now(), a, 1);
   const std::size_t first = offset / kCacheLine;
   const std::size_t last = (offset + len - 1) / kCacheLine;
   for (std::size_t line = first; line <= last; ++line) {

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace plinius::romulus {
 
@@ -146,6 +147,10 @@ void Romulus::begin_transaction() {
     throw PmError("Romulus: another instance has an open transaction on this thread");
   }
   current_ = this;
+  if (obs::Tracer* t = dev_->clock().tracer(); t != nullptr && t->enabled()) {
+    tx_span_id_ = t->open(obs::Category::kRomulusTx, "romulus.tx",
+                          dev_->clock().now());
+  }
   set_state(State::kMutating);
   pfence();  // fence 1
 }
@@ -170,12 +175,21 @@ void Romulus::end_transaction() {
 
   log_.clear();
   current_ = nullptr;
+  close_tx_span();
 }
 
 void Romulus::abandon_transaction() noexcept {
   tx_depth_ = 0;
   log_.clear();
   if (current_ == this) current_ = nullptr;
+  // The bracket dies with the transaction: a simulated crash wiped it out,
+  // so there is no meaningful end timestamp to commit.
+  if (tx_span_id_ != 0) {
+    if (obs::Tracer* t = dev_->clock().tracer(); t != nullptr) {
+      t->cancel(tx_span_id_);
+    }
+    tx_span_id_ = 0;
+  }
 }
 
 void Romulus::abort_transaction() {
@@ -192,6 +206,15 @@ void Romulus::abort_transaction() {
   copy_back_to_main_full();
   set_state(State::kIdle);
   pfence();
+  close_tx_span();
+}
+
+void Romulus::close_tx_span() {
+  if (tx_span_id_ == 0) return;
+  if (obs::Tracer* t = dev_->clock().tracer(); t != nullptr) {
+    t->close(tx_span_id_, dev_->clock().now());
+  }
+  tx_span_id_ = 0;
 }
 
 void Romulus::tx_store(std::size_t offset, const void* src, std::size_t len) {

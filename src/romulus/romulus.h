@@ -253,6 +253,7 @@ class Romulus {
   [[nodiscard]] State state() const;
   void pwb(std::size_t offset, std::size_t len);
   void pfence();
+  void close_tx_span();
   void copy_main_to_back_full();
   void copy_back_to_main_full();
 
@@ -275,6 +276,7 @@ class Romulus {
   };
   std::vector<LogEntry> log_;  // volatile redo log (enclave DRAM)
   int tx_depth_ = 0;
+  std::uint64_t tx_span_id_ = 0;  // open obs span for the outermost tx, 0 = none
 
   static thread_local Romulus* current_;
 };

@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "obs/trace.h"
 
 namespace plinius::serve {
 
@@ -159,6 +160,45 @@ InferenceServer::BatchCost InferenceServer::service_batch(
 
   // Every request in the batch occupies the worker for the whole pass.
   const sim::Nanos done_ns = dispatch_ns + cost.total();
+
+  // Per-worker trace timeline. The event loop prices batches on worker
+  // busy-until times rather than the shared clock, so these spans carry
+  // explicit timestamps and land on track worker+1 (track 0 stays the
+  // orchestrator's). Stage children split the batch bracket exactly.
+  if (obs::Tracer* tracer = platform_->clock().tracer();
+      tracer != nullptr && tracer->enabled()) {
+    const auto track = static_cast<std::uint32_t>(worker + 1);
+    const obs::Attr ba[] = {{"batch", static_cast<double>(b)},
+                            {"worker", static_cast<double>(worker)}};
+    const std::uint64_t bid =
+        tracer->complete(obs::Category::kServeBatch, "serve.batch", dispatch_ns,
+                         done_ns, /*parent=*/0, track, ba, 2);
+    struct Stage {
+      obs::Category cat;
+      const char* name;
+      sim::Nanos dur;
+    };
+    const Stage stages[] = {
+        {obs::Category::kServeOther, "serve.other", cost.other_ns},
+        {obs::Category::kServeDecrypt, "serve.decrypt", cost.decrypt_ns},
+        {obs::Category::kServeForward, "serve.forward", cost.forward_ns},
+        {obs::Category::kServeSeal, "serve.seal", cost.seal_ns},
+    };
+    sim::Nanos t = dispatch_ns;
+    for (const Stage& st : stages) {
+      if (st.dur > 0) {
+        tracer->complete(st.cat, st.name, t, t + st.dur, bid, track);
+      }
+      t += st.dur;
+    }
+    for (const Request* r : batch) {
+      if (dispatch_ns > r->arrival_ns) {
+        tracer->complete(obs::Category::kServeQueue, "serve.queue",
+                         r->arrival_ns, dispatch_ns, /*parent=*/0, track);
+      }
+    }
+  }
+
   for (std::size_t i = 0; i < b; ++i) {
     const Request& req = *batch[i];
     Completion c;
@@ -204,6 +244,8 @@ std::vector<Completion> InferenceServer::run(std::span<const Request> workload) 
             "InferenceServer::run: workload must be sorted by arrival_ns");
   }
   stats_.arrived += workload.size();
+  obs::Span run_span(platform_->clock(), obs::Category::kOther, "serve.run");
+  run_span.attr("requests", static_cast<double>(workload.size()));
 
   // Event-driven simulation on the server's own timeline: per-worker
   // busy-until times express worker concurrency; the shared platform clock

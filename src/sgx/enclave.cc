@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "crypto/envelope.h"
 #include "crypto/sha256.h"
+#include "obs/trace.h"
 
 namespace plinius::sgx {
 
@@ -50,11 +51,17 @@ sim::Nanos EnclaveRuntime::ecall_task_ns() {
   return 2 * transition_ns();  // enter + return
 }
 
-void EnclaveRuntime::charge_ecall() { clock_->advance(ecall_task_ns()); }
+void EnclaveRuntime::charge_ecall() {
+  const sim::Nanos t0 = clock_->now();
+  clock_->advance(ecall_task_ns());
+  obs::trace_complete(*clock_, obs::Category::kEcall, "sgx.ecall", t0, clock_->now());
+}
 
 void EnclaveRuntime::charge_ocall() {
   ++stats_.ocalls;
+  const sim::Nanos t0 = clock_->now();
   clock_->advance(2 * transition_ns());  // exit + re-enter
+  obs::trace_complete(*clock_, obs::Category::kOcall, "sgx.ocall", t0, clock_->now());
 }
 
 std::size_t EnclaveRuntime::charge_ocall_io(std::size_t bytes, bool into_enclave) {
@@ -100,7 +107,11 @@ sim::Nanos EnclaveRuntime::touch_task_ns(std::size_t bytes) {
 }
 
 void EnclaveRuntime::touch_enclave(std::size_t bytes) {
+  const sim::Nanos t0 = clock_->now();
   clock_->advance(touch_task_ns(bytes));
+  const obs::Attr a[] = {{"bytes", static_cast<double>(bytes)}};
+  obs::trace_complete(*clock_, obs::Category::kEpcPaging, "sgx.touch", t0,
+                      clock_->now(), a, 1);
 }
 
 sim::Nanos EnclaveRuntime::copy_in_task_ns(std::size_t bytes) {
@@ -110,7 +121,19 @@ sim::Nanos EnclaveRuntime::copy_in_task_ns(std::size_t bytes) {
 }
 
 void EnclaveRuntime::copy_into_enclave(std::size_t bytes) {
-  clock_->advance(copy_in_task_ns(bytes));
+  // Mirrors copy_in_task_ns, but keeps the bandwidth and paging components
+  // separate so the trace attributes each to its own category.
+  stats_.bytes_copied_in += bytes;
+  const sim::Nanos bw =
+      sim::bandwidth_ns(static_cast<double>(bytes), model_.epc_copy_in_gib_s);
+  const sim::Nanos touch = touch_task_ns(bytes);
+  const sim::Nanos t0 = clock_->now();
+  clock_->advance(bw + touch);
+  const obs::Attr a[] = {{"bytes", static_cast<double>(bytes)}};
+  obs::trace_complete(*clock_, obs::Category::kBoundaryCopy, "sgx.copy_in", t0,
+                      t0 + bw, a, 1);
+  obs::trace_complete(*clock_, obs::Category::kEpcPaging, "sgx.copy_in.paging",
+                      t0 + bw, clock_->now(), a, 1);
 }
 
 sim::Nanos EnclaveRuntime::copy_out_task_ns(std::size_t bytes) {
@@ -121,7 +144,11 @@ sim::Nanos EnclaveRuntime::copy_out_task_ns(std::size_t bytes) {
 }
 
 void EnclaveRuntime::copy_out_of_enclave(std::size_t bytes) {
+  const sim::Nanos t0 = clock_->now();
   clock_->advance(copy_out_task_ns(bytes));
+  const obs::Attr a[] = {{"bytes", static_cast<double>(bytes)}};
+  obs::trace_complete(*clock_, obs::Category::kBoundaryCopy, "sgx.copy_out", t0,
+                      clock_->now(), a, 1);
 }
 
 sim::Nanos EnclaveRuntime::crypto_task_ns(std::size_t bytes) {
@@ -131,12 +158,20 @@ sim::Nanos EnclaveRuntime::crypto_task_ns(std::size_t bytes) {
 }
 
 void EnclaveRuntime::charge_crypto(std::size_t bytes) {
+  const sim::Nanos t0 = clock_->now();
   clock_->advance(crypto_task_ns(bytes));
+  const obs::Attr a[] = {{"bytes", static_cast<double>(bytes)}};
+  obs::trace_complete(*clock_, obs::Category::kGcm, "sgx.gcm", t0, clock_->now(),
+                      a, 1);
 }
 
 void EnclaveRuntime::charge_native_crypto(std::size_t bytes) {
+  const sim::Nanos t0 = clock_->now();
   clock_->advance(
       sim::bandwidth_ns(static_cast<double>(bytes), model_.native_crypto_gib_s));
+  const obs::Attr a[] = {{"bytes", static_cast<double>(bytes)}};
+  obs::trace_complete(*clock_, obs::Category::kGcm, "sgx.gcm.native", t0,
+                      clock_->now(), a, 1);
 }
 
 sim::Nanos EnclaveRuntime::plain_copy_ns(std::size_t bytes) const {
@@ -144,7 +179,11 @@ sim::Nanos EnclaveRuntime::plain_copy_ns(std::size_t bytes) const {
 }
 
 void EnclaveRuntime::charge_plain_copy(std::size_t bytes) {
+  const sim::Nanos t0 = clock_->now();
   clock_->advance(plain_copy_ns(bytes));
+  const obs::Attr a[] = {{"bytes", static_cast<double>(bytes)}};
+  obs::trace_complete(*clock_, obs::Category::kPlainCopy, "sgx.plain_copy", t0,
+                      clock_->now(), a, 1);
 }
 
 std::size_t EnclaveRuntime::tcs_count() const noexcept {

@@ -282,6 +282,64 @@ TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
   }
 }
 
+TEST(LatencyHistogram, MergeMismatchedPopulations) {
+  // A large fast population absorbing a tiny slow one (the shape of merging
+  // a busy worker's recorder with an idle one): counts add exactly and the
+  // small population moves only the tail, not the body.
+  LatencyHistogram fast, slow;
+  for (int i = 0; i < 10'000; ++i) fast.record(100.0 + (i % 7));
+  for (int i = 0; i < 10; ++i) slow.record(1e6);
+
+  const double p50_before = fast.percentile(50);
+  fast.merge(slow);
+  EXPECT_EQ(fast.count(), 10'010u);
+  EXPECT_DOUBLE_EQ(fast.max(), 1e6);
+  EXPECT_DOUBLE_EQ(fast.min(), 100.0);
+  EXPECT_DOUBLE_EQ(fast.percentile(50), p50_before);  // body unmoved
+  EXPECT_LT(fast.percentile(99), 200.0);  // 10/10010 is beyond p99...
+  EXPECT_NEAR(fast.percentile(99.95), 1e6,
+              1e6 / LatencyHistogram::kSubBuckets);  // ...but inside p99.95
+
+  // Merging into an empty histogram is a copy; merging an empty one in is
+  // a no-op (min/max must not be polluted by the empty side's zeros).
+  LatencyHistogram empty1, empty2;
+  empty1.merge(slow);
+  EXPECT_EQ(empty1.count(), 10u);
+  EXPECT_DOUBLE_EQ(empty1.min(), 1e6);
+  slow.merge(empty2);
+  EXPECT_EQ(slow.count(), 10u);
+  EXPECT_DOUBLE_EQ(slow.min(), 1e6);
+}
+
+TEST(LatencyHistogram, MergePercentileStability) {
+  // Percentiles are a function of the merged bucket counts alone: merging
+  // the same recordings in any order or chunking yields identical queries.
+  Rng rng(23);
+  std::vector<double> values;
+  values.reserve(3000);
+  for (int i = 0; i < 3000; ++i) values.push_back(rng.uniform(1.0, 1e7));
+
+  LatencyHistogram whole;
+  for (const double v : values) whole.record(v);
+
+  LatencyHistogram chunks[3];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    chunks[i % 3].record(values[i]);
+  }
+  LatencyHistogram forward, backward;
+  for (int c = 0; c < 3; ++c) forward.merge(chunks[c]);
+  for (int c = 2; c >= 0; --c) backward.merge(chunks[c]);
+
+  EXPECT_EQ(forward.count(), whole.count());
+  EXPECT_EQ(backward.count(), whole.count());
+  for (double p : {1.0, 25.0, 50.0, 75.0, 95.0, 99.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(forward.percentile(p), whole.percentile(p)) << p;
+    EXPECT_DOUBLE_EQ(backward.percentile(p), whole.percentile(p)) << p;
+  }
+  // Repeated self-queries are stable (no internal mutation on read).
+  EXPECT_DOUBLE_EQ(forward.percentile(99), forward.percentile(99));
+}
+
 TEST(LatencyHistogram, ResetAndNegativeClamp) {
   LatencyHistogram h;
   h.record(-5.0);  // clamps to zero rather than corrupting a bucket
