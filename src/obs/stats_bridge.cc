@@ -20,6 +20,7 @@ void publish(Registry& reg, const sgx::EnclaveStats& s, const Labels& labels) {
   reg.set_counter("enclave.bytes_copied_out", s.bytes_copied_out, labels);
   reg.set_counter("enclave.crypto_bytes", s.crypto_bytes, labels);
   reg.set_counter("enclave.parallel_regions", s.parallel_regions, labels);
+  reg.set_counter("enclave.stream_submits", s.stream_submits, labels);
 }
 
 void publish(Registry& reg, const pm::PmStats& s, const Labels& labels) {
@@ -42,8 +43,12 @@ void publish(Registry& reg, const MirrorStats& s, const Labels& labels) {
   reg.set_gauge("mirror.write_ns", s.write_ns, labels);
   reg.set_gauge("mirror.read_ns", s.read_ns, labels);
   reg.set_gauge("mirror.decrypt_ns", s.decrypt_ns, labels);
+  reg.set_gauge("mirror.pipeline_stall_ns", s.pipeline_stall_ns, labels);
+  reg.set_counter("mirror.save_attempts", s.save_attempts, labels);
+  reg.set_counter("mirror.restore_attempts", s.restore_attempts, labels);
   reg.set_counter("mirror.saves", s.saves, labels);
   reg.set_counter("mirror.restores", s.restores, labels);
+  reg.set_counter("mirror.async_saves", s.async_saves, labels);
   reg.set_counter("mirror.replica_repairs", s.replica_repairs, labels);
 }
 
@@ -59,6 +64,8 @@ void publish(Registry& reg, const CheckpointStats& s, const Labels& labels) {
   reg.set_gauge("checkpoint.write_ns", s.write_ns, labels);
   reg.set_gauge("checkpoint.read_ns", s.read_ns, labels);
   reg.set_gauge("checkpoint.decrypt_ns", s.decrypt_ns, labels);
+  reg.set_counter("checkpoint.save_attempts", s.save_attempts, labels);
+  reg.set_counter("checkpoint.restore_attempts", s.restore_attempts, labels);
   reg.set_counter("checkpoint.saves", s.saves, labels);
   reg.set_counter("checkpoint.restores", s.restores, labels);
 }

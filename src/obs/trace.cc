@@ -32,6 +32,8 @@ const char* to_string(Category c) noexcept {
     case Category::kServeForward: return "serve_forward";
     case Category::kServeSeal: return "serve_seal";
     case Category::kServeOther: return "serve_other";
+    case Category::kPipelineSeal: return "pipeline_seal";
+    case Category::kPipelineStall: return "pipeline_stall";
     case Category::kOther: return "other";
   }
   return "?";
@@ -102,10 +104,14 @@ std::uint64_t Tracer::complete(Category category, const char* name,
   rec.track = track;
   rec.num_attrs = std::min(num_attrs, SpanRecord::kMaxAttrs);
   for (std::size_t i = 0; i < rec.num_attrs; ++i) rec.attrs[i] = attrs[i];
-  // An explicit parent wins; otherwise nest under this thread's innermost
-  // open span so decomposition spans roll up to their charge site.
+  // An explicit parent wins; otherwise a track-0 span nests under this
+  // thread's innermost open span so decomposition spans roll up to their
+  // charge site. Spans on an explicit background track (track != 0) stay
+  // roots — they model work off the foreground timeline (pipelined seals,
+  // per-worker serve lanes), which must not attribute into whatever span
+  // happened to be open when they were recorded.
   ThreadStack& st = stack();
-  if (parent == 0 && !st.open.empty()) {
+  if (parent == 0 && track == 0 && !st.open.empty()) {
     rec.parent = st.open.back().id;
     rec.depth = static_cast<std::uint32_t>(st.open.size());
   } else {

@@ -69,6 +69,8 @@ enum class Category : std::uint8_t {
   kServeForward,   // batched forward stage
   kServeSeal,      // reply sealing stage
   kServeOther,     // reload + ecall + boundary copies within a batch
+  kPipelineSeal,   // background-lane seal window (mirror async save)
+  kPipelineStall,  // foreground waiting on an in-flight background seal
   kOther,
 };
 
@@ -130,6 +132,9 @@ class Tracer {
   /// parent and track) without touching the nesting stack — used for
   /// per-worker serve timelines and for decomposing one clock advance into
   /// category shares. Returns the span id (usable as `parent`).
+  /// With parent == 0, a track-0 span nests under the calling thread's
+  /// innermost open span; a span on any other track stays a root (it lives
+  /// off the foreground timeline).
   std::uint64_t complete(Category category, const char* name, sim::Nanos begin_ns,
                          sim::Nanos end_ns, std::uint64_t parent = 0,
                          std::uint32_t track = 0, const Attr* attrs = nullptr,

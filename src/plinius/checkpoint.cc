@@ -20,7 +20,7 @@ SsdCheckpointer::SsdCheckpointer(storage::SimFileSystem& fs,
 bool SsdCheckpointer::exists() const { return fs_->exists(path_); }
 
 void SsdCheckpointer::save(ml::Network& net) {
-  ++stats_.saves;
+  ++stats_.save_attempts;
   obs::Span span(enclave_->clock(), obs::Category::kSsd, "ckpt.save");
   enclave_->charge_ecall();
 
@@ -40,11 +40,12 @@ void SsdCheckpointer::save(ml::Network& net) {
   file.fwrite(sealed);
   file.fsync();
   stats_.write_ns += wr.elapsed();
+  ++stats_.saves;
 }
 
 std::uint64_t SsdCheckpointer::restore(ml::Network& net) {
+  ++stats_.restore_attempts;
   if (!exists()) throw StorageError("SsdCheckpointer: no checkpoint at " + path_);
-  ++stats_.restores;
   obs::Span span(enclave_->clock(), obs::Category::kSsd, "ckpt.restore");
   enclave_->charge_ecall();
 
@@ -64,6 +65,7 @@ std::uint64_t SsdCheckpointer::restore(ml::Network& net) {
   ml::deserialize_weights(net, blob);
   enclave_->charge_plain_copy(blob.size());
   stats_.decrypt_ns += de.elapsed();
+  ++stats_.restores;
   return net.iterations();
 }
 

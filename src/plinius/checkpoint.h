@@ -29,6 +29,11 @@ struct CheckpointStats {
   sim::Nanos write_ns = 0;  // ocalls + fwrite + fsync
   sim::Nanos read_ns = 0;   // ocalls + fread into the enclave
   sim::Nanos decrypt_ns = 0;
+  // Attempts count every save/restore *started*; saves/restores count only
+  // completions, so a throw mid-operation leaves attempts > completions
+  // (same contract as MirrorStats).
+  std::uint64_t save_attempts = 0;
+  std::uint64_t restore_attempts = 0;
   std::uint64_t saves = 0;
   std::uint64_t restores = 0;
 };

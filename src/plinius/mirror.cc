@@ -19,9 +19,19 @@ MirrorModel::MirrorModel(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave,
       iv_seq_(crypto::IvSequence::salted(enclave.rng())),
       options_(options) {}
 
+MirrorModel::~MirrorModel() = default;
+
 bool MirrorModel::exists() const {
   const std::uint64_t off = rom_->root(kRootSlot);
   if (off == 0) return false;
+  // The root slot is untrusted PM data: validate the full Header extent
+  // before any read (header() reads all of it), so a corrupt slot surfaces
+  // as a PmError instead of an out-of-bounds main-region access.
+  if (off > rom_->main_size() || sizeof(Header) > rom_->main_size() - off) {
+    throw PmError("MirrorModel::exists: corrupt root slot: header offset " +
+                  std::to_string(off) + " + " + std::to_string(sizeof(Header)) +
+                  " bytes exceeds main size " + std::to_string(rom_->main_size()));
+  }
   return rom_->read<std::uint64_t>(off) == kMagic;
 }
 
@@ -97,67 +107,88 @@ void MirrorModel::alloc(ml::Network& net) {
   });
 }
 
-void MirrorModel::mirror_out(ml::Network& net, std::uint64_t iteration) {
+MirrorModel::SealPlan MirrorModel::build_seal_plan(ml::Network& net, const char* ctx) {
+  // Serial walk: validate the PM layer list against the model and build the
+  // seal task list. IVs are drawn from the key's sequence here, in list
+  // order, so the counter stays strictly monotonic no matter how the sealing
+  // tasks are scheduled afterwards.
   const Header hdr = header();
   if (hdr.num_layers != net.num_layers()) {
-    throw MlError("MirrorModel::mirror_out: layer count mismatch");
+    throw MlError(std::string(ctx) + ": layer count mismatch");
   }
-  ++stats_.saves;
-  obs::Span span(enclave_->clock(), obs::Category::kMirrorSave, "mirror.save");
-  span.attr("iteration", static_cast<double>(iteration));
-  enclave_->charge_ecall();
-
-  // Phase 1 (serial): walk the PM layer list, validate it against the model,
-  // and build the seal task list. IVs are drawn from the key's sequence here,
-  // in list order, so the counter stays strictly monotonic no matter how the
-  // sealing tasks are scheduled below.
-  struct SealTask {
-    ByteSpan plain;
-    std::uint64_t pm_off;
-    std::uint64_t replica_off;  // 0 = unreplicated
-    std::size_t sealed_len;
-    std::size_t scratch_off;
-    std::uint8_t iv[crypto::kGcmIvSize];
-  };
-  std::vector<SealTask> tasks;
-  std::vector<sim::Nanos> costs;
-  sim::Nanos touch_sum = 0;   // EPC paging share of the seal costs
-  sim::Nanos crypto_sum = 0;  // GCM share
-  std::size_t scratch_bytes = 0;
+  SealPlan plan;
   std::uint64_t node_off = hdr.head;
   for (std::size_t i = 0; i < net.num_layers(); ++i) {
     expects(node_off != 0, "MirrorModel: truncated layer list");
-    const LayerNode node = checked_node(node_off, "MirrorModel::mirror_out");
+    const LayerNode node = checked_node(node_off, ctx);
     const auto buffers = net.layer(i).parameters();
     if (node.num_buffers != buffers.size()) {
-      throw MlError("MirrorModel::mirror_out: buffer count mismatch");
+      throw MlError(std::string(ctx) + ": buffer count mismatch");
     }
     for (std::size_t b = 0; b < buffers.size(); ++b) {
       const ByteSpan plain = float_bytes(buffers[b].values);
       if (node.buf_sealed_len[b] != crypto::sealed_size(plain.size())) {
-        throw MlError("MirrorModel::mirror_out: buffer size mismatch");
+        throw MlError(std::string(ctx) + ": buffer size mismatch");
       }
-      check_buffer_extent(node, b, "MirrorModel::mirror_out");
-      SealTask task{plain,        node.buf_off[b], node.buf_replica_off[b],
-                    node.buf_sealed_len[b], scratch_bytes, {}};
+      check_buffer_extent(node, b, ctx);
+      SealTask task{plain,
+                    node.buf_off[b],
+                    node.buf_replica_off[b],
+                    node.buf_sealed_len[b],
+                    plan.scratch_bytes,
+                    plan.plain_bytes,
+                    {}};
       iv_seq_.next(task.iv);
-      scratch_bytes += task.sealed_len;
+      plan.scratch_bytes += task.sealed_len;
+      plan.plain_bytes += plain.size();
       // Encrypt cost: touch the (EPC-resident) weights + one GCM pass.
       const sim::Nanos touch_ns = enclave_->touch_task_ns(plain.size());
       const sim::Nanos crypto_ns = enclave_->crypto_task_ns(plain.size());
-      touch_sum += touch_ns;
-      crypto_sum += crypto_ns;
-      costs.push_back(touch_ns + crypto_ns);
-      tasks.push_back(task);
+      plan.touch_sum += touch_ns;
+      plan.crypto_sum += crypto_ns;
+      plan.costs.push_back(touch_ns + crypto_ns);
+      plan.tasks.push_back(task);
     }
     node_off = node.next;
   }
+  return plan;
+}
+
+void MirrorModel::commit_seal(const SealPlan& plan, ByteSpan sealed,
+                              std::uint64_t iteration) {
+  // Commit. Romulus transactions are single-writer, so the sealed buffers
+  // and the iteration counter go to PM serially, atomically. The PM stores,
+  // PWBs, fences and the twin-copy commit are the "write" share of Table Ia.
+  sim::Stopwatch write_sw(enclave_->clock());
+  rom_->run_transaction([&] {
+    rom_->tx_assign(rom_->root(kRootSlot) + offsetof(Header, iteration), iteration);
+    for (const SealTask& task : plan.tasks) {
+      rom_->tx_store(task.pm_off, sealed.data() + task.scratch_off, task.sealed_len);
+      if (task.replica_off != 0) {
+        rom_->tx_store(task.replica_off, sealed.data() + task.scratch_off,
+                       task.sealed_len);
+      }
+    }
+  });
+  stats_.write_ns += write_sw.elapsed();
+}
+
+void MirrorModel::mirror_out(ml::Network& net, std::uint64_t iteration) {
+  expects(async_ == nullptr,
+          "MirrorModel::mirror_out: async save in flight — drain it first");
+  ++stats_.save_attempts;
+  obs::Span span(enclave_->clock(), obs::Category::kMirrorSave, "mirror.save");
+  span.attr("iteration", static_cast<double>(iteration));
+  enclave_->charge_ecall();
+
+  // Phase 1 (serial): validate + plan.
+  const SealPlan plan = build_seal_plan(net, "MirrorModel::mirror_out");
 
   // Phase 2: seal every buffer concurrently into disjoint scratch slices.
-  scratch_.resize(scratch_bytes);
-  par::parallel_for(tasks.size(), [&](par::Range r) {
+  scratch_.resize(plan.scratch_bytes);
+  par::parallel_for(plan.tasks.size(), [&](par::Range r) {
     for (std::size_t t = r.begin; t < r.end; ++t) {
-      const SealTask& task = tasks[t];
+      const SealTask& task = plan.tasks[t];
       crypto::seal_into_iv(gcm_, task.iv, task.plain,
                            MutableByteSpan(scratch_.data() + task.scratch_off,
                                            task.sealed_len));
@@ -165,35 +196,131 @@ void MirrorModel::mirror_out(ml::Network& net, std::uint64_t iteration) {
   });
   // Simulated encryption time: critical path over the enclave's TCS lanes.
   const sim::Nanos seal_t0 = enclave_->clock().now();
-  const sim::Nanos enc_ns = enclave_->charge_parallel(costs);
+  const sim::Nanos enc_ns = enclave_->charge_parallel(plan.costs);
   stats_.encrypt_ns += enc_ns;
   // Attribute the critical-path advance to its components in proportion to
   // their task-cost shares: paging dominates past the EPC limit, GCM below
   // it — which is exactly the Table Ia crossover the trace should expose.
-  if (enc_ns > 0 && touch_sum + crypto_sum > 0) {
-    const sim::Nanos paging_ns = enc_ns * (touch_sum / (touch_sum + crypto_sum));
+  if (enc_ns > 0 && plan.touch_sum + plan.crypto_sum > 0) {
+    const sim::Nanos paging_ns =
+        enc_ns * (plan.touch_sum / (plan.touch_sum + plan.crypto_sum));
     obs::trace_complete(enclave_->clock(), obs::Category::kEpcPaging,
                         "mirror.seal.paging", seal_t0, seal_t0 + paging_ns);
     obs::trace_complete(enclave_->clock(), obs::Category::kGcm, "mirror.seal.gcm",
                         seal_t0 + paging_ns, seal_t0 + enc_ns);
   }
 
-  // Phase 3: commit. Romulus transactions are single-writer, so the sealed
-  // buffers and the iteration counter go to PM serially, atomically. The PM
-  // stores, PWBs, fences and the twin-copy commit are the "write" share of
-  // Table Ia.
-  sim::Stopwatch write_sw(enclave_->clock());
-  rom_->run_transaction([&] {
-    rom_->tx_assign(rom_->root(kRootSlot) + offsetof(Header, iteration), iteration);
-    for (const SealTask& task : tasks) {
-      rom_->tx_store(task.pm_off, scratch_.data() + task.scratch_off, task.sealed_len);
-      if (task.replica_off != 0) {
-        rom_->tx_store(task.replica_off, scratch_.data() + task.scratch_off,
-                       task.sealed_len);
-      }
+  // Phase 3: durable commit.
+  commit_seal(plan, scratch_, iteration);
+  ++stats_.saves;
+}
+
+// Pending double-buffered save: the weight snapshot (so compute can mutate
+// the live buffers immediately) and the sealed bytes awaiting their durable
+// commit. Owning both here keeps scratch_ free for any synchronous restore
+// the recovery path may need while a seal is in flight.
+struct MirrorModel::AsyncSeal {
+  SealPlan plan;
+  std::uint64_t iteration = 0;
+  Bytes snapshot;
+  Bytes sealed;
+};
+
+void MirrorModel::begin_async_save(ml::Network& net, std::uint64_t iteration,
+                                   sgx::ChargeStream& stream) {
+  expects(async_ == nullptr,
+          "MirrorModel::begin_async_save: previous async save still pending");
+  ++stats_.save_attempts;
+  obs::Span span(enclave_->clock(), obs::Category::kMirrorSave, "mirror.save.stage");
+  span.attr("iteration", static_cast<double>(iteration));
+  enclave_->charge_ecall();
+
+  auto async = std::make_unique<AsyncSeal>();
+  async->plan = build_seal_plan(net, "MirrorModel::begin_async_save");
+  async->iteration = iteration;
+
+  // Double buffer: gather the live weights into the enclave staging snapshot.
+  // This copy is the only weight-touching cost left on the foreground; the
+  // moment it is done, training may mutate the live buffers again.
+  async->snapshot.resize(async->plan.plain_bytes);
+  for (const SealTask& task : async->plan.tasks) {
+    std::memcpy(async->snapshot.data() + task.plain_off, task.plain.data(),
+                task.plain.size());
+  }
+  enclave_->charge_plain_copy(async->plan.plain_bytes);
+
+  // Seal the snapshot now — the sealed bytes must be bitwise identical to
+  // the serial path's — but book the simulated cost on the background
+  // stream's lanes instead of the foreground clock.
+  async->sealed.resize(async->plan.scratch_bytes);
+  const SealPlan& plan = async->plan;
+  Bytes& snapshot = async->snapshot;
+  Bytes& sealed = async->sealed;
+  par::parallel_for(plan.tasks.size(), [&](par::Range r) {
+    for (std::size_t t = r.begin; t < r.end; ++t) {
+      const SealTask& task = plan.tasks[t];
+      crypto::seal_into_iv(
+          gcm_, task.iv,
+          ByteSpan(snapshot.data() + task.plain_off, task.plain.size()),
+          MutableByteSpan(sealed.data() + task.scratch_off, task.sealed_len));
     }
   });
-  stats_.write_ns += write_sw.elapsed();
+  const sgx::ChargeStream::Window window = stream.submit(plan.costs);
+  stats_.encrypt_ns += window.duration();
+
+  // Background-lane spans: a pipeline.seal bracket on its own track with the
+  // same paging/GCM decomposition mirror_out emits, so rollups can prove the
+  // overlap (the bracket lies outside the foreground span tree and may
+  // extend past "now").
+  obs::Tracer* tracer = enclave_->clock().tracer();
+  if (tracer != nullptr && tracer->enabled() && window.duration() > 0) {
+    const obs::Attr a[] = {{"iteration", static_cast<double>(iteration)},
+                           {"lanes", static_cast<double>(stream.lanes())}};
+    const std::uint64_t bracket =
+        tracer->complete(obs::Category::kPipelineSeal, "pipeline.seal",
+                         window.begin, window.end, /*parent=*/0, /*track=*/1, a, 2);
+    if (plan.touch_sum + plan.crypto_sum > 0) {
+      const sim::Nanos paging_ns =
+          window.duration() * (plan.touch_sum / (plan.touch_sum + plan.crypto_sum));
+      if (paging_ns > 0) {
+        tracer->complete(obs::Category::kEpcPaging, "pipeline.seal.paging",
+                         window.begin, window.begin + paging_ns, bracket,
+                         /*track=*/1);
+      }
+      tracer->complete(obs::Category::kGcm, "pipeline.seal.gcm",
+                       window.begin + paging_ns, window.end, bracket, /*track=*/1);
+    }
+  }
+  async_ = std::move(async);
+}
+
+bool MirrorModel::complete_async_save(sgx::ChargeStream& stream) {
+  if (async_ == nullptr) return false;
+  // Consume the pending state up front: if the commit below throws, the
+  // snapshot is spent either way and the caller re-seals from live weights.
+  const std::unique_ptr<AsyncSeal> pending = std::move(async_);
+  const sim::Nanos stall_t0 = enclave_->clock().now();
+  const sim::Nanos stall = stream.join();
+  stats_.pipeline_stall_ns += stall;
+  if (stall > 0) {
+    obs::trace_complete(enclave_->clock(), obs::Category::kPipelineStall,
+                        "pipeline.stall", stall_t0, enclave_->clock().now());
+  }
+  obs::Span span(enclave_->clock(), obs::Category::kMirrorSave, "mirror.save.commit");
+  span.attr("iteration", static_cast<double>(pending->iteration));
+  commit_seal(pending->plan, pending->sealed, pending->iteration);
+  ++stats_.saves;
+  ++stats_.async_saves;
+  return true;
+}
+
+void MirrorModel::abandon_async_save() noexcept { async_.reset(); }
+
+bool MirrorModel::async_save_pending() const noexcept { return async_ != nullptr; }
+
+std::uint64_t MirrorModel::pending_iteration() const {
+  expects(async_ != nullptr, "MirrorModel::pending_iteration: no pending save");
+  return async_->iteration;
 }
 
 std::uint64_t MirrorModel::mirror_in(ml::Network& net) {
@@ -206,11 +333,13 @@ std::uint64_t MirrorModel::mirror_in_snapshot(ml::Network& net) {
 
 std::uint64_t MirrorModel::restore_model(ml::Network& net, bool snapshot) {
   const char* ctx = snapshot ? "MirrorModel::mirror_in_snapshot" : "MirrorModel::mirror_in";
+  expects(async_ == nullptr,
+          "MirrorModel: restore with an async save in flight — drain it first");
+  ++stats_.restore_attempts;
   const Header hdr = header();
   if (hdr.num_layers != net.num_layers()) {
     throw MlError(std::string(ctx) + ": layer count mismatch");
   }
-  ++stats_.restores;
   obs::Span span(enclave_->clock(), obs::Category::kMirrorRestore,
                  snapshot ? "mirror.restore.snapshot" : "mirror.restore");
   enclave_->charge_ecall();
@@ -363,6 +492,7 @@ std::uint64_t MirrorModel::restore_model(ml::Network& net, bool snapshot) {
   }
 
   net.set_iterations(hdr.iteration);
+  ++stats_.restores;
   return hdr.iteration;
 }
 
@@ -412,6 +542,8 @@ bool MirrorModel::replicated() const {
 }
 
 MirrorScrubReport MirrorModel::scrub(ml::Network& net, bool repair) {
+  expects(async_ == nullptr,
+          "MirrorModel::scrub: async save in flight — drain it first");
   const Header hdr = header();
   if (hdr.num_layers != net.num_layers()) {
     throw MlError("MirrorModel::scrub: layer count mismatch");
@@ -505,6 +637,8 @@ MirrorScrubReport MirrorModel::scrub(ml::Network& net, bool repair) {
 }
 
 void MirrorModel::dispose() {
+  expects(async_ == nullptr,
+          "MirrorModel::dispose: async save in flight — drain it first");
   const Header hdr = header();
   // Walk first (reads can throw on corrupt offsets), free second.
   std::vector<std::uint64_t> blocks;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/clock.h"
@@ -32,8 +33,18 @@ struct MirrorStats {
   sim::Nanos write_ns = 0;    // save: PM stores + PWBs + twin-copy commit
   sim::Nanos read_ns = 0;     // restore: PM reads + copies into the enclave
   sim::Nanos decrypt_ns = 0;  // restore: in-enclave decryption + layer copy
+  // Foreground time spent in complete_async_save waiting for an in-flight
+  // background seal (0 = every async seal was fully hidden under compute).
+  sim::Nanos pipeline_stall_ns = 0;
+  // Attempts count every save/restore *started*; saves/restores count only
+  // the ones that ran to completion — a throw mid-operation leaves
+  // attempts > completions, which is what recovery/chaos accounting keys on.
+  std::uint64_t save_attempts = 0;
+  std::uint64_t restore_attempts = 0;
   std::uint64_t saves = 0;
   std::uint64_t restores = 0;
+  // Completed saves that went through the begin/complete async pipeline.
+  std::uint64_t async_saves = 0;
   // Sealed buffers whose corrupt copy was rebuilt from its A/B sibling
   // (mirror_in fallback + scrub repairs).
   std::uint64_t replica_repairs = 0;
@@ -64,6 +75,7 @@ class MirrorModel {
 
   MirrorModel(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave, crypto::AesGcm gcm,
               MirrorOptions options = {});
+  ~MirrorModel();  // out of line: AsyncSeal is incomplete here
 
   /// True when a mirror model already exists in this PM region.
   [[nodiscard]] bool exists() const;
@@ -84,6 +96,42 @@ class MirrorModel {
   /// Simulated encryption time is the critical path over the enclave's TCS
   /// lanes (EnclaveRuntime::charge_parallel).
   void mirror_out(ml::Network& net, std::uint64_t iteration);
+
+  // --- pipelined (double-buffered) save ------------------------------------
+  // mirror_out split into a stage and a commit so the GCM sweep can run on a
+  // background ChargeStream while the trainer's next iteration computes:
+  //
+  //   begin_async_save: snapshot the live weights into an enclave staging
+  //     buffer (so compute may mutate them immediately), seal the snapshot,
+  //     and book the seal costs on `stream` — the foreground only pays the
+  //     ecall + the snapshot copy;
+  //   complete_async_save: join the stream (the stall, if any, is the
+  //     unhidden remainder of the seal) and commit the sealed buffers + the
+  //     iteration counter in one durable Romulus transaction.
+  //
+  // The durable point therefore lags the computed point by at most one
+  // in-flight save; a crash before complete_async_save recovers the
+  // previous mirror, exactly like a crash mid-mirror_out. While a save is
+  // in flight the mirror's synchronous entry points (mirror_out, mirror_in,
+  // scrub, dispose) refuse to run — drain or abandon first.
+
+  /// Stages and seals `net`'s weights for `iteration`, booking the seal on
+  /// `stream`. Throws if a previous async save is still pending.
+  void begin_async_save(ml::Network& net, std::uint64_t iteration,
+                        sgx::ChargeStream& stream);
+
+  /// Joins `stream` and durably commits the pending seal. Returns false if
+  /// no save is pending. The pending state is consumed even when the commit
+  /// throws (the snapshot is spent; the caller re-seals from live weights).
+  bool complete_async_save(sgx::ChargeStream& stream);
+
+  /// Drops a pending async save without committing (crash paths).
+  void abandon_async_save() noexcept;
+
+  /// True while a begin_async_save has not been completed or abandoned.
+  [[nodiscard]] bool async_save_pending() const noexcept;
+  /// Iteration of the pending async save (save must be pending).
+  [[nodiscard]] std::uint64_t pending_iteration() const;
 
   /// Algorithm 3, mirror_in: decrypts the PM mirror into the enclave model.
   /// Returns the recorded iteration (also set on `net`). Throws CryptoError
@@ -166,7 +214,36 @@ class MirrorModel {
   };
   static constexpr std::uint64_t kMagic = 0x504C4D4952524F52ULL;  // "PLMIRROR"
 
+  /// One sealed buffer of a planned save. `plain` views the live weight
+  /// buffer; `plain_off` is the byte offset of its copy in a gathered
+  /// snapshot (async path).
+  struct SealTask {
+    ByteSpan plain;
+    std::uint64_t pm_off;
+    std::uint64_t replica_off;  // 0 = unreplicated
+    std::size_t sealed_len;
+    std::size_t scratch_off;
+    std::size_t plain_off;
+    std::uint8_t iv[crypto::kGcmIvSize];
+  };
+  /// Validated walk of the PM layer list against `net`, with per-buffer
+  /// costs split into their EPC-paging and GCM shares. Shared by the
+  /// synchronous and the pipelined save paths.
+  struct SealPlan {
+    std::vector<SealTask> tasks;
+    std::vector<sim::Nanos> costs;
+    sim::Nanos touch_sum = 0;   // EPC paging share of the seal costs
+    sim::Nanos crypto_sum = 0;  // GCM share
+    std::size_t scratch_bytes = 0;
+    std::size_t plain_bytes = 0;
+  };
+  struct AsyncSeal;  // pending pipelined save (defined in mirror.cc)
+
   [[nodiscard]] Header header() const;
+  [[nodiscard]] SealPlan build_seal_plan(ml::Network& net, const char* ctx);
+  /// Durably commits a sealed plan (buffers from `sealed` + the iteration
+  /// counter) in one Romulus transaction, accumulating write_ns.
+  void commit_seal(const SealPlan& plan, ByteSpan sealed, std::uint64_t iteration);
   /// Shared mirror_in / mirror_in_snapshot implementation; `snapshot`
   /// selects staged-then-install semantics over decrypt-in-place.
   std::uint64_t restore_model(ml::Network& net, bool snapshot);
@@ -183,6 +260,7 @@ class MirrorModel {
   MirrorOptions options_;
   MirrorStats stats_;
   Bytes scratch_;
+  std::unique_ptr<AsyncSeal> async_;  // in-flight pipelined save, if any
 };
 
 /// Reinterprets a float parameter buffer as bytes (for sealing).

@@ -35,8 +35,10 @@ Platform::Platform(MachineProfile profile, std::size_t pm_bytes,
 void Platform::charge_compute(double macs) {
   // Training GEMMs partition output rows across the enclave's TCS lanes
   // (the blocked kernel in ml/gemm.cc); MACs split evenly, so the critical
-  // path is the per-lane share. tcs_count == 1 (default) reproduces the
-  // paper's single-threaded iteration times exactly.
+  // path is the per-lane share. Background ChargeStream lanes (pipelined
+  // sealing) are additional contexts, so compute keeps the full pool.
+  // tcs_count == 1 (default) reproduces the paper's single-threaded
+  // iteration times exactly.
   const auto lanes = static_cast<double>(enclave_->tcs_count());
   const sim::Nanos t0 = clock_.now();
   clock_.advance(macs / (profile_.compute_macs_per_s * lanes) * 1e9);

@@ -431,6 +431,17 @@ void Trainer::note_peer_recovery(std::uint64_t iteration) {
   record_recovery(rep);
 }
 
+void Trainer::drain_seal(sgx::ChargeStream& stream) {
+  try {
+    mirror_->complete_async_save(stream);
+  } catch (const Error& e) {
+    // The in-flight snapshot is spent, but the live enclave weights are
+    // intact — repair (or rebuild) the PM mirror and re-seal them at the
+    // live iteration, exactly like a synchronous mirror-out failure.
+    recover_mirror_out(net_.iterations(), e.what());
+  }
+}
+
 float Trainer::train(std::uint64_t target_iterations,
                      const std::function<void(std::uint64_t, float)>& on_iteration) {
   expects(data_->exists(), "Trainer::train: load_dataset first");
@@ -442,58 +453,95 @@ float Trainer::train(std::uint64_t target_iterations,
   const sgx::EnclaveBuffer batch_buf(enclave,
                                      (bx.size() + by.size()) * sizeof(float));
 
+  // Pipelined mirroring: a background charge stream carries the in-flight
+  // seal; its lane reservation lives for the duration of this call.
+  const bool pipelined = options_.pipeline_mirror &&
+                         options_.backend == CheckpointBackend::kPmMirror;
+  std::optional<sgx::ChargeStream> seal_stream;
+  if (pipelined) seal_stream.emplace(enclave.open_stream(options_.pipeline_lanes));
+
   float loss = 0;
-  while (net_.iterations() < target_iterations) {
-    obs::Span iter_span(platform_->clock(), obs::Category::kTrainIter,
-                        "train.iteration");
-    iter_span.attr("iteration", static_cast<double>(net_.iterations()));
-    iter_span.attr("batch", static_cast<double>(batch_));
-    // Algorithm 2, line 15: decrypt a batch of training data from PM.
-    data_->sample_batch(batch_, batch_rng_, bx.data(), by.data());
-    if (augmenter_) {
-      augmenter_->apply(bx.data(), batch_);
-      // Augmentation compute: ~12 ops per pixel.
-      platform_->charge_compute(12.0 * static_cast<double>(bx.size()));
-    }
-
-    // Line 16: one training iteration on the enclave model.
-    const double macs =
-        3.0 * static_cast<double>(net_.forward_macs()) * static_cast<double>(batch_);
-    platform_->charge_compute(macs);
-    enclave.touch_enclave(net_.parameter_bytes());
-    loss = net_.train_batch(bx.data(), by.data(), batch_);
-    loss_history_.push_back(loss);
-
-    // Line 17: mirror-out the model (at the configured frequency).
-    const std::uint64_t iter = net_.iterations();
-    const bool last = iter >= target_iterations;
-    if (options_.backend == CheckpointBackend::kPmMirror &&
-        (iter % options_.mirror_every == 0 || last)) {
-      try {
-        mirror_->mirror_out(net_, iter);
-      } catch (const Error& e) {
-        // Media fault under the mirror: the enclave weights are intact, so
-        // repair (or rebuild) the PM mirror and re-seal — training goes on.
-        recover_mirror_out(iter, e.what());
+  try {
+    while (net_.iterations() < target_iterations) {
+      obs::Span iter_span(platform_->clock(), obs::Category::kTrainIter,
+                          "train.iteration");
+      iter_span.attr("iteration", static_cast<double>(net_.iterations()));
+      iter_span.attr("batch", static_cast<double>(batch_));
+      // Algorithm 2, line 15: decrypt a batch of training data from PM.
+      data_->sample_batch(batch_, batch_rng_, bx.data(), by.data());
+      if (augmenter_) {
+        augmenter_->apply(bx.data(), batch_);
+        // Augmentation compute: ~12 ops per pixel.
+        platform_->charge_compute(12.0 * static_cast<double>(bx.size()));
       }
-      try {
-        if (metrics_ != nullptr && metrics_->exists() &&
-            metrics_->size() < metrics_->capacity()) {
-          metrics_->append({iter, loss, net_.hyper().learning_rate});
+
+      // Line 16: one training iteration on the enclave model.
+      const double macs = 3.0 * static_cast<double>(net_.forward_macs()) *
+                          static_cast<double>(batch_);
+      platform_->charge_compute(macs);
+      enclave.touch_enclave(net_.parameter_bytes());
+      loss = net_.train_batch(bx.data(), by.data(), batch_);
+      loss_history_.push_back(loss);
+
+      // Line 17: mirror-out the model (at the configured frequency).
+      const std::uint64_t iter = net_.iterations();
+      const bool last = iter >= target_iterations;
+      if (options_.backend == CheckpointBackend::kPmMirror &&
+          (iter % options_.mirror_every == 0 || last)) {
+        if (pipelined) {
+          // Drain the previous iteration's seal (its commit is what moves
+          // the durable point), then put this iteration's seal in flight;
+          // it overlaps the next iteration's compute. The epoch boundary
+          // drains inline so the final iteration is durable on return.
+          drain_seal(*seal_stream);
+          try {
+            mirror_->begin_async_save(net_, iter, *seal_stream);
+          } catch (const Error& e) {
+            mirror_->abandon_async_save();
+            recover_mirror_out(iter, e.what());
+          }
+          if (last) drain_seal(*seal_stream);
+        } else {
+          try {
+            mirror_->mirror_out(net_, iter);
+          } catch (const Error& e) {
+            // Media fault under the mirror: the enclave weights are intact,
+            // so repair (or rebuild) the PM mirror and re-seal — training
+            // goes on.
+            recover_mirror_out(iter, e.what());
+          }
         }
-      } catch (const Error&) {
-        // A corrupt metrics log loses telemetry, never training.
+        try {
+          if (metrics_ != nullptr && metrics_->exists() &&
+              metrics_->size() < metrics_->capacity()) {
+            metrics_->append({iter, loss, net_.hyper().learning_rate});
+          }
+        } catch (const Error&) {
+          // A corrupt metrics log loses telemetry, never training.
+        }
+        if (options_.ssd_checkpoint_every > 0 &&
+            (iter % options_.ssd_checkpoint_every == 0 || last)) {
+          // Checkpoint boundary: the SSD rung must never capture a state
+          // ahead of the PM mirror's durable point.
+          if (pipelined) drain_seal(*seal_stream);
+          ckpt_->save(net_);  // periodic SSD rung for the recovery ladder
+        }
+      } else if (options_.backend == CheckpointBackend::kSsd &&
+                 (iter % options_.mirror_every == 0 || last)) {
+        ckpt_->save(net_);
       }
-      if (options_.ssd_checkpoint_every > 0 &&
-          (iter % options_.ssd_checkpoint_every == 0 || last)) {
-        ckpt_->save(net_);  // periodic SSD rung for the recovery ladder
-      }
-    } else if (options_.backend == CheckpointBackend::kSsd &&
-               (iter % options_.mirror_every == 0 || last)) {
-      ckpt_->save(net_);
-    }
 
-    if (on_iteration) on_iteration(iter, loss);
+      if (on_iteration) on_iteration(iter, loss);
+    }
+    // Loop-exit drain: covers targets that are not mirror points (the last
+    // mirror branch above already drained when `last` was a mirror point).
+    if (pipelined) drain_seal(*seal_stream);
+  } catch (...) {
+    // A simulated kill (or any other abort) loses the in-flight seal with
+    // the enclave — the durable point stays at the last committed save,
+    // which the recovery ladder will resume from.
+    if (pipelined) mirror_->abandon_async_save();
+    throw;
   }
   return loss;
 }

@@ -98,6 +98,18 @@ struct TrainerOptions {
   // Capacity of the persistent recovery log (PM-mirror backend only);
   // 0 disables it.
   std::size_t recovery_log_capacity = 64;
+  // Double-buffered pipelined mirroring (PM-mirror backend only): iteration
+  // N's weights are snapshotted and sealed on dedicated background TCS
+  // lanes while iteration N+1 computes; the durable commit happens at the
+  // next mirror point (or the training-loop exit), so the durable point
+  // lags the computed point by at most one in-flight save. Weights and
+  // losses are bitwise identical to the serial path; only simulated time
+  // changes. The seal lanes are additional enclave contexts (the enclave is
+  // built with tcs_count + pipeline_lanes TCS entries), so even the paper's
+  // single-threaded training configuration overlaps.
+  bool pipeline_mirror = false;
+  // Dedicated background TCS lanes for the seal stream (clamped to >= 1).
+  std::size_t pipeline_lanes = 1;
 };
 
 class Trainer {
@@ -187,6 +199,10 @@ class Trainer {
   /// In-training mirror-out failure: the live enclave weights are intact,
   /// so repair (or rebuild) the PM mirror and re-seal them.
   void recover_mirror_out(std::uint64_t iteration, const std::string& why);
+  /// Pipelined-mirror drain point: joins the seal stream and durably commits
+  /// the in-flight save; a commit failure routes through recover_mirror_out
+  /// (the snapshot is spent, but the live weights re-seal).
+  void drain_seal(sgx::ChargeStream& stream);
   void record_recovery(const RecoveryReport& rep);
 
   Platform* platform_;

@@ -194,6 +194,43 @@ void EnclaveRuntime::set_tcs_count(std::size_t n) noexcept {
   model_.tcs_count = n < 1 ? 1 : n;
 }
 
+ChargeStream EnclaveRuntime::open_stream(std::size_t lanes) {
+  // Background lanes are additional TCS contexts the enclave is built with
+  // and pins to the stream's worker — they never shrink the tcs_count()
+  // pool the foreground's charge_parallel / training GEMM split over.
+  const std::size_t granted = lanes < 1 ? 1 : lanes;
+  reserved_lanes_ += granted;
+  return ChargeStream(*this, granted);
+}
+
+void EnclaveRuntime::release_stream_lanes(std::size_t lanes) noexcept {
+  reserved_lanes_ = lanes > reserved_lanes_ ? 0 : reserved_lanes_ - lanes;
+}
+
+ChargeStream::~ChargeStream() {
+  if (enclave_ != nullptr) enclave_->release_stream_lanes(lanes_);
+}
+
+ChargeStream::Window ChargeStream::submit(std::span<const sim::Nanos> task_costs) {
+  ++enclave_->stats_.stream_submits;
+  sim::Clock& clock = *enclave_->clock_;
+  const sim::Nanos cost = EnclaveRuntime::parallel_cost_ns(task_costs, lanes_);
+  const sim::Nanos begin = std::max(clock.now(), busy_until_);
+  busy_until_ = begin + cost;
+  return {begin, busy_until_};
+}
+
+sim::Nanos ChargeStream::join() {
+  sim::Clock& clock = *enclave_->clock_;
+  const sim::Nanos stall = busy_until_ > clock.now() ? busy_until_ - clock.now() : 0;
+  if (stall > 0) clock.advance(stall);
+  return stall;
+}
+
+bool ChargeStream::busy() const noexcept {
+  return busy_until_ > enclave_->clock_->now();
+}
+
 sim::Nanos EnclaveRuntime::parallel_cost_ns(std::span<const sim::Nanos> task_costs,
                                             std::size_t lanes) noexcept {
   if (task_costs.empty()) return 0;

@@ -41,7 +41,10 @@ struct EnclaveStats {
   std::uint64_t bytes_copied_out = 0;
   std::uint64_t crypto_bytes = 0;
   std::uint64_t parallel_regions = 0;  // charge_parallel invocations
+  std::uint64_t stream_submits = 0;    // ChargeStream::submit invocations
 };
+
+class ChargeStream;
 
 class EnclaveRuntime {
  public:
@@ -110,6 +113,20 @@ class EnclaveRuntime {
   [[nodiscard]] std::size_t tcs_count() const noexcept;
   /// Reconfigures the simulated enclave's TCS pool (clamped to >= 1).
   void set_tcs_count(std::size_t n) noexcept;
+  /// TCS lanes currently held by open ChargeStreams (observability only —
+  /// they are additional contexts, not taken from the tcs_count() pool).
+  [[nodiscard]] std::size_t background_lanes() const noexcept {
+    return reserved_lanes_;
+  }
+
+  /// Opens an overlapping charge stream backed by `lanes` (clamped to >= 1)
+  /// dedicated background TCS lanes. These model extra TCS entries the
+  /// enclave is built with and pins to background workers (the pipelined
+  /// mirror's seal thread), so the foreground pool — charge_parallel and
+  /// the training GEMM — keeps all tcs_count() lanes; even the paper's
+  /// single-threaded (tcs_count == 1) configuration overlaps. The lanes are
+  /// held for the stream's lifetime and show up in background_lanes().
+  [[nodiscard]] ChargeStream open_stream(std::size_t lanes);
 
   /// Cost of one in-enclave AES-GCM pass over `bytes` (per-call setup +
   /// throughput); accumulates crypto byte stats, does not advance the clock.
@@ -137,8 +154,8 @@ class EnclaveRuntime {
   [[nodiscard]] static sim::Nanos parallel_cost_ns(
       std::span<const sim::Nanos> task_costs, std::size_t lanes) noexcept;
 
-  /// Advances the clock by the critical path of `task_costs` over the TCS
-  /// lanes and returns the advance. Zero tasks cost zero.
+  /// Advances the clock by the critical path of `task_costs` over the
+  /// tcs_count() TCS lanes and returns the advance. Zero tasks cost zero.
   sim::Nanos charge_parallel(std::span<const sim::Nanos> task_costs);
 
   // --- SDK services -------------------------------------------------------------
@@ -164,8 +181,11 @@ class EnclaveRuntime {
   [[nodiscard]] std::uint64_t platform_seed() const noexcept { return platform_seed_; }
 
  private:
+  friend class ChargeStream;
+
   [[nodiscard]] sim::Nanos transition_ns() const;
   [[nodiscard]] crypto::AesGcm sealing_cipher(SealPolicy policy) const;
+  void release_stream_lanes(std::size_t lanes) noexcept;
 
   sim::Clock* clock_;
   SgxCostModel model_;
@@ -173,9 +193,71 @@ class EnclaveRuntime {
   Measurement signer_{};  // MRSIGNER: hash of the signing authority
   std::uint64_t platform_seed_;
   std::size_t heap_used_ = 0;
+  std::size_t reserved_lanes_ = 0;  // background TCS lanes held by open streams
   Rng rng_;
   crypto::IvSequence seal_iv_;
   EnclaveStats stats_;
+};
+
+/// An overlapping async charge stream: a per-lane busy-until timeline that
+/// runs *alongside* the foreground clock instead of advancing it (the serve
+/// worker pool keeps the same kind of timeline per worker). A background
+/// phase — e.g. the mirror's GCM sealing sweep — is priced against the
+/// stream's reserved lanes with submit(), which books the work after any
+/// still-running submission and returns the [begin, end) window it occupies.
+/// The foreground only pays when it needs the result: join() advances the
+/// clock to the stream's busy-until point (zero if compute already ran past
+/// it — fully hidden work) and returns the stall.
+///
+/// Move-only; the destructor releases the lane reservation without joining
+/// (an abandoned stream models work that dies with the enclave — a crash
+/// path must not advance the clock).
+class ChargeStream {
+ public:
+  /// One booked submission on the stream's timeline.
+  struct Window {
+    sim::Nanos begin = 0;
+    sim::Nanos end = 0;
+    [[nodiscard]] sim::Nanos duration() const noexcept { return end - begin; }
+  };
+
+  ChargeStream(ChargeStream&& other) noexcept
+      : enclave_(other.enclave_),
+        lanes_(other.lanes_),
+        busy_until_(other.busy_until_) {
+    other.enclave_ = nullptr;
+  }
+  ChargeStream& operator=(ChargeStream&&) = delete;
+  ChargeStream(const ChargeStream&) = delete;
+  ChargeStream& operator=(const ChargeStream&) = delete;
+  ~ChargeStream();
+
+  /// Books `task_costs` on the stream: the phase starts at
+  /// max(now, busy_until) — submissions on one stream never overlap each
+  /// other — and runs for the critical path over the stream's lanes.
+  /// Returns the booked window without advancing the foreground clock.
+  Window submit(std::span<const sim::Nanos> task_costs);
+
+  /// Blocks the foreground until the stream is idle: advances the clock to
+  /// busy-until when it is ahead of now. Returns the stall (0 = the
+  /// submitted work was fully hidden under foreground compute).
+  sim::Nanos join();
+
+  /// Dedicated background lanes this stream prices against (>= 1).
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+  /// When the last submission finishes on the simulated timeline.
+  [[nodiscard]] sim::Nanos busy_until() const noexcept { return busy_until_; }
+  /// True while submitted work extends past the clock's current position.
+  [[nodiscard]] bool busy() const noexcept;
+
+ private:
+  friend class EnclaveRuntime;
+  ChargeStream(EnclaveRuntime& enclave, std::size_t lanes)
+      : enclave_(&enclave), lanes_(lanes) {}
+
+  EnclaveRuntime* enclave_;
+  std::size_t lanes_;
+  sim::Nanos busy_until_ = 0;
 };
 
 /// RAII enclave-heap registration for buffers logically inside the enclave.

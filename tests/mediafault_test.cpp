@@ -10,8 +10,11 @@
 #include "common/error.h"
 #include "ml/config.h"
 #include "ml/synth_digits.h"
+#include "obs/registry.h"
+#include "obs/stats_bridge.h"
 #include "pm/device.h"
 #include "pm/mediafault.h"
+#include "plinius/checkpoint.h"
 #include "plinius/metrics_log.h"
 #include "plinius/mirror.h"
 #include "plinius/platform.h"
@@ -519,6 +522,111 @@ TEST_F(MirrorMediaTest, RecoveryLogPersistsAndCompacts) {
   RecoveryLog reread(again, platform_.enclave());
   EXPECT_TRUE(reread.exists());
   EXPECT_EQ(reread.all().back().resume_iteration, 50u);
+}
+
+// --- attempt/completion accounting and root-slot validation -------------------
+
+TEST_F(MirrorMediaTest, FailedSaveLeavesAttemptAheadOfCompletion) {
+  MirrorModel mirror(rom_, platform_.enclave(), test_gcm());
+  mirror.alloc(net_);
+
+  // A net whose layer list does not match the persistent layout: the save
+  // starts (attempt) but throws before anything commits.
+  ml::Network other = ml::build_network(ml::make_cnn_config(3, 4, 8), rng_);
+  EXPECT_THROW(mirror.mirror_out(other, 1), MlError);
+  EXPECT_EQ(mirror.stats().save_attempts, 1u);
+  EXPECT_EQ(mirror.stats().saves, 0u);
+
+  // A clean save closes the gap again.
+  mirror.mirror_out(net_, 1);
+  EXPECT_EQ(mirror.stats().save_attempts, 2u);
+  EXPECT_EQ(mirror.stats().saves, 1u);
+}
+
+TEST_F(MirrorMediaTest, FailedRestoreLeavesAttemptAheadOfCompletion) {
+  MirrorModel mirror(rom_, platform_.enclave(), test_gcm());
+  mirror.alloc(net_);
+  net_.set_iterations(3);
+  mirror.mirror_out(net_, 3);
+
+  const auto extents = mirror.sealed_extents();
+  ASSERT_FALSE(extents.empty());
+  rot_extent(extents[0].primary_off, 64);  // unreplicated: no sibling to save it
+
+  ml::Network other = ml::build_network(tiny_config(), rng_);
+  EXPECT_THROW((void)mirror.mirror_in(other), CryptoError);
+  EXPECT_EQ(mirror.stats().restore_attempts, 1u);
+  EXPECT_EQ(mirror.stats().restores, 0u);
+}
+
+TEST_F(MirrorMediaTest, CorruptRootSlotOffsetSurfacesPmErrorNotOob) {
+  MirrorModel mirror(rom_, platform_.enclave(), test_gcm());
+  mirror.alloc(net_);
+  mirror.mirror_out(net_, 2);
+  EXPECT_TRUE(mirror.exists());
+
+  // Media fault lands the root slot far outside the main region: every
+  // root-following entry point reports a contextual PmError instead of
+  // reading out of bounds.
+  const std::uint64_t bad = rom_.main_size() + (1u << 20);
+  rom_.run_transaction([&] { rom_.set_root(MirrorModel::kRootSlot, bad); });
+  try {
+    (void)mirror.exists();
+    FAIL() << "corrupt root slot did not throw";
+  } catch (const PmError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(std::to_string(bad)), std::string::npos) << what;
+    EXPECT_NE(what.find("exceeds main size"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(rom_.main_size())), std::string::npos) << what;
+  }
+
+  // A root slot whose header would straddle the end of the region is just as
+  // dead — the full sizeof(Header) extent must fit, not only the magic word.
+  rom_.run_transaction([&] {
+    rom_.set_root(MirrorModel::kRootSlot, rom_.main_size() - 4);
+  });
+  EXPECT_THROW((void)mirror.exists(), PmError);
+  EXPECT_THROW((void)mirror.iteration(), PmError);
+}
+
+TEST_F(MirrorMediaTest, CheckpointRestoreFailureLeavesAttemptAheadOfCompletion) {
+  SsdCheckpointer ckpt(platform_.ssd(), platform_.enclave(), test_gcm());
+  EXPECT_THROW((void)ckpt.restore(net_), StorageError);  // nothing saved yet
+  EXPECT_EQ(ckpt.stats().restore_attempts, 1u);
+  EXPECT_EQ(ckpt.stats().restores, 0u);
+
+  ckpt.save(net_);
+  EXPECT_EQ(ckpt.stats().save_attempts, 1u);
+  EXPECT_EQ(ckpt.stats().saves, 1u);
+  EXPECT_EQ(ckpt.restore(net_), net_.iterations());
+  EXPECT_EQ(ckpt.stats().restore_attempts, 2u);
+  EXPECT_EQ(ckpt.stats().restores, 1u);
+}
+
+TEST_F(MirrorMediaTest, StatsBridgePublishesAttemptAndPipelineSeries) {
+  MirrorModel mirror(rom_, platform_.enclave(), test_gcm());
+  mirror.alloc(net_);
+  sgx::ChargeStream stream = platform_.enclave().open_stream(1);
+  mirror.begin_async_save(net_, 1, stream);
+  ASSERT_TRUE(mirror.complete_async_save(stream));
+
+  obs::Registry reg;
+  obs::publish(reg, mirror.stats(), {});
+  EXPECT_EQ(reg.counter("mirror.save_attempts"), 1u);
+  EXPECT_EQ(reg.counter("mirror.saves"), 1u);
+  EXPECT_EQ(reg.counter("mirror.async_saves"), 1u);
+  EXPECT_EQ(reg.counter("mirror.restore_attempts"), 0u);
+  EXPECT_GE(reg.gauge("mirror.encrypt_ns"), 0.0);
+  EXPECT_GE(reg.gauge("mirror.pipeline_stall_ns"), 0.0);
+
+  obs::publish(reg, platform_.enclave().stats(), {});
+  EXPECT_EQ(reg.counter("enclave.stream_submits"), 1u);
+
+  SsdCheckpointer ckpt(platform_.ssd(), platform_.enclave(), test_gcm());
+  ckpt.save(net_);
+  obs::publish(reg, ckpt.stats(), {});
+  EXPECT_EQ(reg.counter("checkpoint.save_attempts"), 1u);
+  EXPECT_EQ(reg.counter("checkpoint.restore_attempts"), 0u);
 }
 
 }  // namespace

@@ -26,7 +26,7 @@ CATEGORIES = {
     "compute", "pm_store", "pm_read", "pm_flush", "pm_fence", "romulus_tx",
     "ssd", "mirror_save", "mirror_restore", "train_iter", "data_batch",
     "scrub", "serve_batch", "serve_queue", "serve_decrypt", "serve_forward",
-    "serve_seal", "serve_other", "other",
+    "serve_seal", "serve_other", "pipeline_seal", "pipeline_stall", "other",
 }
 
 
