@@ -4,15 +4,24 @@
 //
 // "Figure 6 shows the throughput of swap operations on a 10 MB persistent
 // array with different transaction sizes ... single threaded."
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/rng.h"
+#include "crypto/gcm.h"
+#include "ml/config.h"
+#include "ml/network.h"
+#include "ml/quant.h"
 #include "obs/export.h"
 #include "obs/registry.h"
 #include "obs/stats_bridge.h"
+#include "plinius/mirror.h"
+#include "plinius/platform.h"
+#include "plinius/quant_mirror.h"
 #include "pm/device.h"
 #include "romulus/romulus.h"
 #include "romulus/sps.h"
@@ -64,6 +73,168 @@ void run_panel(const char* title, romulus::PwbPolicy policy) {
   }
 }
 
+// --- float vs int8 serving crossover (EPC paging cliff) ---------------------
+//
+// Sweeps a 512-filter conv stack across the 93.5 MB usable EPC limit and
+// prices one inference sample on sgx-emlPM for both the float and the int8
+// path. Each forward touches the full resident model, so once
+// model + ~16 MB of code/temp no longer fits in EPC, every point pays the
+// paging cliff. The int8 model stores ~4x fewer parameter bytes (and its
+// GEMM runs at int8_gemm_speedup), so the cliff moves to a ~4x larger model
+// — the crossover this panel quantifies. One point additionally performs a
+// real MirrorModel + QuantMirror seal pair and reports the measured sealed
+// PM bytes of each snapshot.
+
+constexpr std::size_t kEnclaveOverheadBytes = 16u << 20;  // code + temp buffers
+
+ml::ModelConfig crossover_config(std::size_t conv_layers) {
+  // Two stride-2 layers shrink 28x28 -> 7x7; every further 512->512 3x3
+  // layer adds ~9.4 MB of float parameters. The avgpool/connected/softmax
+  // head keeps the stack quantizable end to end.
+  std::string cfg =
+      "[net]\nbatch=16\nheight=28\nwidth=28\nchannels=1\n\n"
+      "[convolutional]\nfilters=512\nsize=3\nstride=2\npad=1\nactivation=leaky\n\n"
+      "[convolutional]\nfilters=512\nsize=3\nstride=2\npad=1\nactivation=leaky\n\n";
+  for (std::size_t i = 2; i < conv_layers; ++i) {
+    cfg += "[convolutional]\nfilters=512\nsize=3\nstride=1\npad=1\nactivation=leaky\n\n";
+  }
+  cfg += "[avgpool]\n\n[connected]\noutput=10\nactivation=linear\n\n[softmax]\n\n";
+  return ml::ModelConfig::parse(cfg);
+}
+
+/// Real seal pair: mirrors `net` (float, MirrorModel) and `qnet`
+/// (QuantMirror) into one PM region and returns {float, int8} sealed bytes.
+std::pair<std::size_t, std::size_t> measure_sealed_bytes(
+    const MachineProfile& profile, ml::Network& net, ml::QuantizedNetwork& qnet) {
+  const std::size_t main_size =
+      net.parameter_bytes() + net.parameter_bytes() / 2 + (32u << 20);
+  Platform platform(profile, romulus::Romulus::region_bytes(main_size) + (1u << 20));
+  romulus::Romulus rom(platform.pm(), 0, main_size,
+                       romulus::PwbPolicy::clflushopt_sfence(), /*format=*/true,
+                       profile.sgx.real_sgx ? romulus::ExecutionProfile::sgx_enclave()
+                                            : romulus::ExecutionProfile::native());
+  Bytes key(16, 0x22);
+  MirrorModel mirror(rom, platform.enclave(), crypto::AesGcm(key));
+  mirror.alloc(net);
+  mirror.mirror_out(net, 1);
+  std::size_t float_sealed = 0;
+  for (const auto& e : mirror.sealed_extents()) float_sealed += e.sealed_len;
+
+  QuantMirror qmirror(rom, platform.enclave(), crypto::AesGcm(key));
+  qmirror.save(qnet, 1);
+  return {float_sealed, qmirror.sealed_bytes()};
+}
+
+bool run_crossover_panel() {
+  const MachineProfile profile = MachineProfile::sgx_emlpm();
+  const double epc_mb =
+      static_cast<double>(profile.sgx.epc_usable_bytes) / (1024.0 * 1024.0);
+  constexpr std::size_t kSealLayers = 4;  // real seal pair at this point
+
+  std::printf("\n## Float vs INT8 serving crossover (sgx-emlPM, EPC %.1f MB)\n",
+              epc_mb);
+  std::printf("%-8s %10s %10s %14s %14s %9s %9s\n", "layers", "float(MB)",
+              "int8(MB)", "float(sps)", "int8(sps)", "f-fault", "i-fault");
+
+  double float_cliff_mb = 0, int8_cliff_mb = 0;  // largest model still in EPC
+  double sealed_ratio = 0;
+  for (const std::size_t layers : {2u, 4u, 8u, 12u, 24u, 40u}) {
+    Rng init_rng(11);
+    ml::Network net = ml::build_network(crossover_config(layers), init_rng);
+
+    // Calibration batch for activation scales: random images are enough for
+    // a cost panel (the accuracy question lives in tests/quant_test).
+    const std::size_t input_size = net.input_shape().size();
+    constexpr std::size_t kCalib = 2;
+    std::vector<float> calib(kCalib * input_size);
+    Rng calib_rng(13);
+    for (auto& v : calib) v = calib_rng.uniform();
+    ml::QuantizedNetwork qnet =
+        ml::quantize_network(net, calib.data(), kCalib, kCalib);
+
+    const std::size_t float_bytes = net.parameter_bytes();
+    const std::size_t int8_bytes = qnet.parameter_bytes();
+    const double float_mb = static_cast<double>(float_bytes) / (1024.0 * 1024.0);
+    const double int8_mb = static_cast<double>(int8_bytes) / (1024.0 * 1024.0);
+
+    // One sample: the forward MACs at the path's rate, plus touching the
+    // whole resident model at the EPC pressure its footprint creates.
+    Platform platform(profile, 1u << 20);
+    auto& enclave = platform.enclave();
+    double sps[2], fault_p[2];
+    {
+      const sgx::EnclaveBuffer mem(enclave, float_bytes + kEnclaveOverheadBytes);
+      fault_p[0] = enclave.fault_probability();
+      const double ns = static_cast<double>(net.forward_macs()) /
+                            profile.compute_macs_per_s * 1e9 +
+                        static_cast<double>(enclave.touch_task_ns(float_bytes));
+      sps[0] = 1e9 / ns;
+    }
+    {
+      const sgx::EnclaveBuffer mem(enclave, int8_bytes + kEnclaveOverheadBytes);
+      fault_p[1] = enclave.fault_probability();
+      const double rate =
+          profile.compute_macs_per_s * profile.sgx.int8_gemm_speedup;
+      const double ns =
+          static_cast<double>(qnet.forward_macs()) / rate * 1e9 +
+          static_cast<double>(enclave.touch_task_ns(int8_bytes));
+      sps[1] = 1e9 / ns;
+    }
+    if (float_bytes + kEnclaveOverheadBytes <= profile.sgx.epc_usable_bytes) {
+      float_cliff_mb = std::max(float_cliff_mb, float_mb);
+    }
+    if (int8_bytes + kEnclaveOverheadBytes <= profile.sgx.epc_usable_bytes) {
+      int8_cliff_mb = std::max(int8_cliff_mb, float_mb);
+    }
+
+    std::printf("%-8zu %10.1f %10.1f %14.0f %14.0f %9.4f %9.4f\n", layers,
+                float_mb, int8_mb, sps[0], sps[1], fault_p[0], fault_p[1]);
+
+    char layers_s[32], mb_s[32];
+    std::snprintf(layers_s, sizeof(layers_s), "%zu", layers);
+    std::snprintf(mb_s, sizeof(mb_s), "%.1f", float_mb);
+    const char* dtypes[2] = {"float32", "int8"};
+    const std::size_t bytes[2] = {float_bytes, int8_bytes};
+    for (int d = 0; d < 2; ++d) {
+      const obs::Labels labels{
+          {"dtype", dtypes[d]}, {"layers", layers_s}, {"model_mb", mb_s}};
+      g_registry.set_gauge("fig6.crossover.sps", sps[d], labels);
+      g_registry.set_gauge("fig6.crossover.model_bytes",
+                           static_cast<double>(bytes[d]), labels);
+      g_registry.set_gauge("fig6.crossover.fault_probability", fault_p[d], labels);
+    }
+
+    if (layers == kSealLayers) {
+      const auto [float_sealed, int8_sealed] =
+          measure_sealed_bytes(profile, net, qnet);
+      sealed_ratio =
+          static_cast<double>(float_sealed) / static_cast<double>(int8_sealed);
+      std::printf("  sealed PM bytes at %zu layers: float %zu, int8 %zu "
+                  "(%.2fx fewer)\n",
+                  layers, float_sealed, int8_sealed, sealed_ratio);
+      const obs::Labels labels{{"layers", layers_s}};
+      g_registry.set_gauge("fig6.crossover.float_sealed_bytes",
+                           static_cast<double>(float_sealed), labels);
+      g_registry.set_gauge("fig6.crossover.int8_sealed_bytes",
+                           static_cast<double>(int8_sealed), labels);
+      g_registry.set_gauge("fig6.crossover.sealed_ratio", sealed_ratio, labels);
+    }
+  }
+
+  const double cliff_shift =
+      float_cliff_mb > 0 ? int8_cliff_mb / float_cliff_mb : 0.0;
+  g_registry.set_gauge("fig6.crossover.float_cliff_mb", float_cliff_mb, {});
+  g_registry.set_gauge("fig6.crossover.int8_cliff_mb", int8_cliff_mb, {});
+  g_registry.set_gauge("fig6.crossover.cliff_shift", cliff_shift, {});
+
+  const bool ok = cliff_shift >= 2.0 && sealed_ratio >= 3.0;
+  std::printf("EPC cliff: float at >%.1f MB, int8 at >%.1f MB (%.1fx shift); "
+              "sealed bytes %.2fx fewer -> %s\n",
+              float_cliff_mb, int8_cliff_mb, cliff_shift, sealed_ratio,
+              ok ? "PASS" : "FAIL");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -78,9 +249,10 @@ int main(int argc, char** argv) {
 
   run_panel("CLFLUSH + NOP", romulus::PwbPolicy::clflush_nop());
   run_panel("CLFLUSHOPT + SFENCE", romulus::PwbPolicy::clflushopt_sfence());
+  const bool crossover_ok = run_crossover_panel();
   if (!json_path.empty()) {
     if (!obs::write_text_file(json_path, g_registry.snapshot_json())) return 1;
     std::printf("# metrics snapshot -> %s\n", json_path.c_str());
   }
-  return 0;
+  return crossover_ok ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 #include "crypto/sha256.h"
 #include "ml/gemm.h"
 #include "ml/gemm_reference.h"
+#include "ml/gemm_s8.h"
 #include "ml/im2col.h"
 #include "pm/device.h"
 #include "romulus/romulus.h"
@@ -122,6 +123,68 @@ void BM_GemmNNThreads(benchmark::State& state) {
   par::set_max_threads(saved);
 }
 BENCHMARK(BM_GemmNNThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 8});
+
+// INT8 GEMM panels: same sizes as the float panels above, so the bench_json
+// artifact carries a direct float-vs-int8 ratio per size. GOP/s counts one
+// int8 multiply-accumulate as two ops, mirroring the float GFLOP/s counter.
+void BM_GemmS8NN(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::int8_t> a(n * n), b(n * n);
+  std::vector<std::int32_t> c(n * n, 0);
+  Rng rng(4);
+  for (auto& v : a) v = static_cast<std::int8_t>(static_cast<int>(rng.below(255)) - 127);
+  for (auto& v : b) v = static_cast<std::int8_t>(static_cast<int>(rng.below(255)) - 127);
+  for (auto _ : state) {
+    ml::gemm_s8_nn(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * n * n * n,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmS8NN)->Arg(64)->Arg(256);
+
+void BM_GemmS8NNScalarRef(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::int8_t> a(n * n), b(n * n);
+  std::vector<std::int32_t> c(n * n, 0);
+  Rng rng(4);
+  for (auto& v : a) v = static_cast<std::int8_t>(static_cast<int>(rng.below(255)) - 127);
+  for (auto& v : b) v = static_cast<std::int8_t>(static_cast<int>(rng.below(255)) - 127);
+  for (auto _ : state) {
+    ml::reference::gemm_s8_nn(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * n * n * n,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmS8NNScalarRef)->Arg(64)->Arg(256);
+
+void BM_GemmS8NNThreads(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const std::size_t saved = par::max_threads();
+  par::set_max_threads(threads);
+  std::vector<std::int8_t> a(n * n), b(n * n);
+  std::vector<std::int32_t> c(n * n, 0);
+  Rng rng(4);
+  for (auto& v : a) v = static_cast<std::int8_t>(static_cast<int>(rng.below(255)) - 127);
+  for (auto& v : b) v = static_cast<std::int8_t>(static_cast<int>(rng.below(255)) - 127);
+  for (auto _ : state) {
+    ml::gemm_s8_nn(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * n * n * n,
+      benchmark::Counter::kIsRate);
+  par::set_max_threads(saved);
+}
+BENCHMARK(BM_GemmS8NNThreads)
     ->Args({256, 1})
     ->Args({256, 2})
     ->Args({256, 4})

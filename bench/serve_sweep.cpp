@@ -28,7 +28,9 @@
 #include <vector>
 
 #include "ml/config.h"
+#include "ml/quant.h"
 #include "ml/synth_digits.h"
+#include "plinius/quant_mirror.h"
 #include "obs/export.h"
 #include "obs/registry.h"
 #include "obs/stats_bridge.h"
@@ -54,6 +56,14 @@ struct Point {
   SloReport rep;
 };
 
+/// One matched float-vs-int8 serving point (same workload, same config).
+struct Int8Point {
+  double offered_qps;
+  std::size_t batch;
+  SloReport rep;        // int8 serving
+  SloReport float_rep;  // the matched float point from the main sweep
+};
+
 struct SweepResult {
   std::string platform;
   std::vector<Point> points;
@@ -63,6 +73,10 @@ struct SweepResult {
   SloReport overload_bounded;
   SloReport overload_unbounded;
   std::size_t serve_log_windows = 0;
+  std::vector<Int8Point> int8_points;
+  double float_accuracy = 0;
+  double int8_accuracy = 0;
+  bool int8_forward_faster = true;  // every matched pair: int8 forward < float
 
   [[nodiscard]] double batching_speedup() const {
     return batch1_sustainable_qps > 0
@@ -116,6 +130,7 @@ SweepResult sweep_platform(const MachineProfile& profile,
     obs::publish(g_registry, server.stats(),
                  {{"platform", profile.name},
                   {"phase", phase},
+                  {"model", "float32"},
                   {"offered_qps", rate_s},
                   {"batch", batch_s},
                   {"workers", workers_s}});
@@ -178,6 +193,75 @@ SweepResult sweep_platform(const MachineProfile& profile,
       result.overload_unbounded.p99_ns / 1e3,
       static_cast<unsigned long long>(result.overload_unbounded.shed_total()));
   std::printf("serve-log windows persisted: %zu\n", result.serve_log_windows);
+
+  // --- INT8 panel: quantize the trained model (train-set calibration),
+  // seal it through the QuantMirror, and re-serve matched points. The int8
+  // forward runs at int8_gemm_speedup and touches ~4x fewer model bytes, so
+  // its forward stage must beat the float point on identical workloads.
+  ml::QuantizedNetwork qnet = ml::quantize_network(
+      trainer.network(), digits.train.x.values.data(),
+      std::min<std::size_t>(256, digits.train.size()));
+  QuantMirror qmirror(trainer.romulus(), platform.enclave(), gcm);
+  qmirror.save(qnet, qnet.iterations());
+  result.float_accuracy = trainer.network().accuracy(
+      digits.test.x.values.data(), digits.test.y.values.data(), digits.test.size());
+  result.int8_accuracy = qnet.accuracy(digits.test.x.values.data(),
+                                       digits.test.y.values.data(),
+                                       digits.test.size());
+
+  auto run_int8_point = [&](double rate, std::size_t batch) {
+    LoadGenOptions lg;
+    lg.rate_qps = rate;
+    lg.count = count;
+    lg.start_ns = 0;
+    // Same seed scheme as the matched float point -> identical workload.
+    lg.seed = static_cast<std::uint64_t>(rate) ^ (batch << 20) ^ (1ull << 28);
+    crypto::IvSequence client_iv(
+        static_cast<std::uint32_t>(lg.seed ^ 0xC11E27));
+    const auto reqs = poisson_workload(digits.test, gcm, client_iv, lg);
+
+    ServerOptions opt;
+    opt.workers = 1;
+    opt.batch = {.max_batch = batch, .max_wait_ns = 20'000};
+    opt.admission = {.max_queue = 64, .deadline_aware = false};
+    InferenceServer server(platform, qnet, gcm, opt, &qmirror, &serve_log);
+    const auto done = server.run(reqs);
+
+    char rate_s[32], batch_s[32];
+    std::snprintf(rate_s, sizeof(rate_s), "%.0f", rate);
+    std::snprintf(batch_s, sizeof(batch_s), "%zu", batch);
+    obs::publish(g_registry, server.stats(),
+                 {{"platform", profile.name},
+                  {"phase", "int8"},
+                  {"model", "int8"},
+                  {"offered_qps", rate_s},
+                  {"batch", batch_s},
+                  {"workers", "1"}});
+    return make_slo_report(reqs, done);
+  };
+
+  std::printf("\n-- int8 panel (workers=1): acc float %.1f%% vs int8 %.1f%% --\n",
+              100.0 * result.float_accuracy, 100.0 * result.int8_accuracy);
+  std::printf("%10s %6s %12s %12s %11s %11s\n", "offered", "batch", "f-goodput",
+              "i-goodput", "f-fwd(us)", "i-fwd(us)");
+  for (const double rate : {rates.front(), rates.back()}) {
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{16}}) {
+      const SloReport rep = run_int8_point(rate, batch);
+      const auto it = std::find_if(
+          result.points.begin(), result.points.end(), [&](const Point& p) {
+            return p.offered_qps == rate && p.batch == batch && p.workers == 1;
+          });
+      const SloReport& frep = it->rep;
+      result.int8_points.push_back({rate, batch, rep, frep});
+      if (rep.served > 0 && frep.served > 0 &&
+          rep.mean_forward_ns >= frep.mean_forward_ns) {
+        result.int8_forward_faster = false;
+      }
+      std::printf("%10.0f %6zu %12.0f %12.0f %11.2f %11.2f\n", rate, batch,
+                  frep.goodput_qps, rep.goodput_qps, frep.mean_forward_ns / 1e3,
+                  rep.mean_forward_ns / 1e3);
+    }
+  }
   return result;
 }
 
@@ -219,7 +303,27 @@ std::string to_json(const std::vector<SweepResult>& results) {
     append_report_json(out, res.overload_bounded);
     out += ", \"unbounded_queue\": ";
     append_report_json(out, res.overload_unbounded);
-    out += "},\n      \"points\": [\n";
+    out += "},\n";
+    std::snprintf(buf, sizeof(buf),
+                  "      \"int8\": {\"float_accuracy\": %.4f, "
+                  "\"int8_accuracy\": %.4f, \"forward_faster\": %s, "
+                  "\"points\": [\n",
+                  res.float_accuracy, res.int8_accuracy,
+                  res.int8_forward_faster ? "true" : "false");
+    out += buf;
+    for (std::size_t j = 0; j < res.int8_points.size(); ++j) {
+      const Int8Point& p = res.int8_points[j];
+      std::snprintf(buf, sizeof(buf),
+                    "        {\"offered_qps\": %.0f, \"batch\": %zu, "
+                    "\"report\": ",
+                    p.offered_qps, p.batch);
+      out += buf;
+      append_report_json(out, p.rep);
+      out += ", \"float_report\": ";
+      append_report_json(out, p.float_rep);
+      out += j + 1 < res.int8_points.size() ? "},\n" : "}\n";
+    }
+    out += "      ]},\n      \"points\": [\n";
     for (std::size_t j = 0; j < res.points.size(); ++j) {
       const Point& p = res.points[j];
       std::snprintf(buf, sizeof(buf),
@@ -282,13 +386,20 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", metrics_path);
   }
 
-  // The smoke run doubles as a CI check on the two headline properties.
+  // The smoke run doubles as a CI check on the headline properties.
   const SweepResult& eml = results.front();
   const bool batching_ok = eml.batching_speedup() >= 3.0;
   const bool shedding_ok =
       eml.overload_bounded.p99_ns < eml.overload_unbounded.p99_ns &&
       eml.overload_bounded.shed_total() > 0;
-  std::printf("batching >=3x at fixed p99: %s; shedding bounds p99: %s\n",
-              batching_ok ? "PASS" : "FAIL", shedding_ok ? "PASS" : "FAIL");
-  return batching_ok && shedding_ok ? 0 : 1;
+  bool int8_ok = eml.int8_forward_faster;
+  for (const Int8Point& p : eml.int8_points) {
+    if (p.rep.served == 0) int8_ok = false;
+  }
+  std::printf(
+      "batching >=3x at fixed p99: %s; shedding bounds p99: %s; "
+      "int8 forward beats float: %s\n",
+      batching_ok ? "PASS" : "FAIL", shedding_ok ? "PASS" : "FAIL",
+      int8_ok ? "PASS" : "FAIL");
+  return batching_ok && shedding_ok && int8_ok ? 0 : 1;
 }

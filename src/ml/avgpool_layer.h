@@ -19,6 +19,7 @@ class AvgPoolLayer final : public Layer {
   void forward(const float* input, std::size_t batch, bool train) override;
   void backward(const float* input, float* input_delta, std::size_t batch) override;
   [[nodiscard]] const char* type() const override { return "avgpool"; }
+  [[nodiscard]] const AvgPoolConfig& config() const noexcept { return config_; }
 
  private:
   [[nodiscard]] bool global() const noexcept { return config_.size == 0; }

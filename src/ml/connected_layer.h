@@ -23,6 +23,7 @@ class ConnectedLayer final : public Layer {
   [[nodiscard]] std::size_t forward_macs() const override {
     return in_shape_.size() * out_shape_.size();
   }
+  [[nodiscard]] const ConnectedConfig& config() const noexcept { return config_; }
 
  private:
   ConnectedConfig config_;

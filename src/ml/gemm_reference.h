@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace plinius::ml::reference {
 
@@ -35,5 +36,17 @@ void gemm_tt(std::size_t m, std::size_t n, std::size_t k, float alpha, const flo
 /// Dispatch mirroring ml::gemm(TA, TB, ...).
 void gemm(bool ta, bool tb, std::size_t m, std::size_t n, std::size_t k, float alpha,
           const float* a, const float* b, float* c);
+
+// INT8 inference GEMM oracles (C accumulates in int32; no alpha — the
+// requantization multiplier is applied by the caller). Integer arithmetic is
+// exact, so the blocked kernels in ml/gemm_s8.h must match these bitwise.
+
+/// C += A * B      (A: M x K int8, B: K x N int8, C: M x N int32)
+void gemm_s8_nn(std::size_t m, std::size_t n, std::size_t k, const std::int8_t* a,
+                const std::int8_t* b, std::int32_t* c);
+
+/// C += A * B^T    (A: M x K int8, B: N x K int8, C: M x N int32)
+void gemm_s8_nt(std::size_t m, std::size_t n, std::size_t k, const std::int8_t* a,
+                const std::int8_t* b, std::int32_t* c);
 
 }  // namespace plinius::ml::reference

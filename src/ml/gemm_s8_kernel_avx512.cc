@@ -1,0 +1,120 @@
+#include "ml/gemm_s8_kernel_avx512.h"
+
+#include "common/error.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+#include <immintrin.h>
+
+#include <array>
+#include <cstring>
+#include <utility>
+#endif
+
+namespace plinius::ml::detail {
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+
+namespace {
+
+// K-pair blocking, matching gemm_s8.cc: the packed B slice a tile sweep
+// streams stays cache resident across the row tiles of the band.
+constexpr std::size_t kKcPairs = 256;
+
+// One register tile: `Rows` x 16 C elements, one zmm of int32 accumulators
+// per row. Each K pair costs one madd_epi16 per row: the zmm B load holds 16
+// interleaved column pairs, the A pair is broadcast as a 32-bit lane, and
+// madd sums the two int16 products of every pair into its int32 lane —
+// exact, since 2 * 127^2 fits easily. The Masked variant selects live
+// column pairs for the n % 16 remainder; masked-off pairs load as zero and
+// are never stored, so the remainder computes the same integer sums.
+template <std::size_t Rows, bool Masked>
+void micro(std::size_t n, std::size_t kp, const std::int16_t* apack,
+           const std::int16_t* bpack, std::int32_t* c, std::size_t i0,
+           std::size_t j0, std::size_t pp0, std::size_t pp1, __mmask32 bmask,
+           __mmask16 cmask) {
+  __m512i acc[Rows];
+  for (std::size_t r = 0; r < Rows; ++r) acc[r] = _mm512_setzero_si512();
+  for (std::size_t pp = pp0; pp < pp1; ++pp) {
+    const std::int16_t* brow = bpack + pp * 2 * n + 2 * j0;
+    const __m512i bv = Masked ? _mm512_maskz_loadu_epi16(bmask, brow)
+                              : _mm512_loadu_si512(brow);
+    for (std::size_t r = 0; r < Rows; ++r) {
+      std::int32_t pair;
+      std::memcpy(&pair, apack + (i0 + r) * 2 * kp + 2 * pp, sizeof(pair));
+      const __m512i av = _mm512_set1_epi32(pair);
+      acc[r] = _mm512_add_epi32(acc[r], _mm512_madd_epi16(av, bv));
+    }
+  }
+  for (std::size_t r = 0; r < Rows; ++r) {
+    std::int32_t* crow = c + (i0 + r) * n + j0;
+    if constexpr (Masked) {
+      const __m512i cur = _mm512_maskz_loadu_epi32(cmask, crow);
+      _mm512_mask_storeu_epi32(crow, cmask, _mm512_add_epi32(cur, acc[r]));
+    } else {
+      const __m512i cur = _mm512_loadu_si512(crow);
+      _mm512_storeu_si512(crow, _mm512_add_epi32(cur, acc[r]));
+    }
+  }
+}
+
+using MicroFn = void (*)(std::size_t, std::size_t, const std::int16_t*,
+                         const std::int16_t*, std::int32_t*, std::size_t,
+                         std::size_t, std::size_t, std::size_t, __mmask32,
+                         __mmask16);
+
+// micro<1> .. micro<kMrS8Avx512>, indexed by rows - 1: the m % 16 row
+// remainder runs the same vector kernel with a narrower accumulator tile.
+template <bool Masked, std::size_t... I>
+constexpr std::array<MicroFn, sizeof...(I)> micro_table(std::index_sequence<I...>) {
+  return {{&micro<I + 1, Masked>...}};
+}
+constexpr auto kMicroFull =
+    micro_table<false>(std::make_index_sequence<kMrS8Avx512>{});
+constexpr auto kMicroMasked =
+    micro_table<true>(std::make_index_sequence<kMrS8Avx512>{});
+
+}  // namespace
+
+bool avx512_s8_usable() {
+  static const bool ok =
+      __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw");
+  return ok;
+}
+
+void band_s8_avx512(std::size_t m, std::size_t n, std::size_t kp,
+                    const std::int16_t* apack, const std::int16_t* bpack,
+                    std::int32_t* c, std::size_t tile_begin, std::size_t tile_end) {
+  const std::size_t n_full = n - n % 16;
+  const std::size_t tail_cols = n - n_full;
+  const auto bmask = static_cast<__mmask32>((1u << (2 * tail_cols)) - 1u);
+  const auto cmask = static_cast<__mmask16>((1u << tail_cols) - 1u);
+  for (std::size_t pp0 = 0; pp0 < kp; pp0 += kKcPairs) {
+    const std::size_t pp1 = pp0 + kKcPairs < kp ? pp0 + kKcPairs : kp;
+    for (std::size_t t = tile_begin; t < tile_end; ++t) {
+      const std::size_t i0 = t * kMrS8Avx512;
+      const std::size_t rows = i0 + kMrS8Avx512 <= m ? kMrS8Avx512 : m - i0;
+      const MicroFn full = kMicroFull[rows - 1];
+      for (std::size_t j0 = 0; j0 < n_full; j0 += 16) {
+        full(n, kp, apack, bpack, c, i0, j0, pp0, pp1,
+             static_cast<__mmask32>(0xFFFFFFFFu), static_cast<__mmask16>(0xFFFF));
+      }
+      if (n_full < n) {
+        kMicroMasked[rows - 1](n, kp, apack, bpack, c, i0, n_full, pp0, pp1,
+                               bmask, cmask);
+      }
+    }
+  }
+}
+
+#else  // !(__AVX512F__ && __AVX512BW__)
+
+bool avx512_s8_usable() { return false; }
+
+void band_s8_avx512(std::size_t, std::size_t, std::size_t, const std::int16_t*,
+                    const std::int16_t*, std::int32_t*, std::size_t, std::size_t) {
+  throw Error("band_s8_avx512 called but the AVX-512BW kernel was not compiled in");
+}
+
+#endif
+
+}  // namespace plinius::ml::detail

@@ -1,0 +1,36 @@
+// AVX-512BW int8 GEMM band kernel, isolated in its own translation unit so
+// it can be compiled with -mavx512f -mavx512bw while the rest of the library
+// keeps its own flags (same layout as ml/gemm_kernel_avx512.h for floats).
+//
+// Dispatch contract: callers must check avx512_s8_usable() first — it is
+// true only when this TU was compiled with AVX-512BW support AND the CPU
+// reports both AVX512F and AVX512BW at runtime (_mm512_madd_epi16 and the
+// masked 16-bit loads are BW instructions). band_s8_avx512 throws if called
+// when not usable.
+//
+// Operands arrive pre-packed by ml/gemm_s8.cc: A as rows of kp
+// pair-interleaved int16 values, B as kp pair-rows of 2*n interleaved
+// column pairs. One zmm B load covers 16 output columns (32 int16 = 16
+// pairs); each output row holds one zmm of 16 int32 accumulators. Integer
+// adds are associative, so results are bitwise identical to the scalar
+// reference at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace plinius::ml::detail {
+
+/// Output rows per register tile (one zmm of 16 int32 accumulators per row).
+inline constexpr std::size_t kMrS8Avx512 = 16;
+
+/// True when the AVX-512BW int8 kernel is compiled in and the CPU supports it.
+[[nodiscard]] bool avx512_s8_usable();
+
+/// Computes C[tile_begin*kMrS8Avx512 .. tile_end*kMrS8Avx512) rows of
+/// C += A x B over the packed operands (kp = number of K pairs).
+void band_s8_avx512(std::size_t m, std::size_t n, std::size_t kp,
+                    const std::int16_t* apack, const std::int16_t* bpack,
+                    std::int32_t* c, std::size_t tile_begin, std::size_t tile_end);
+
+}  // namespace plinius::ml::detail

@@ -20,6 +20,7 @@ class MaxPoolLayer final : public Layer {
   void forward(const float* input, std::size_t batch, bool train) override;
   void backward(const float* input, float* input_delta, std::size_t batch) override;
   [[nodiscard]] const char* type() const override { return "maxpool"; }
+  [[nodiscard]] const MaxPoolConfig& config() const noexcept { return config_; }
 
  private:
   MaxPoolConfig config_;

@@ -5,12 +5,38 @@
 namespace plinius::ml {
 
 namespace {
-constexpr std::uint64_t kWeightsMagic = 0x504C4E57454948ULL;  // "PLNWEIH"
+constexpr std::uint64_t kWeightsMagicV1 = 0x504C4E57454948ULL;    // "PLNWEIH"
+constexpr std::uint64_t kWeightsMagicV2 = 0x32494557454E4C50ULL;  // "PLNWEI2"
+constexpr std::uint64_t kFormatVersion = 2;
+
+const char* dtype_name(std::uint64_t dtype) {
+  switch (dtype) {
+    case kDtypeFloat32: return "float32";
+    case kDtypeInt8: return "int8";
+    default: return "unknown";
+  }
+}
+
+std::string dtype_label(std::uint64_t dtype) {
+  return std::string(dtype_name(dtype)) + " (" + std::to_string(dtype) + ")";
+}
 
 void append_u64(Bytes& out, std::uint64_t v) {
   const std::size_t off = out.size();
   out.resize(off + 8);
   std::memcpy(out.data() + off, &v, 8);
+}
+
+void append_f32(Bytes& out, float v) {
+  const std::size_t off = out.size();
+  out.resize(off + 4);
+  std::memcpy(out.data() + off, &v, 4);
+}
+
+void append_bytes(Bytes& out, const void* src, std::size_t n) {
+  const std::size_t off = out.size();
+  out.resize(off + n);
+  std::memcpy(out.data() + off, src, n);
 }
 
 class Reader {
@@ -25,9 +51,22 @@ class Reader {
     return v;
   }
 
+  float f32() {
+    if (off_ + 4 > data_.size()) throw MlError("weights blob: truncated");
+    float v;
+    std::memcpy(&v, data_.data() + off_, 4);
+    off_ += 4;
+    return v;
+  }
+
   void floats(float* dst, std::size_t count) {
-    const std::size_t bytes = count * sizeof(float);
-    if (off_ + bytes > data_.size()) throw MlError("weights blob: truncated floats");
+    raw(dst, count * sizeof(float), "floats");
+  }
+
+  void raw(void* dst, std::size_t bytes, const char* what) {
+    if (off_ + bytes > data_.size()) {
+      throw MlError(std::string("weights blob: truncated ") + what);
+    }
     std::memcpy(dst, data_.data() + off_, bytes);
     off_ += bytes;
   }
@@ -39,29 +78,24 @@ class Reader {
   std::size_t off_ = 0;
 };
 
-}  // namespace
-
-Bytes serialize_weights(Network& net) {
-  Bytes out;
-  append_u64(out, kWeightsMagic);
-  append_u64(out, net.iterations());
-  append_u64(out, net.num_layers());
-  for (std::size_t i = 0; i < net.num_layers(); ++i) {
-    const auto buffers = net.layer(i).parameters();
-    append_u64(out, buffers.size());
-    for (const auto& buf : buffers) {
-      append_u64(out, buf.values.size());
-      const std::size_t off = out.size();
-      out.resize(off + buf.values.size_bytes());
-      std::memcpy(out.data() + off, buf.values.data(), buf.values.size_bytes());
-    }
+/// Consumes the v2 header after the magic; returns the dtype after checking
+/// it against `expected_dtype`.
+void read_v2_header(Reader& in, std::uint64_t expected_dtype) {
+  const std::uint64_t version = in.u64();
+  if (version != kFormatVersion) {
+    throw MlError("weights blob: unsupported format version (expected " +
+                  std::to_string(kFormatVersion) + ", got " +
+                  std::to_string(version) + ")");
   }
-  return out;
+  const std::uint64_t dtype = in.u64();
+  if (dtype != expected_dtype) {
+    throw MlError("weights blob: dtype mismatch (expected " +
+                  dtype_label(expected_dtype) + ", got " + dtype_label(dtype) +
+                  ")");
+  }
 }
 
-void deserialize_weights(Network& net, ByteSpan blob) {
-  Reader in(blob);
-  if (in.u64() != kWeightsMagic) throw MlError("weights blob: bad magic");
+void read_float_body(Network& net, Reader& in) {
   const std::uint64_t iterations = in.u64();
   if (in.u64() != net.num_layers()) throw MlError("weights blob: layer count mismatch");
   for (std::size_t i = 0; i < net.num_layers(); ++i) {
@@ -79,6 +113,116 @@ void deserialize_weights(Network& net, ByteSpan blob) {
   }
   if (!in.exhausted()) throw MlError("weights blob: trailing bytes");
   net.set_iterations(iterations);
+}
+
+}  // namespace
+
+Bytes serialize_weights(Network& net) {
+  Bytes out;
+  append_u64(out, kWeightsMagicV2);
+  append_u64(out, kFormatVersion);
+  append_u64(out, kDtypeFloat32);
+  append_u64(out, net.iterations());
+  append_u64(out, net.num_layers());
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    const auto buffers = net.layer(i).parameters();
+    append_u64(out, buffers.size());
+    for (const auto& buf : buffers) {
+      append_u64(out, buf.values.size());
+      append_bytes(out, buf.values.data(), buf.values.size_bytes());
+    }
+  }
+  return out;
+}
+
+void deserialize_weights(Network& net, ByteSpan blob) {
+  Reader in(blob);
+  const std::uint64_t magic = in.u64();
+  if (magic == kWeightsMagicV1) {
+    // Legacy v1: no version/dtype header, float body follows directly.
+    read_float_body(net, in);
+    return;
+  }
+  if (magic != kWeightsMagicV2) throw MlError("weights blob: bad magic");
+  read_v2_header(in, kDtypeFloat32);
+  read_float_body(net, in);
+}
+
+Bytes serialize_quantized(const QuantizedNetwork& qnet) {
+  Bytes out;
+  append_u64(out, kWeightsMagicV2);
+  append_u64(out, kFormatVersion);
+  append_u64(out, kDtypeInt8);
+  append_u64(out, qnet.iterations());
+  append_u64(out, qnet.input_shape().c);
+  append_u64(out, qnet.input_shape().h);
+  append_u64(out, qnet.input_shape().w);
+  append_f32(out, qnet.input_scale());
+  append_u64(out, qnet.num_layers());
+  for (const auto& l : qnet.layers()) {
+    append_u64(out, static_cast<std::uint64_t>(l.kind));
+    append_u64(out, l.in.c);
+    append_u64(out, l.in.h);
+    append_u64(out, l.in.w);
+    append_u64(out, l.out.c);
+    append_u64(out, l.out.h);
+    append_u64(out, l.out.w);
+    append_u64(out, l.ksize);
+    append_u64(out, l.stride);
+    append_u64(out, l.pad);
+    append_u64(out, static_cast<std::uint64_t>(l.activation));
+    append_f32(out, l.weight_scale);
+    append_f32(out, l.in_scale);
+    append_f32(out, l.out_scale);
+    append_u64(out, l.weights.size());
+    append_bytes(out, l.weights.data(), l.weights.size() * sizeof(std::int8_t));
+    append_u64(out, l.biases.size());
+    append_bytes(out, l.biases.data(), l.biases.size() * sizeof(std::int32_t));
+  }
+  return out;
+}
+
+QuantizedNetwork deserialize_quantized(ByteSpan blob) {
+  Reader in(blob);
+  const std::uint64_t magic = in.u64();
+  if (magic == kWeightsMagicV1) {
+    throw MlError("weights blob: dtype mismatch (expected " +
+                  dtype_label(kDtypeInt8) + ", got legacy v1 float32 blob)");
+  }
+  if (magic != kWeightsMagicV2) throw MlError("weights blob: bad magic");
+  read_v2_header(in, kDtypeInt8);
+
+  QuantizedNetwork q;
+  q.set_iterations(in.u64());
+  Shape input{in.u64(), in.u64(), in.u64()};
+  q.set_input_shape(input);
+  q.set_input_scale(in.f32());
+  const std::uint64_t num_layers = in.u64();
+  for (std::uint64_t i = 0; i < num_layers; ++i) {
+    QuantLayer l;
+    const std::uint64_t kind = in.u64();
+    if (kind > static_cast<std::uint64_t>(QLayerKind::kSoftmax)) {
+      throw MlError("weights blob: bad quantized layer kind " + std::to_string(kind) +
+                    " at layer " + std::to_string(i));
+    }
+    l.kind = static_cast<QLayerKind>(kind);
+    l.in = Shape{in.u64(), in.u64(), in.u64()};
+    l.out = Shape{in.u64(), in.u64(), in.u64()};
+    l.ksize = in.u64();
+    l.stride = in.u64();
+    l.pad = in.u64();
+    l.activation = static_cast<Activation>(in.u64());
+    l.weight_scale = in.f32();
+    l.in_scale = in.f32();
+    l.out_scale = in.f32();
+    l.weights.resize(in.u64());
+    in.raw(l.weights.data(), l.weights.size() * sizeof(std::int8_t), "int8 weights");
+    l.biases.resize(in.u64());
+    in.raw(l.biases.data(), l.biases.size() * sizeof(std::int32_t), "int32 biases");
+    q.layers().push_back(std::move(l));
+  }
+  if (!in.exhausted()) throw MlError("weights blob: trailing bytes");
+  return q;
 }
 
 }  // namespace plinius::ml

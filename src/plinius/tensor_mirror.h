@@ -6,17 +6,19 @@
 //    mirror copies of tensors in PM and restores them in enclave memory
 //    using Plinius's mirroring mechanism."
 //
-// TensorMirror mirrors an arbitrary set of *named float tensors* — the
-// shape TF checkpoints reduce to — with the same guarantees as the model
-// mirror: AES-GCM sealing per tensor, atomic (Romulus-transactional)
-// versioned updates, authentication on restore. MirrorModel is the
-// Darknet-specific layer-list instantiation; this is the library-agnostic
-// form.
+// TensorMirror mirrors an arbitrary set of *named byte blobs* — named float
+// tensors (the shape TF checkpoints reduce to) are a thin wrapper — with the
+// same guarantees as the model mirror: AES-GCM sealing per blob, atomic
+// (Romulus-transactional) versioned updates, authentication on restore.
+// MirrorModel is the Darknet-specific layer-list instantiation; this is the
+// library-agnostic form. QuantMirror (plinius/quant_mirror.h) reuses the
+// blob form for int8 model snapshots on a separate root slot.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "crypto/envelope.h"
@@ -31,29 +33,50 @@ struct NamedTensor {
   std::span<float> values;
 };
 
+/// Byte-typed mirror unit; mirror_out only reads the span.
+struct NamedBlob {
+  std::string name;          // <= 47 bytes
+  std::span<std::uint8_t> bytes;
+};
+
 class TensorMirror {
  public:
   static constexpr int kRootSlot = 2;
   static constexpr std::size_t kMaxNameLen = 47;
 
-  TensorMirror(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave, crypto::AesGcm gcm);
+  /// `root_slot` selects the Romulus root the mirror lives under (default:
+  /// the TF-tensor slot; QuantMirror passes its own).
+  TensorMirror(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave, crypto::AesGcm gcm,
+               int root_slot = kRootSlot);
 
   [[nodiscard]] bool exists() const;
 
-  /// Allocates PM mirrors for the tensor set (one durable transaction).
-  /// Tensor names must be unique and fit kMaxNameLen.
-  void alloc(std::span<const NamedTensor> tensors);
+  /// Allocates PM mirrors for the blob set (one durable transaction).
+  /// Names must be unique and fit kMaxNameLen.
+  void alloc_blobs(std::span<const NamedBlob> blobs);
 
-  /// Atomically seals every tensor into its PM mirror and records `version`.
-  /// The set must match alloc()'s (same names, same sizes, any order).
-  void mirror_out(std::span<const NamedTensor> tensors, std::uint64_t version);
+  /// Atomically seals every blob into its PM mirror and records `version`.
+  /// The set must match alloc_blobs()'s (same names, same sizes, any order).
+  void mirror_out_blobs(std::span<const NamedBlob> blobs, std::uint64_t version);
 
-  /// Restores every tensor (matched by name) from PM; returns the version.
+  /// Restores every blob (matched by name) from PM; returns the version.
   /// Throws CryptoError on authentication failure, MlError on mismatch.
+  std::uint64_t mirror_in_blobs(std::span<const NamedBlob> blobs);
+
+  /// Float-tensor convenience wrappers over the blob API.
+  void alloc(std::span<const NamedTensor> tensors);
+  void mirror_out(std::span<const NamedTensor> tensors, std::uint64_t version);
   std::uint64_t mirror_in(std::span<NamedTensor> tensors);
 
   [[nodiscard]] std::uint64_t version() const;
   [[nodiscard]] std::size_t tensor_count() const;
+
+  /// Plaintext size of every allocated blob, in table order (lets a reader
+  /// size its buffers before mirror_in_blobs).
+  [[nodiscard]] std::vector<std::pair<std::string, std::size_t>> blob_sizes() const;
+
+  /// Total sealed PM bytes (IV + ciphertext + MAC across all blobs).
+  [[nodiscard]] std::size_t sealed_bytes() const;
 
  private:
   struct Header {
@@ -77,6 +100,7 @@ class TensorMirror {
   sgx::EnclaveRuntime* enclave_;
   crypto::AesGcm gcm_;
   crypto::IvSequence iv_seq_;
+  int root_slot_;
   Bytes scratch_;
 };
 

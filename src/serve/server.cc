@@ -30,13 +30,68 @@ InferenceServer::InferenceServer(Platform& platform, ml::Network& net,
           "InferenceServer: batch.max_batch must be >= 1");
 }
 
+InferenceServer::InferenceServer(Platform& platform, ml::QuantizedNetwork& qnet,
+                                 crypto::AesGcm gcm, ServerOptions options,
+                                 QuantMirror* qmirror, ServeLog* serve_log)
+    : platform_(&platform),
+      net_(nullptr),
+      qnet_(&qnet),
+      qmirror_(qmirror),
+      gcm_(std::move(gcm)),
+      options_(options),
+      workers_(std::clamp<std::size_t>(options.workers, 1,
+                                       platform.enclave().tcs_count())),
+      mirror_(nullptr),
+      serve_log_(serve_log),
+      queue_(options.admission),
+      reply_iv_(crypto::IvSequence::salted(platform.enclave().rng())),
+      served_version_(qnet.iterations()) {
+  expects(options_.batch.max_batch >= 1,
+          "InferenceServer: batch.max_batch must be >= 1");
+  expects(qnet.num_layers() > 0, "InferenceServer: empty quantized network");
+}
+
+std::size_t InferenceServer::model_input_size() const {
+  return quantized() ? qnet_->input_shape().size() : net_->input_shape().size();
+}
+
+std::size_t InferenceServer::model_forward_macs() const {
+  return quantized() ? qnet_->forward_macs() : net_->forward_macs();
+}
+
+std::size_t InferenceServer::model_parameter_bytes() const {
+  return quantized() ? qnet_->parameter_bytes() : net_->parameter_bytes();
+}
+
+double InferenceServer::model_macs_per_s() const {
+  const double base = platform_->profile().compute_macs_per_s;
+  return quantized() ? base * platform_->profile().sgx.int8_gemm_speedup : base;
+}
+
 std::size_t InferenceServer::lanes_per_worker() const noexcept {
   const std::size_t tcs = platform_->enclave().tcs_count();
   return std::max<std::size_t>(1, tcs / workers_);
 }
 
 void InferenceServer::maybe_reload() {
-  if (!options_.hot_reload || mirror_ == nullptr || !mirror_->exists()) return;
+  if (!options_.hot_reload) return;
+  if (quantized()) {
+    if (qmirror_ == nullptr || !qmirror_->exists()) return;
+    if (qmirror_->version() == served_version_) return;
+    // QuantMirror::load authenticates every blob into staging before
+    // touching the serving model — the same torn-write guarantee as the
+    // float snapshot restore below.
+    sim::Stopwatch qsw(platform_->clock());
+    try {
+      served_version_ = qmirror_->load(*qnet_);
+      ++stats_.reloads;
+    } catch (const Error&) {
+      ++stats_.reload_failures;
+    }
+    reload_pending_ns_ += qsw.elapsed();
+    return;
+  }
+  if (mirror_ == nullptr || !mirror_->exists()) return;
   if (mirror_->iteration() == served_version_) return;
   // Snapshot restore: authenticates everything into staging before touching
   // a single layer array, so a corrupt mirror cannot torn-write the serving
@@ -87,7 +142,7 @@ InferenceServer::BatchCost InferenceServer::service_batch(
   auto& enclave = platform_->enclave();
   const std::size_t b = batch.size();
   const std::size_t lanes = lanes_per_worker();
-  const std::size_t in_floats = net_->input_shape().size();
+  const std::size_t in_floats = model_input_size();
   const std::size_t plain_len = in_floats * sizeof(float);
   const std::size_t sealed_len = crypto::sealed_size(plain_len);
 
@@ -128,13 +183,15 @@ InferenceServer::BatchCost InferenceServer::service_batch(
   // batch slot (zeroed input), so the forward runs — and is priced — over
   // the full batch, data-parallel across this worker's lanes.
   std::vector<std::size_t> preds(b, 0);
-  net_->predict(batch_x.data(), b, preds.data());
+  if (quantized()) {
+    qnet_->predict(batch_x.data(), b, preds.data());
+  } else {
+    net_->predict(batch_x.data(), b, preds.data());
+  }
   cost.forward_ns = static_cast<double>(b) *
-                    static_cast<double>(net_->forward_macs()) /
-                    (platform_->profile().compute_macs_per_s *
-                     static_cast<double>(lanes)) *
-                    1e9;
-  cost.other_ns += enclave.touch_task_ns(net_->parameter_bytes());
+                    static_cast<double>(model_forward_macs()) /
+                    (model_macs_per_s() * static_cast<double>(lanes)) * 1e9;
+  cost.other_ns += enclave.touch_task_ns(model_parameter_bytes());
 
   // Stage 3: seal the replies — IVs drawn serially (the per-key counter
   // must stay monotonic), the GCM passes in parallel.

@@ -35,9 +35,11 @@
 #include "crypto/envelope.h"
 #include "crypto/gcm.h"
 #include "ml/network.h"
+#include "ml/quant.h"
 #include "plinius/metrics_log.h"
 #include "plinius/mirror.h"
 #include "plinius/platform.h"
+#include "plinius/quant_mirror.h"
 #include "serve/admission.h"
 #include "serve/batcher.h"
 #include "serve/request.h"
@@ -95,6 +97,14 @@ class InferenceServer {
                   ServerOptions options, MirrorModel* mirror = nullptr,
                   ServeLog* serve_log = nullptr);
 
+  /// Quantized serving: same pipeline, but the forward runs the int8 path —
+  /// priced at the int8 MAC rate (compute_macs_per_s * int8_gemm_speedup)
+  /// and touching ~4x fewer model bytes per batch. `qmirror` (optional)
+  /// enables hot reload from the quantized PM snapshot.
+  InferenceServer(Platform& platform, ml::QuantizedNetwork& qnet, crypto::AesGcm gcm,
+                  ServerOptions options, QuantMirror* qmirror = nullptr,
+                  ServeLog* serve_log = nullptr);
+
   /// Serves a full arrival schedule (sorted by arrival_ns; absolute
   /// simulated times). Returns one Completion per request — served, shed,
   /// expired, or auth-failed; nothing is dropped without a sealed reply.
@@ -136,8 +146,18 @@ class InferenceServer {
   void log_window(std::span<const Request> workload,
                   std::span<const Completion> completions);
 
+  /// Model-kind dispatch helpers (float net_ vs quantized qnet_).
+  [[nodiscard]] bool quantized() const noexcept { return qnet_ != nullptr; }
+  [[nodiscard]] std::size_t model_input_size() const;
+  [[nodiscard]] std::size_t model_forward_macs() const;
+  [[nodiscard]] std::size_t model_parameter_bytes() const;
+  /// Effective MAC rate of the serving forward (int8 models run faster).
+  [[nodiscard]] double model_macs_per_s() const;
+
   Platform* platform_;
   ml::Network* net_;
+  ml::QuantizedNetwork* qnet_ = nullptr;
+  QuantMirror* qmirror_ = nullptr;
   crypto::AesGcm gcm_;
   ServerOptions options_;
   std::size_t workers_;

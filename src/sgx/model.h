@@ -33,6 +33,13 @@ struct SgxCostModel {
   double native_crypto_gib_s;     // AES-GCM throughput outside
   sim::Nanos crypto_op_overhead_ns;  // fixed per-call GCM setup (key/J0/tag)
   std::size_t ocall_chunk_bytes;  // edge-buffer granularity for ocall I/O
+  // Effective MAC-rate multiplier of the int8 GEMM path over the float
+  // path. VPMADDWD retires two int8 MACs per int16 lane where FMA retires
+  // one float MAC per float lane, and the narrower operands halve the
+  // bandwidth pressure; ~2x is what the blocked kernels in ml/gemm_s8.cc
+  // actually deliver (see bench/micro_kernels). Quantized inference compute
+  // is charged at compute_macs_per_s * int8_gemm_speedup.
+  double int8_gemm_speedup;
   // Number of TCS entries the enclave is built with, i.e. how many threads
   // can execute enclave code concurrently. Parallel phases (sealing sweeps,
   // batch decryption, training compute) advance the simulated clock by the

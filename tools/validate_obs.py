@@ -131,6 +131,16 @@ def validate_metrics(path, errors):
         errors.append(f"{path}: snapshot has no series at all")
     print(f"{path}: {n} metric series")
 
+    # Feed the cross-file presence checks (--require-gauge / --require-label).
+    gauge_names = {s.get("name") for s in doc.get("gauges", [])
+                   if isinstance(s, dict) and isinstance(s.get("name"), str)}
+    labels = set()
+    for kind in ("counters", "gauges", "histograms"):
+        for s in doc.get(kind, []):
+            if isinstance(s, dict) and isinstance(s.get("labels"), dict):
+                labels.update(f"{k}={v}" for k, v in s["labels"].items())
+    return gauge_names, labels
+
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
@@ -138,6 +148,12 @@ def main():
                     help="Chrome trace-event JSON to validate (repeatable)")
     ap.add_argument("--metrics", action="append", default=[],
                     help="registry snapshot JSON to validate (repeatable)")
+    ap.add_argument("--require-gauge", action="append", default=[],
+                    help="fail unless some --metrics file has a gauge whose "
+                         "name starts with this prefix (repeatable)")
+    ap.add_argument("--require-label", action="append", default=[],
+                    help="fail unless some --metrics file has a series with "
+                         "this key=value label (repeatable)")
     args = ap.parse_args()
     if not args.trace and not args.metrics:
         ap.error("nothing to validate: pass --trace and/or --metrics")
@@ -148,11 +164,28 @@ def main():
             validate_trace(path, errors)
         except (OSError, json.JSONDecodeError) as e:
             errors.append(f"{path}: {e}")
+    seen_gauges, seen_labels = set(), set()
     for path in args.metrics:
         try:
-            validate_metrics(path, errors)
+            result = validate_metrics(path, errors)
+            if result is not None:
+                seen_gauges |= result[0]
+                seen_labels |= result[1]
         except (OSError, json.JSONDecodeError) as e:
             errors.append(f"{path}: {e}")
+
+    # Presence checks: CI pins named panels (e.g. fig6.crossover) and label
+    # values (e.g. model=int8) so a bench silently dropping a series fails
+    # loudly instead of shipping an empty artifact. Satisfied by any one of
+    # the --metrics files.
+    for prefix in args.require_gauge:
+        if not any(name.startswith(prefix) for name in seen_gauges):
+            errors.append(
+                f"no '{prefix}*' gauge in any --metrics file (--require-gauge)")
+    for pair in args.require_label:
+        if pair not in seen_labels:
+            errors.append(
+                f"no series labelled '{pair}' in any --metrics file (--require-label)")
 
     if errors:
         print(f"{len(errors)} schema violation(s):", file=sys.stderr)
