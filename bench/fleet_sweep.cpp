@@ -1,0 +1,175 @@
+// Fleet sweep — useful work under preemption across fleet size, preemption
+// rate and sync policy (paper §VI Fig. 10 generalized to N spot machines).
+//
+// Each point runs the same seeded per-worker spot-price preemption schedule
+// twice: once mirror-backed (Plinius) and once with no model persistence
+// (the non-resilient baseline). The headline series is the useful-work
+// fraction — iterations that survived into the final model over iterations
+// executed — and the redone-iteration count the preemptions extracted.
+//
+// Exit code: non-zero if any preempted point fails the PR's claim that the
+// resilient fleet redoes strictly less work than the non-resilient baseline
+// (or if either run fails to complete), so CI can gate on the comparison.
+//
+// --smoke runs a single small point (CI artifact); --json writes the obs
+// registry snapshot for tools/validate_obs.py.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ml/config.h"
+#include "ml/synth_digits.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/stats_bridge.h"
+#include "plinius/fleet/fleet.h"
+
+namespace {
+
+using namespace plinius;
+using namespace plinius::fleet;
+
+obs::Registry g_registry;
+
+constexpr std::uint64_t kTarget = 24;
+constexpr std::size_t kPmBytes = 48u << 20;
+
+struct Point {
+  std::size_t workers;
+  double spike_probability;
+  SyncPolicy policy;
+};
+
+struct Outcome {
+  FleetReport report;
+  double useful_pct = 0;
+  sim::Nanos elapsed_ns = 0;
+};
+
+Outcome run(const ml::ModelConfig& config, const ml::Dataset& data,
+            const Point& pt, CheckpointBackend backend,
+            const obs::Labels& labels) {
+  FleetOptions opt;
+  opt.workers = pt.workers;
+  opt.sync_every = 4;
+  opt.max_rounds = 800;
+  opt.policy = pt.policy;
+  opt.trainer.backend = backend;
+  if (pt.spike_probability > 0) {
+    opt.preemption.model = PreemptionModel::kSpotTrace;
+    opt.preemption.spike_probability = pt.spike_probability;
+  }
+  ElasticTrainer trainer(MachineProfile::emlsgx_pm(), kPmBytes, config, opt);
+  trainer.load_dataset(data);
+  (void)trainer.train(kTarget);
+
+  Outcome out;
+  out.report = trainer.report();
+  const auto executed = out.report.executed_iterations;
+  out.useful_pct =
+      executed > 0
+          ? 100.0 * static_cast<double>(executed - out.report.redone_iterations) /
+                static_cast<double>(executed)
+          : 0.0;
+  out.elapsed_ns = out.report.elapsed_ns;
+  trainer.publish(g_registry, labels);
+  g_registry.set_gauge("fleet.useful_work_pct", out.useful_pct, labels);
+  g_registry.set_gauge("fleet.elapsed_ms", out.elapsed_ns / 1e6, labels);
+  return out;
+}
+
+const char* backend_name(CheckpointBackend b) {
+  return b == CheckpointBackend::kPmMirror ? "mirror" : "none";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  std::printf("# Fleet sweep: useful work vs fleet size x preemption x policy\n");
+  std::printf("# target %llu iterations/worker, sync every 4, seeded per-worker "
+              "spot traces.\n",
+              static_cast<unsigned long long>(kTarget));
+
+  ml::SynthDigitsOptions dopt;
+  dopt.train_count = 256;
+  dopt.test_count = 1;
+  const auto data = ml::make_synth_digits(dopt).train;
+  const auto config = ml::make_cnn_config(2, 4, 8);
+
+  std::vector<Point> points;
+  if (smoke) {
+    points.push_back({3, 0.12, SyncPolicy::kBarrier});
+  } else {
+    for (const std::size_t workers : {2u, 4u}) {
+      for (const double spike : {0.0, 0.06, 0.12}) {
+        for (const SyncPolicy policy :
+             {SyncPolicy::kBarrier, SyncPolicy::kBoundedStaleness,
+              SyncPolicy::kGossip}) {
+          points.push_back({workers, spike, policy});
+        }
+      }
+    }
+  }
+
+  std::printf("\n%-7s %-6s %-18s %-7s %9s %7s %7s %9s %11s\n", "workers",
+              "spike", "policy", "backend", "useful%", "kills", "redone",
+              "elapsed_s", "completed");
+  bool ok = true;
+  std::size_t comparisons = 0;
+  for (const Point& pt : points) {
+    char spike_buf[16], workers_buf[16];
+    std::snprintf(spike_buf, sizeof(spike_buf), "%.2f", pt.spike_probability);
+    std::snprintf(workers_buf, sizeof(workers_buf), "%zu", pt.workers);
+    Outcome res[2];
+    for (const CheckpointBackend backend :
+         {CheckpointBackend::kPmMirror, CheckpointBackend::kNone}) {
+      const obs::Labels labels{{"workers", workers_buf},
+                               {"spike", spike_buf},
+                               {"policy", to_string(pt.policy)},
+                               {"backend", backend_name(backend)}};
+      Outcome& out =
+          res[backend == CheckpointBackend::kPmMirror ? 0 : 1];
+      out = run(config, data, pt, backend, labels);
+      std::printf("%-7zu %-6.2f %-18s %-7s %8.1f%% %7llu %7llu %9.2f %11s\n",
+                  pt.workers, pt.spike_probability, to_string(pt.policy),
+                  backend_name(backend), out.useful_pct,
+                  static_cast<unsigned long long>(out.report.kills),
+                  static_cast<unsigned long long>(out.report.redone_iterations),
+                  out.elapsed_ns / 1e9, out.report.completed ? "yes" : "NO");
+      if (!out.report.completed) ok = false;
+    }
+    // The PR's claim, gated per preempted point: mirror-backed recovery
+    // redoes strictly less work than the non-resilient baseline.
+    if (pt.spike_probability > 0 && res[1].report.kills > 0) {
+      ++comparisons;
+      if (res[0].report.redone_iterations >= res[1].report.redone_iterations) {
+        std::printf("!! resilient redone %llu >= baseline redone %llu\n",
+                    static_cast<unsigned long long>(
+                        res[0].report.redone_iterations),
+                    static_cast<unsigned long long>(
+                        res[1].report.redone_iterations));
+        ok = false;
+      }
+    }
+  }
+  if (comparisons == 0) {
+    std::printf("!! no preempted point produced kills; nothing was compared\n");
+    ok = false;
+  }
+  std::printf("\n# %zu resilient-vs-baseline comparisons, %s\n", comparisons,
+              ok ? "all passed" : "FAILURES above");
+
+  if (!json_path.empty()) {
+    if (!obs::write_text_file(json_path, g_registry.snapshot_json())) return 1;
+    std::printf("# metrics snapshot -> %s\n", json_path.c_str());
+  }
+  return ok ? 0 : 1;
+}

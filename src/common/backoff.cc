@@ -1,0 +1,39 @@
+#include "common/backoff.h"
+
+#include <algorithm>
+
+namespace plinius {
+
+BackoffSchedule::BackoffSchedule(const BackoffPolicy& policy, std::uint64_t seed)
+    : policy_(policy), rng_(seed), base_(policy.initial_ns) {
+  if (policy_.initial_ns < 0) policy_.initial_ns = 0;
+  if (policy_.cap_ns < policy_.initial_ns) policy_.cap_ns = policy_.initial_ns;
+  policy_.jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+  base_ = policy_.initial_ns;
+}
+
+sim::Nanos BackoffSchedule::next() {
+  ++attempts_;
+  bool clamped = false;
+  sim::Nanos delay = base_;
+  if (policy_.jitter > 0) {
+    delay *= 1.0 + policy_.jitter * (2.0 * rng_.uniform() - 1.0);
+  }
+  if (delay > policy_.cap_ns) {
+    delay = policy_.cap_ns;
+    clamped = true;
+  }
+  if (delay < 0) delay = 0;
+  // Double the base for the following attempt, saturating at the cap so a
+  // large retry budget cannot overflow the delay into meaninglessness.
+  if (base_ >= policy_.cap_ns / 2.0) {
+    base_ = policy_.cap_ns;
+    clamped = true;
+  } else {
+    base_ *= 2.0;
+  }
+  if (clamped) ++capped_;
+  return delay;
+}
+
+}  // namespace plinius

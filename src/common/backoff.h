@@ -1,0 +1,48 @@
+// Capped, jittered exponential backoff for simulated retry loops.
+//
+// Every retry path in the simulator (peer re-provisioning over the attested
+// channel, fleet rejoin) used to double a raw delay without bound, and every
+// retrier with the same options retried at the same instants — the classic
+// thundering-herd shape. BackoffSchedule fixes both: the doubled base delay
+// is clamped to a cap, and a seeded uniform jitter spreads concurrent
+// retriers apart while keeping each schedule bit-reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace plinius {
+
+struct BackoffPolicy {
+  sim::Nanos initial_ns = 1.0e6;  // first retry delay
+  sim::Nanos cap_ns = 1.0e9;      // hard ceiling on any single delay
+  // Fraction of the base delay randomized: delay = base * (1 + jitter*(2u-1))
+  // with u ~ U[0,1), then clamped to cap_ns. 0 disables jitter.
+  double jitter = 0.1;
+};
+
+/// One retry sequence. next() returns the delay before the upcoming attempt
+/// and advances the schedule; identical (policy, seed) pairs produce
+/// identical delay sequences.
+class BackoffSchedule {
+ public:
+  BackoffSchedule(const BackoffPolicy& policy, std::uint64_t seed);
+
+  [[nodiscard]] sim::Nanos next();
+
+  /// Attempts drawn so far.
+  [[nodiscard]] std::size_t attempts() const noexcept { return attempts_; }
+  /// Times the cap clamped a delay (before or after jitter).
+  [[nodiscard]] std::uint64_t times_capped() const noexcept { return capped_; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  sim::Nanos base_;
+  std::size_t attempts_ = 0;
+  std::uint64_t capped_ = 0;
+};
+
+}  // namespace plinius

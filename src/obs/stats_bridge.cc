@@ -2,6 +2,7 @@
 
 #include "plinius/checkpoint.h"
 #include "plinius/distributed.h"
+#include "plinius/fleet/fleet.h"
 #include "plinius/mirror.h"
 #include "plinius/pm_data.h"
 #include "plinius/scrub.h"
@@ -106,6 +107,59 @@ void publish(Registry& reg, const ClusterStats& s, const Labels& labels) {
   reg.set_counter("cluster.peer_retries", s.peer_retries, labels);
   reg.set_counter("cluster.peer_provision_failures", s.peer_provision_failures,
                   labels);
+  reg.set_counter("cluster.peer_backoff_capped", s.peer_backoff_capped, labels);
+  // Gauge mirrors of the peer-channel counters so CI can assert their
+  // presence with validate_obs.py --require-gauge (which checks gauges only).
+  reg.set_gauge("cluster.peer_provisions",
+                static_cast<double>(s.peer_provisions), labels);
+  reg.set_gauge("cluster.peer_retries", static_cast<double>(s.peer_retries),
+                labels);
+  reg.set_gauge("cluster.peer_provision_failures",
+                static_cast<double>(s.peer_provision_failures), labels);
+}
+
+void publish(Registry& reg, const fleet::FleetReport& s, const Labels& labels) {
+  // Local tier-name table: the canonical to_string(RecoveryTier) lives in the
+  // trainer library, which this bridge deliberately does not link against.
+  static constexpr const char* kTierNames[] = {
+      "none", "mirror", "replica", "ssd-checkpoint", "fresh-start", "peer"};
+  reg.set_gauge("fleet.live_workers", static_cast<double>(s.live_workers),
+                labels);
+  reg.set_gauge("fleet.workers", static_cast<double>(s.workers.size()), labels);
+  reg.set_gauge("fleet.elapsed_ns", s.elapsed_ns, labels);
+  reg.set_gauge("fleet.completed", s.completed ? 1.0 : 0.0, labels);
+  reg.set_counter("fleet.rounds_total", s.rounds_total, labels);
+  reg.set_counter("fleet.rounds_skipped_quorum", s.rounds_skipped_quorum, labels);
+  reg.set_counter("fleet.sync_rounds", s.sync_rounds, labels);
+  reg.set_counter("fleet.kills", s.kills, labels);
+  reg.set_counter("fleet.revives", s.revives, labels);
+  reg.set_counter("fleet.executed_iterations", s.executed_iterations, labels);
+  reg.set_counter("fleet.redone_iterations", s.redone_iterations, labels);
+  reg.set_gauge("fleet.redone_iterations",
+                static_cast<double>(s.redone_iterations), labels);
+  for (std::size_t t = 0; t < s.recoveries_by_tier.size(); ++t) {
+    Labels tiered = labels;
+    tiered.emplace_back("tier", kTierNames[t]);
+    reg.set_counter("fleet.recoveries", s.recoveries_by_tier[t], tiered);
+    // Per-tier recovery histogram: one sample at the tier ordinal per revival.
+    for (std::uint64_t k = 0; k < s.recoveries_by_tier[t]; ++k) {
+      reg.record("fleet.recovery_tier", static_cast<sim::Nanos>(t), labels);
+    }
+  }
+  for (const fleet::RoundLog& r : s.rounds) {
+    reg.record("fleet.round_ns", r.end_ns - r.start_ns, labels);
+  }
+  for (const fleet::WorkerReport& w : s.workers) {
+    Labels wl = labels;
+    wl.emplace_back("worker", std::to_string(w.worker));
+    reg.set_counter("fleet.worker.executed_iterations", w.executed_iterations, wl);
+    reg.set_counter("fleet.worker.redone_iterations", w.redone_iterations, wl);
+    reg.set_counter("fleet.worker.kills", w.kills, wl);
+    reg.set_counter("fleet.worker.revives", w.revives, wl);
+    reg.set_counter("fleet.worker.rounds_participated", w.rounds_participated, wl);
+    reg.set_counter("fleet.worker.rounds_missed", w.rounds_missed, wl);
+  }
+  publish(reg, s.cluster, labels);
 }
 
 void publish(Registry& reg, const serve::ServerStats& s, const Labels& labels) {

@@ -27,6 +27,9 @@ struct ClusterStats;
 namespace plinius::serve {
 struct ServerStats;
 }
+namespace plinius::fleet {
+struct FleetReport;
+}
 
 namespace plinius::obs {
 
@@ -40,5 +43,6 @@ void publish(Registry& reg, const ScrubReport& s, const Labels& labels = {});
 void publish(Registry& reg, const RecoveryReport& s, const Labels& labels = {});
 void publish(Registry& reg, const ClusterStats& s, const Labels& labels = {});
 void publish(Registry& reg, const serve::ServerStats& s, const Labels& labels = {});
+void publish(Registry& reg, const fleet::FleetReport& s, const Labels& labels = {});
 
 }  // namespace plinius::obs

@@ -3,9 +3,30 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/backoff.h"
 #include "common/error.h"
 
 namespace plinius {
+
+std::vector<ml::Dataset> shard_round_robin(const ml::Dataset& data,
+                                           std::size_t workers) {
+  data.validate();
+  expects(workers >= 1, "shard_round_robin: need at least one worker");
+  expects(data.size() >= workers, "shard_round_robin: dataset too small");
+  std::vector<ml::Dataset> shards(workers);
+  const std::size_t per_worker = data.size() / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    auto& shard = shards[w];
+    shard.x = ml::Matrix(per_worker, data.x.cols);
+    shard.y = ml::Matrix(per_worker, data.y.cols);
+    for (std::size_t r = 0; r < per_worker; ++r) {
+      const std::size_t src = r * workers + w;
+      std::memcpy(shard.x.row(r), data.x.row(src), data.x.cols * sizeof(float));
+      std::memcpy(shard.y.row(r), data.y.row(src), data.y.cols * sizeof(float));
+    }
+  }
+  return shards;
+}
 
 DistributedTrainer::DistributedTrainer(const MachineProfile& profile,
                                        std::size_t pm_bytes_per_worker,
@@ -62,9 +83,16 @@ bool DistributedTrainer::reprovision_from_peer(std::size_t w) {
   if (peer == w || best_iter == 0) return false;
 
   // Sealed parameter transfer over the attested enclave-to-enclave channel
-  // (established as in Fig. 5), with seeded loss and exponential backoff.
+  // (established as in Fig. 5), with seeded loss and capped, jittered
+  // exponential backoff. Each worker jitters from its own seeded stream so
+  // simultaneous rejoiners don't retry in lockstep.
   const auto param_bytes = static_cast<double>(network(w).parameter_bytes());
-  sim::Nanos backoff = options_.peer_backoff_ns;
+  BackoffPolicy bp;
+  bp.initial_ns = options_.peer_backoff_ns;
+  bp.cap_ns = options_.peer_backoff_cap_ns;
+  bp.jitter = options_.peer_backoff_jitter;
+  BackoffSchedule backoff(bp, options_.peer_net_seed ^
+                                  (0x9E3779B97F4A7C15ULL * (w + 1)));
   bool delivered = false;
   for (std::size_t attempt = 0; attempt <= options_.peer_retries; ++attempt) {
     platforms_[peer]->enclave().charge_crypto(
@@ -75,8 +103,7 @@ bool DistributedTrainer::reprovision_from_peer(std::size_t w) {
     platforms_[w]->clock().advance(wire);
     if (net_rng_.uniform() < options_.peer_loss_rate) {
       ++stats_.peer_retries;
-      platforms_[w]->clock().advance(backoff);
-      backoff *= 2.0;
+      platforms_[w]->clock().advance(backoff.next());
       continue;
     }
     platforms_[w]->enclave().charge_crypto(
@@ -84,6 +111,7 @@ bool DistributedTrainer::reprovision_from_peer(std::size_t w) {
     delivered = true;
     break;
   }
+  stats_.peer_backoff_capped += backoff.times_capped();
   if (!delivered) {
     ++stats_.peer_provision_failures;
     return false;
@@ -123,20 +151,7 @@ Trainer& DistributedTrainer::trainer(std::size_t w) {
 }
 
 void DistributedTrainer::load_dataset(const ml::Dataset& data) {
-  data.validate();
-  expects(data.size() >= options_.workers, "DistributedTrainer: dataset too small");
-  shards_.assign(options_.workers, ml::Dataset{});
-  const std::size_t per_worker = data.size() / options_.workers;
-  for (std::size_t w = 0; w < options_.workers; ++w) {
-    auto& shard = shards_[w];
-    shard.x = ml::Matrix(per_worker, data.x.cols);
-    shard.y = ml::Matrix(per_worker, data.y.cols);
-    for (std::size_t r = 0; r < per_worker; ++r) {
-      const std::size_t src = r * options_.workers + w;  // round-robin
-      std::memcpy(shard.x.row(r), data.x.row(src), data.x.cols * sizeof(float));
-      std::memcpy(shard.y.row(r), data.y.row(src), data.y.cols * sizeof(float));
-    }
-  }
+  shards_ = shard_round_robin(data, options_.workers);
   data_loaded_ = true;
   for (std::size_t w = 0; w < options_.workers; ++w) {
     if (trainers_[w] != nullptr) trainers_[w]->load_dataset(shards_[w]);

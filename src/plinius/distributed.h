@@ -42,6 +42,13 @@ struct ClusterOptions {
   double peer_loss_rate = 0.0;          // per-transfer drop probability
   std::size_t peer_retries = 5;         // attempts before giving up
   sim::Nanos peer_backoff_ns = 1.0e6;   // initial retry backoff, doubled per try
+  // Ceiling on any single backoff delay: the doubling saturates here instead
+  // of growing without bound at large retry budgets.
+  sim::Nanos peer_backoff_cap_ns = 1.0e9;
+  // Seeded jitter fraction on every delay (see common/backoff.h). Each
+  // worker jitters from its own stream, so simultaneous rejoiners spread
+  // their retries apart instead of hammering the channel in lockstep.
+  double peer_backoff_jitter = 0.1;
   std::uint64_t peer_net_seed = 0x9E77; // seeded lossy-channel determinism
 };
 
@@ -49,7 +56,14 @@ struct ClusterStats {
   std::uint64_t peer_provisions = 0;       // workers re-provisioned from a peer
   std::uint64_t peer_retries = 0;          // sealed transfers the channel dropped
   std::uint64_t peer_provision_failures = 0;  // retry budget exhausted
+  std::uint64_t peer_backoff_capped = 0;   // retry delays clamped at the cap
 };
+
+/// Round-robin data-parallel sharding: record r of shard w is record
+/// r*workers+w of `data`. Shared by DistributedTrainer and
+/// fleet::ElasticTrainer so both populate identical per-worker shards.
+[[nodiscard]] std::vector<ml::Dataset> shard_round_robin(const ml::Dataset& data,
+                                                         std::size_t workers);
 
 class DistributedTrainer {
  public:

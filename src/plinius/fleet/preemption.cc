@@ -1,0 +1,63 @@
+#include "plinius/fleet/preemption.h"
+
+#include "common/error.h"
+
+namespace plinius::fleet {
+
+const char* to_string(PreemptionModel model) noexcept {
+  switch (model) {
+    case PreemptionModel::kNone: return "none";
+    case PreemptionModel::kSpotTrace: return "spot-trace";
+    case PreemptionModel::kChaos: return "chaos";
+  }
+  return "?";
+}
+
+PreemptionSource::PreemptionSource(const PreemptionOptions& options,
+                                   std::size_t worker)
+    : options_(options),
+      rng_(options.chaos_seed ^ (0x9E3779B97F4A7C15ULL * (worker + 1))) {
+  if (options_.model == PreemptionModel::kSpotTrace) {
+    expects(options_.trace_ticks >= 1, "PreemptionSource: empty spot trace");
+    trace_ = spot::SpotTrace::synthetic(options_.trace_ticks,
+                                        options_.trace_seed + worker,
+                                        options_.base_price,
+                                        options_.spike_probability);
+  }
+  if (options_.model == PreemptionModel::kChaos) {
+    expects(options_.max_down_rounds >= options_.min_down_rounds &&
+                options_.min_down_rounds >= 1,
+            "PreemptionSource: bad chaos down-round bounds");
+  }
+}
+
+bool PreemptionSource::up(std::uint64_t round) {
+  switch (options_.model) {
+    case PreemptionModel::kNone:
+      return true;
+    case PreemptionModel::kSpotTrace: {
+      const auto& e = trace_.entries[round % trace_.size()];
+      return options_.max_bid > e.price;
+    }
+    case PreemptionModel::kChaos:
+      // Sample forward to `round`: a kill at round r opens an outage over
+      // [r, r + span); no re-sampling happens inside an outage, so the
+      // schedule is a deterministic function of (seed, worker) alone.
+      while (next_round_ <= round) {
+        if (next_round_ >= down_until_ &&
+            rng_.uniform() < options_.kill_probability) {
+          const std::size_t extra =
+              options_.max_down_rounds > options_.min_down_rounds
+                  ? static_cast<std::size_t>(rng_.below(
+                        options_.max_down_rounds - options_.min_down_rounds + 1))
+                  : 0;
+          down_until_ = next_round_ + options_.min_down_rounds + extra;
+        }
+        ++next_round_;
+      }
+      return round >= down_until_;
+  }
+  return true;
+}
+
+}  // namespace plinius::fleet

@@ -1,0 +1,84 @@
+// Per-worker preemption sources for the elastic fleet (paper §VI Fig. 10
+// generalized to N machines).
+//
+// The spot simulator (src/spot) replays one price trace against one machine.
+// A fleet's members fail independently: each worker owns its own
+// PreemptionSource, consulted once per averaging round, that decides whether
+// the worker's machine is up for that round. Two models:
+//
+//   * kSpotTrace — an independent synthetic spot-price trace per worker
+//     (seeded from trace_seed + worker, same statistical character as the
+//     paper's AWS traces; see spot/trace.h) replayed one market tick per
+//     fleet round against a bid. Out-bid = the instance is terminated.
+//   * kChaos — a seeded kill schedule: every live round the worker dies with
+//     kill_probability, staying down for a seeded span of rounds; optionally
+//     each kill also degrades the victim's PM arena through the media-fault
+//     primitives (pm/mediafault.h), so revivals exercise the deeper rungs of
+//     the recovery ladder, not just the clean mirror restore.
+//
+// Sources are bit-deterministic per (options, worker): a fleet sweep replays
+// the same kill pattern for the same seed regardless of sync policy.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "pm/mediafault.h"
+#include "spot/trace.h"
+
+namespace plinius::fleet {
+
+enum class PreemptionModel {
+  kNone,       // nothing preempts (kills only via ElasticTrainer::kill_worker)
+  kSpotTrace,  // per-worker price-vs-bid replay, one tick per round
+  kChaos,      // seeded per-round kill schedule + optional PM media damage
+};
+
+[[nodiscard]] const char* to_string(PreemptionModel model) noexcept;
+
+struct PreemptionOptions {
+  PreemptionModel model = PreemptionModel::kNone;
+
+  // kSpotTrace: worker w replays SpotTrace::synthetic(trace_ticks,
+  // trace_seed + w, base_price, spike_probability), wrapping around when the
+  // fleet outlives the trace.
+  double max_bid = 0.0955;
+  std::uint64_t trace_seed = 57;
+  std::size_t trace_ticks = 1024;
+  double base_price = 0.090;
+  double spike_probability = 0.03;
+
+  // kChaos: per live round, each worker is killed with kill_probability and
+  // stays down for a seeded span in [min_down_rounds, max_down_rounds].
+  double kill_probability = 0.0;
+  std::size_t min_down_rounds = 1;
+  std::size_t max_down_rounds = 2;
+  std::uint64_t chaos_seed = 0xF1EE7;
+  // Media damage applied to the victim's whole PM arena at each chaos kill
+  // (rates per MiB; all zero = clean power-fail kills only).
+  pm::MediaFaultRates media_rates;
+};
+
+/// One worker's preemption schedule. up() must be consulted with
+/// non-decreasing round numbers (chaos outages are sampled forward).
+class PreemptionSource {
+ public:
+  PreemptionSource(const PreemptionOptions& options, std::size_t worker);
+
+  /// Whether this worker's machine should be up during `round`.
+  [[nodiscard]] bool up(std::uint64_t round);
+
+  [[nodiscard]] PreemptionModel model() const noexcept { return options_.model; }
+  [[nodiscard]] const PreemptionOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  PreemptionOptions options_;
+  spot::SpotTrace trace_;         // kSpotTrace only
+  Rng rng_;                       // kChaos only
+  std::uint64_t down_until_ = 0;  // exclusive round bound of the current outage
+  std::uint64_t next_round_ = 0;  // forward-sampling cursor (kChaos)
+};
+
+}  // namespace plinius::fleet

@@ -9,17 +9,27 @@ SpotRunResult run_spot_training(Platform& platform, const ml::ModelConfig& confi
                                 const SpotRunOptions& options) {
   SpotRunResult result;
   std::unique_ptr<Trainer> trainer;  // null = process not running
+  // Index into interruption_detail of the kill whose revival we still owe a
+  // tier/resume entry; npos when no kill is outstanding.
+  constexpr std::size_t kNoKill = static_cast<std::size_t>(-1);
+  std::size_t open_kill = kNoKill;
 
-  for (const SpotTraceEntry& tick : trace.entries) {
+  for (std::size_t t = 0; t < trace.entries.size(); ++t) {
+    const SpotTraceEntry& tick = trace.entries[t];
     const bool can_run = options.max_bid > tick.price;
 
     if (!can_run) {
       if (trainer != nullptr) {
         // Out-bid: the instance is terminated. Volatile state dies with the
         // process; PM retains exactly what was persisted.
+        InterruptionRecord rec;
+        rec.tick = t;
+        rec.killed_at_iteration = trainer->network().iterations();
         trainer.reset();
         platform.pm().crash();
         ++result.interruptions;
+        open_kill = result.interruption_detail.size();
+        result.interruption_detail.push_back(rec);
       }
       result.state_curve.push_back(0);
       continue;
@@ -29,6 +39,13 @@ SpotRunResult run_spot_training(Platform& platform, const ml::ModelConfig& confi
       trainer = std::make_unique<Trainer>(platform, config, options.trainer);
       trainer->load_dataset(data);  // no-op when already resident in PM
       (void)trainer->resume_or_init();
+      if (open_kill != kNoKill) {
+        InterruptionRecord& rec = result.interruption_detail[open_kill];
+        rec.tier = trainer->last_recovery().tier;
+        rec.resume_iteration = trainer->network().iterations();
+        result.redone_iterations += rec.redone_iterations();
+        open_kill = kNoKill;
+      }
     }
     result.state_curve.push_back(1);
 

@@ -29,11 +29,34 @@ struct SpotRunOptions {
   TrainerOptions trainer;
 };
 
+/// One preemption episode: which tick killed the process, which rung of the
+/// recovery ladder produced the state it resumed from, and how much work the
+/// kill destroyed. Shared with the elastic fleet's per-worker reports
+/// (plinius/fleet), where `tick` is the fleet round of the kill.
+struct InterruptionRecord {
+  std::size_t tick = 0;                     // market tick / fleet round of the kill
+  RecoveryTier tier = RecoveryTier::kNone;  // rung taken on revival (kNone until
+                                            // the process actually restarts)
+  std::uint64_t killed_at_iteration = 0;    // model iteration when killed
+  std::uint64_t resume_iteration = 0;       // iteration the revival resumed at
+
+  /// Iterations destroyed by this kill (redone after the revival).
+  [[nodiscard]] std::uint64_t redone_iterations() const noexcept {
+    return killed_at_iteration > resume_iteration
+               ? killed_at_iteration - resume_iteration
+               : 0;
+  }
+};
+
 struct SpotRunResult {
   std::vector<int> state_curve;       // per market tick: 1 running, 0 stopped
   std::vector<float> losses;          // per executed iteration (in order)
   std::size_t interruptions = 0;      // kill events
+  // Per-kill recovery detail, in kill order. Records whose process never
+  // restarted before the trace ended keep tier == kNone.
+  std::vector<InterruptionRecord> interruption_detail;
   std::uint64_t executed_iterations = 0;  // includes redone work
+  std::uint64_t redone_iterations = 0;    // sum of interruption_detail redo
   std::uint64_t final_model_iteration = 0;
   bool completed = false;             // reached target within the trace
 };

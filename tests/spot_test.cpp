@@ -118,6 +118,72 @@ TEST_F(SpotSimTest, NonResilientRunRedoesWork) {
   EXPECT_EQ(result.executed_iterations, 70u);
 }
 
+TEST_F(SpotSimTest, InterruptionDetailRecordsMirrorRecovery) {
+  Platform platform(MachineProfile::emlsgx_pm(), 48 * 1024 * 1024);
+  SpotTrace trace;
+  const double lo = 0.05, hi = 0.2;
+  for (const double p : {lo, lo, hi, hi, lo, lo, lo, lo, lo, lo}) {
+    trace.entries.push_back({trace.entries.size() * 300.0, p});
+  }
+  SpotRunOptions opt;
+  opt.target_iterations = 50;
+  opt.iterations_per_tick = 10;
+  const auto result = run_spot_training(platform, config_, data_, trace, opt);
+  ASSERT_TRUE(result.completed);
+  ASSERT_EQ(result.interruption_detail.size(), result.interruptions);
+  ASSERT_EQ(result.interruption_detail.size(), 1u);
+  const InterruptionRecord& rec = result.interruption_detail[0];
+  EXPECT_EQ(rec.tick, 2u);  // first outbid tick
+  EXPECT_EQ(rec.killed_at_iteration, 20u);
+  // Per-iteration mirroring: the revival resumes exactly where the kill
+  // struck, through the mirror rung of the recovery ladder.
+  EXPECT_EQ(rec.tier, RecoveryTier::kMirror);
+  EXPECT_EQ(rec.resume_iteration, 20u);
+  EXPECT_EQ(rec.redone_iterations(), 0u);
+  EXPECT_EQ(result.redone_iterations, 0u);
+}
+
+TEST_F(SpotSimTest, InterruptionDetailCountsRedoneWorkWhenNonResilient) {
+  Platform platform(MachineProfile::emlsgx_pm(), 48 * 1024 * 1024);
+  SpotTrace trace;
+  const double lo = 0.05, hi = 0.2;
+  for (const double p : {lo, lo, hi, lo, lo, lo, lo, lo, lo, lo, lo, lo}) {
+    trace.entries.push_back({trace.entries.size() * 300.0, p});
+  }
+  SpotRunOptions opt;
+  opt.target_iterations = 50;
+  opt.iterations_per_tick = 10;
+  opt.trainer.backend = CheckpointBackend::kNone;
+  const auto result = run_spot_training(platform, config_, data_, trace, opt);
+  ASSERT_TRUE(result.completed);
+  ASSERT_EQ(result.interruption_detail.size(), 1u);
+  const InterruptionRecord& rec = result.interruption_detail[0];
+  EXPECT_EQ(rec.killed_at_iteration, 20u);
+  EXPECT_EQ(rec.resume_iteration, 0u);  // no persistence: back to zero
+  EXPECT_EQ(rec.redone_iterations(), 20u);
+  EXPECT_EQ(result.redone_iterations, 20u);
+  EXPECT_EQ(result.executed_iterations,
+            opt.target_iterations + result.redone_iterations);
+}
+
+TEST_F(SpotSimTest, UnrevivedKillKeepsOpenInterruptionRecord) {
+  Platform platform(MachineProfile::emlsgx_pm(), 48 * 1024 * 1024);
+  SpotTrace trace;
+  trace.entries.push_back({0.0, 0.05});   // one productive tick…
+  trace.entries.push_back({300.0, 0.5});  // …then outbid to the end
+  trace.entries.push_back({600.0, 0.5});
+  SpotRunOptions opt;
+  opt.target_iterations = 50;
+  opt.iterations_per_tick = 10;
+  const auto result = run_spot_training(platform, config_, data_, trace, opt);
+  EXPECT_FALSE(result.completed);
+  ASSERT_EQ(result.interruption_detail.size(), 1u);
+  // The process never restarted: the record keeps its pre-revival shape.
+  EXPECT_EQ(result.interruption_detail[0].tier, RecoveryTier::kNone);
+  EXPECT_EQ(result.interruption_detail[0].killed_at_iteration, 10u);
+  EXPECT_EQ(result.redone_iterations, 0u);
+}
+
 TEST_F(SpotSimTest, IncompleteWhenTraceTooHostile) {
   Platform platform(MachineProfile::emlsgx_pm(), 48 * 1024 * 1024);
   SpotTrace hostile;
