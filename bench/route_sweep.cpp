@@ -1,0 +1,475 @@
+// Fleet-scale serving sweep: replica scaling, routing policy, traffic traces
+// and canary rollout (serve/fleet subsystem).
+//
+// Three panels:
+//
+//   * scaling — replica count x routing policy on emlSGX-PM. Offered load
+//     grows with the fleet (fixed per-replica rate), so near-linear scaling
+//     shows up as goodput ~ N at a roughly flat p99. The headline assert:
+//     least-loaded goodput at N=4 reaches >= 0.7 * 4x the single-replica
+//     goodput with p99 within 3x of the N=1 tail.
+//   * traces — a diurnal rate curve and a flash crowd, served by an
+//     autoscaling fleet. The autoscaler must grow the fleet into the peak
+//     (scale_ups >= 1) and give capacity back after it (scale_downs >= 1 on
+//     the diurnal trace).
+//   * canary — the stable tier serves the int8 model; a float32 canary of
+//     the same architecture (~2x slower forward) is rolled out, regresses
+//     the canary cohort's p99 and must be rolled back automatically with
+//     zero failed requests and the old version still serving. A healthy
+//     int8 successor then promotes fleet-wide.
+//
+// Usage: route_sweep [--smoke] [--json <path>] [--metrics <path>]
+//
+// --metrics snapshots each panel's fleet counters plus the router.*/
+// registry.* gauges into the unified obs::Registry (labelled by panel) and
+// writes the registry JSON; CI pins the gauge names via validate_obs.py.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ml/config.h"
+#include "ml/quant.h"
+#include "ml/synth_digits.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/stats_bridge.h"
+#include "serve/fleet/fleet_server.h"
+#include "serve/loadgen.h"
+
+namespace {
+
+using namespace plinius;
+using namespace plinius::serve;
+using namespace plinius::serve::fleet;
+
+obs::Registry g_registry;
+
+const ml::SynthDigits& digits() {
+  static const ml::SynthDigits data =
+      ml::make_synth_digits({.train_count = 512, .test_count = 256, .seed = 77});
+  return data;
+}
+
+ml::ModelConfig small_config() { return ml::make_cnn_config(1, 4, 32); }
+
+FleetOptions base_options(std::size_t replicas) {
+  FleetOptions opt;
+  opt.initial_replicas = replicas;
+  opt.pm_bytes_per_replica = 24u << 20;
+  opt.control_pm_bytes = 48u << 20;
+  opt.server.workers = 1;
+  opt.server.batch = {.max_batch = 8, .max_wait_ns = 50'000};
+  opt.server.admission.max_queue = 512;
+  opt.server.admission.deadline_aware = false;
+  opt.router.max_outstanding = 0;
+  opt.router.tenant_class = {SloClass::kBatch};
+  // Mean service of the small model on emlSGX-PM — the default estimate
+  // (250us) would inflate the backlog tracker and the queue_depth gauge.
+  opt.router.service_estimate_ns = 60e3;
+  opt.autoscale = false;
+  return opt;
+}
+
+std::vector<Request> make_workload(ServingFleet& fleet, double rate_qps,
+                                   std::size_t count, std::uint64_t seed) {
+  LoadGenOptions lg;
+  lg.rate_qps = rate_qps;
+  lg.count = count;
+  lg.start_ns = fleet.elapsed_ns();
+  lg.seed = seed;
+  lg.tenants = 12;
+  const crypto::AesGcm gcm(fleet.data_key());
+  crypto::IvSequence ivs(static_cast<std::uint32_t>(seed ^ 0xC11E27));
+  return poisson_workload(digits().test, gcm, ivs, lg);
+}
+
+std::uint64_t publish_float(ServingFleet& fleet, const ml::ModelConfig& config,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  ml::Network net = ml::build_network(config, rng);
+  return fleet.publish(net);
+}
+
+std::uint64_t publish_int8(ServingFleet& fleet, const ml::ModelConfig& config,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  ml::Network net = ml::build_network(config, rng);
+  const ml::QuantizedNetwork qnet =
+      ml::quantize_network(net, digits().train.x.row(0), 64);
+  return fleet.publish(qnet);
+}
+
+/// Re-publishes one fleet's observability surface into the global registry
+/// under a panel label (the fleet's own registry is per-instance).
+void export_fleet_metrics(ServingFleet& fleet, const char* panel,
+                          const obs::Labels& extra = {}) {
+  obs::Labels labels = {{"panel", panel}};
+  labels.insert(labels.end(), extra.begin(), extra.end());
+  obs::publish(g_registry, fleet.router().stats(), labels);
+  obs::publish(g_registry, fleet.registry().stats(), labels);
+  obs::publish(g_registry, fleet.stats(), labels);
+  for (const char* gauge :
+       {"router.p99_us", "router.queue_depth", "router.utilization",
+        "router.replicas"}) {
+    g_registry.set_gauge(gauge, fleet.obs_registry().gauge(gauge), labels);
+  }
+}
+
+// --- panel A: replica scaling x routing policy -----------------------------------
+
+struct ScalePoint {
+  std::size_t replicas;
+  RoutePolicy policy;
+  double offered_qps;
+  double goodput_qps;
+  double p99_us;
+  std::uint64_t served;
+  std::uint64_t shed;
+};
+
+struct ScalingResult {
+  std::vector<ScalePoint> points;
+  bool near_linear = false;
+
+  [[nodiscard]] const ScalePoint* find(std::size_t n, RoutePolicy pol) const {
+    for (const ScalePoint& p : points) {
+      if (p.replicas == n && p.policy == pol) return &p;
+    }
+    return nullptr;
+  }
+};
+
+ScalingResult run_scaling(double per_replica_qps, std::size_t per_replica_count) {
+  ScalingResult result;
+  std::printf("\n===== scaling: replicas x policy (emlSGX-PM) =====\n");
+  std::printf("%9s %17s %10s %12s %9s %7s %6s\n", "replicas", "policy", "offered",
+              "goodput", "p99(us)", "served", "shed");
+
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (const RoutePolicy policy :
+         {RoutePolicy::kLeastLoaded, RoutePolicy::kConsistentHash}) {
+      FleetOptions opt = base_options(n);
+      opt.router.policy = policy;
+      ServingFleet fleet(MachineProfile::emlsgx_pm(), small_config(), opt);
+      fleet.set_stable(publish_float(fleet, small_config(), 1));
+
+      const double rate = per_replica_qps * static_cast<double>(n);
+      std::vector<Request> workload = make_workload(
+          fleet, rate, per_replica_count * n, 0x5CA1E ^ (n << 8) ^
+              static_cast<std::uint64_t>(policy));
+      const FleetWindowReport window = fleet.serve_window(workload);
+
+      ScalePoint point{n, policy, rate, window.goodput_qps, window.p99_ns / 1e3,
+                       window.served,
+                       window.router_shed + window.baseline.shed};
+      result.points.push_back(point);
+      std::printf("%9zu %17s %10.0f %12.0f %9.1f %7llu %6llu\n", n,
+                  to_string(policy), rate, point.goodput_qps, point.p99_us,
+                  static_cast<unsigned long long>(point.served),
+                  static_cast<unsigned long long>(point.shed));
+
+      char n_s[16];
+      std::snprintf(n_s, sizeof(n_s), "%zu", n);
+      export_fleet_metrics(fleet, "scaling",
+                           {{"replicas", n_s}, {"policy", to_string(policy)}});
+    }
+  }
+
+  const ScalePoint* one = result.find(1, RoutePolicy::kLeastLoaded);
+  const ScalePoint* four = result.find(4, RoutePolicy::kLeastLoaded);
+  if (one != nullptr && four != nullptr && one->goodput_qps > 0) {
+    const double speedup = four->goodput_qps / one->goodput_qps;
+    const bool p99_flat = four->p99_us <= one->p99_us * 3.0;
+    result.near_linear = speedup >= 0.7 * 4.0 && p99_flat;
+    std::printf(
+        "least-loaded 4-replica speedup %.2fx (need >= 2.8x), p99 %.1fus vs "
+        "%.1fus at N=1 (need <= 3x)\n",
+        speedup, four->p99_us, one->p99_us);
+  }
+  return result;
+}
+
+// --- panel B: diurnal + flash-crowd traces with autoscaling ----------------------
+
+struct TraceWindow {
+  double offered_qps;
+  std::size_t replicas_begin;
+  std::size_t replicas_end;
+  double goodput_qps;
+  double p99_us;
+  int scale_delta;
+};
+
+struct TraceResult {
+  std::string name;
+  std::vector<TraceWindow> windows;
+  std::uint64_t scale_ups = 0;
+  std::uint64_t scale_downs = 0;
+  std::uint64_t provisions = 0;
+};
+
+TraceResult run_trace(const char* name, const std::vector<double>& rate_curve,
+                      double base_qps, std::size_t base_count) {
+  TraceResult result;
+  result.name = name;
+
+  FleetOptions opt = base_options(1);
+  opt.autoscale = true;
+  opt.autoscaler.min_replicas = 1;
+  opt.autoscaler.max_replicas = 4;
+  opt.autoscaler.p99_high_us = 400.0;
+  opt.autoscaler.queue_high = 8.0;
+  opt.autoscaler.util_low = 0.25;
+  opt.autoscaler.cooldown_windows = 1;
+  ServingFleet fleet(MachineProfile::emlsgx_pm(), small_config(), opt);
+  fleet.set_stable(publish_float(fleet, small_config(), 1));
+
+  std::printf("\n===== trace: %s (autoscaling 1..4 replicas) =====\n", name);
+  std::printf("%8s %10s %9s %12s %9s %7s\n", "window", "offered", "replicas",
+              "goodput", "p99(us)", "scale");
+  for (std::size_t w = 0; w < rate_curve.size(); ++w) {
+    const double rate = base_qps * rate_curve[w];
+    const auto count =
+        static_cast<std::size_t>(static_cast<double>(base_count) * rate_curve[w]);
+    std::vector<Request> workload =
+        make_workload(fleet, rate, std::max<std::size_t>(count, 20),
+                      0x7ACE ^ (w << 16));
+    const FleetWindowReport window = fleet.serve_window(workload);
+    result.windows.push_back({rate, window.replicas_begin, window.replicas_end,
+                              window.goodput_qps, window.p99_ns / 1e3,
+                              window.scale_delta});
+    std::printf("%8zu %10.0f %5zu->%-2zu %12.0f %9.1f %+6d\n", w, rate,
+                window.replicas_begin, window.replicas_end, window.goodput_qps,
+                window.p99_ns / 1e3, window.scale_delta);
+  }
+  result.scale_ups = fleet.stats().scale_ups;
+  result.scale_downs = fleet.stats().scale_downs;
+  result.provisions = fleet.stats().provisions;
+  std::printf("%s: scale_ups %llu, scale_downs %llu, provisions %llu\n", name,
+              static_cast<unsigned long long>(result.scale_ups),
+              static_cast<unsigned long long>(result.scale_downs),
+              static_cast<unsigned long long>(result.provisions));
+  export_fleet_metrics(fleet, name);
+  return result;
+}
+
+// --- panel C: canary rollout, regression rollback, healthy promotion -------------
+
+struct CanaryResult {
+  bool regression_rolled_back = false;
+  bool zero_failed_requests = true;
+  bool old_version_serving = false;
+  bool healthy_promoted = false;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t promotions = 0;
+  double baseline_p99_us = 0;
+  double canary_p99_us = 0;
+
+  [[nodiscard]] bool ok() const {
+    return regression_rolled_back && zero_failed_requests &&
+           old_version_serving && healthy_promoted;
+  }
+};
+
+CanaryResult run_canary(std::size_t requests_per_window) {
+  CanaryResult result;
+  // Forward compute must dominate per-request latency for the dtype gap to
+  // show; the int8 stable tier serves ~2x faster forwards than the float
+  // canary of the same architecture.
+  const ml::ModelConfig config = ml::make_cnn_config(3, 32, 32);
+
+  FleetOptions opt = base_options(4);
+  opt.canary.fraction = 0.25;
+  opt.canary.p99_ratio = 1.3;
+  opt.canary.p99_floor_ns = 0;
+  opt.canary.min_samples = 10;
+  opt.canary.promote_after = 2;
+  ServingFleet fleet(MachineProfile::emlsgx_pm(), config, opt);
+
+  const std::uint64_t v1 = publish_int8(fleet, config, 1);
+  fleet.set_stable(v1);
+
+  std::printf("\n===== canary: int8 stable vs float32 canary (4 replicas) =====\n");
+
+  // Regressing rollout: the float32 build of the same weights.
+  const std::uint64_t v2 = publish_float(fleet, config, 1);
+  if (!fleet.begin_rollout(v2)) {
+    std::printf("unexpected: rollout of v2 failed at install\n");
+    return result;
+  }
+  // Offer enough load that the slower canary saturates: its real queue
+  // grows beyond the dtype gap itself and the p99 regression is unambiguous.
+  std::vector<Request> workload =
+      make_workload(fleet, 36000.0, requests_per_window, 0xCA9A51);
+  const FleetWindowReport regressed = fleet.serve_window(workload);
+  result.baseline_p99_us = regressed.baseline.p99_ns / 1e3;
+  result.canary_p99_us = regressed.canary.p99_ns / 1e3;
+  result.regression_rolled_back = regressed.rolled_back;
+  if (regressed.completions.size() != workload.size()) {
+    result.zero_failed_requests = false;
+  }
+  for (const Completion& c : regressed.completions) {
+    if (c.status == ReplyStatus::kAuthFailed ||
+        c.status == ReplyStatus::kExpired || c.sealed_reply.empty()) {
+      result.zero_failed_requests = false;
+    }
+  }
+  result.old_version_serving = fleet.registry().serving_version() == v1 &&
+                               fleet.stable_version() == v1;
+  std::printf(
+      "regression window: baseline p99 %.1fus, canary p99 %.1fus -> %s "
+      "(v2 now %s)\n",
+      result.baseline_p99_us, result.canary_p99_us,
+      regressed.rolled_back ? "rolled back" : "NOT rolled back",
+      to_string(fleet.registry().record(v2).state));
+
+  // Healthy rollout: an int8 successor promotes after two clean windows.
+  const std::uint64_t v3 = publish_int8(fleet, config, 2);
+  if (fleet.rollout_phase() == RolloutPhase::kIdle && fleet.begin_rollout(v3)) {
+    for (std::size_t w = 0; w < 3 && fleet.rollout_phase() != RolloutPhase::kIdle;
+         ++w) {
+      std::vector<Request> healthy = make_workload(
+          fleet, 20000.0, requests_per_window, 0xF00D ^ (w << 12));
+      fleet.serve_window(healthy);
+    }
+    result.healthy_promoted = fleet.stable_version() == v3 &&
+                              fleet.registry().serving_version() == v3;
+  }
+  result.rollbacks = fleet.stats().rollbacks;
+  result.promotions = fleet.stats().promotions;
+  std::printf("healthy rollout: v3 %s (rollbacks %llu, promotions %llu)\n",
+              result.healthy_promoted ? "promoted fleet-wide" : "NOT promoted",
+              static_cast<unsigned long long>(result.rollbacks),
+              static_cast<unsigned long long>(result.promotions));
+  export_fleet_metrics(fleet, "canary");
+  return result;
+}
+
+// --- JSON ------------------------------------------------------------------------
+
+std::string to_json(const ScalingResult& scaling,
+                    const std::vector<TraceResult>& traces,
+                    const CanaryResult& canary) {
+  std::string out = "{\n  \"scaling\": {\n    \"near_linear\": ";
+  out += scaling.near_linear ? "true" : "false";
+  out += ",\n    \"points\": [\n";
+  char buf[320];
+  for (std::size_t i = 0; i < scaling.points.size(); ++i) {
+    const ScalePoint& p = scaling.points[i];
+    std::snprintf(buf, sizeof(buf),
+                  "      {\"replicas\": %zu, \"policy\": \"%s\", "
+                  "\"offered_qps\": %.0f, \"goodput_qps\": %.1f, "
+                  "\"p99_us\": %.2f, \"served\": %llu, \"shed\": %llu}%s\n",
+                  p.replicas, to_string(p.policy), p.offered_qps, p.goodput_qps,
+                  p.p99_us, static_cast<unsigned long long>(p.served),
+                  static_cast<unsigned long long>(p.shed),
+                  i + 1 < scaling.points.size() ? "," : "");
+    out += buf;
+  }
+  out += "    ]\n  },\n  \"traces\": [\n";
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    const TraceResult& trace = traces[t];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"scale_ups\": %llu, "
+                  "\"scale_downs\": %llu, \"provisions\": %llu, \"windows\": [\n",
+                  trace.name.c_str(),
+                  static_cast<unsigned long long>(trace.scale_ups),
+                  static_cast<unsigned long long>(trace.scale_downs),
+                  static_cast<unsigned long long>(trace.provisions));
+    out += buf;
+    for (std::size_t w = 0; w < trace.windows.size(); ++w) {
+      const TraceWindow& win = trace.windows[w];
+      std::snprintf(buf, sizeof(buf),
+                    "      {\"offered_qps\": %.0f, \"replicas_begin\": %zu, "
+                    "\"replicas_end\": %zu, \"goodput_qps\": %.1f, "
+                    "\"p99_us\": %.2f, \"scale_delta\": %d}%s\n",
+                    win.offered_qps, win.replicas_begin, win.replicas_end,
+                    win.goodput_qps, win.p99_us, win.scale_delta,
+                    w + 1 < trace.windows.size() ? "," : "");
+      out += buf;
+    }
+    out += t + 1 < traces.size() ? "    ]},\n" : "    ]}\n";
+  }
+  out += "  ],\n  \"canary\": {\n";
+  std::snprintf(buf, sizeof(buf),
+                "    \"regression_rolled_back\": %s,\n"
+                "    \"zero_failed_requests\": %s,\n"
+                "    \"old_version_serving\": %s,\n"
+                "    \"healthy_promoted\": %s,\n"
+                "    \"baseline_p99_us\": %.2f,\n"
+                "    \"canary_p99_us\": %.2f,\n"
+                "    \"rollbacks\": %llu,\n    \"promotions\": %llu\n  }\n}\n",
+                canary.regression_rolled_back ? "true" : "false",
+                canary.zero_failed_requests ? "true" : "false",
+                canary.old_version_serving ? "true" : "false",
+                canary.healthy_promoted ? "true" : "false",
+                canary.baseline_p99_us, canary.canary_p99_us,
+                static_cast<unsigned long long>(canary.rollbacks),
+                static_cast<unsigned long long>(canary.promotions));
+  out += buf;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  const char* metrics_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+    if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    }
+  }
+
+  std::printf("# Fleet-scale serving sweep: replica scaling, routing policy,\n");
+  std::printf("# traffic traces with autoscaling, and canary rollout.\n");
+
+  const std::size_t per_replica_count = smoke ? 150 : 400;
+  const ScalingResult scaling = run_scaling(12000.0, per_replica_count);
+
+  // Diurnal: a day compressed into eight windows; flash crowd: a quiet
+  // stream interrupted by a 6x spike.
+  const std::vector<double> diurnal = {0.3, 0.6, 1.2, 2.0, 2.4, 1.6, 0.6, 0.3};
+  const std::vector<double> flash = {0.4, 0.4, 2.4, 2.4, 0.4, 0.4};
+  const double trace_base_qps = 15000.0;
+  const std::size_t trace_base_count = smoke ? 120 : 300;
+  std::vector<TraceResult> traces;
+  traces.push_back(run_trace("diurnal", diurnal, trace_base_qps, trace_base_count));
+  traces.push_back(run_trace("flash_crowd", flash, trace_base_qps, trace_base_count));
+
+  const CanaryResult canary = run_canary(smoke ? 250 : 400);
+
+  const std::string json = to_json(scaling, traces, canary);
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
+  }
+  if (metrics_path != nullptr) {
+    if (!obs::write_text_file(metrics_path, g_registry.snapshot_json())) return 1;
+    std::printf("wrote %s\n", metrics_path);
+  }
+
+  // The smoke run doubles as a CI check on the headline properties.
+  bool traces_ok = true;
+  for (const TraceResult& trace : traces) {
+    if (trace.scale_ups < 1) traces_ok = false;
+  }
+  if (traces.front().scale_downs < 1) traces_ok = false;  // diurnal gives back
+  std::printf(
+      "\nnear-linear scaling at fixed p99: %s; autoscaler follows traces: %s; "
+      "canary regression rolls back with zero failed requests: %s\n",
+      scaling.near_linear ? "PASS" : "FAIL", traces_ok ? "PASS" : "FAIL",
+      canary.ok() ? "PASS" : "FAIL");
+  return scaling.near_linear && traces_ok && canary.ok() ? 0 : 1;
+}

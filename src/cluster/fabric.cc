@@ -1,0 +1,45 @@
+#include "cluster/fabric.h"
+
+#include "common/error.h"
+
+namespace plinius::cluster {
+
+TransferOutcome transfer_sealed(const Endpoint& sender, const Endpoint& receiver,
+                                double bytes, const LinkOptions& link, Rng& net_rng,
+                                std::uint64_t backoff_seed) {
+  expects(sender.enclave != nullptr && sender.clock != nullptr,
+          "transfer_sealed: sender endpoint incomplete");
+  expects(receiver.enclave != nullptr && receiver.clock != nullptr,
+          "transfer_sealed: receiver endpoint incomplete");
+
+  BackoffSchedule backoff(link.backoff, backoff_seed);
+  TransferOutcome outcome;
+  for (std::size_t attempt = 0; attempt <= link.retries; ++attempt) {
+    sender.enclave->charge_crypto(static_cast<std::size_t>(bytes));  // sender seals
+    const sim::Nanos wire =
+        sim::bandwidth_ns(bytes, link.network_gib_s) + link.rtt_ns;
+    sender.clock->advance(wire);
+    receiver.clock->advance(wire);
+    if (net_rng.uniform() < link.loss_rate) {
+      ++outcome.drops;
+      receiver.clock->advance(backoff.next());
+      continue;
+    }
+    receiver.enclave->charge_crypto(
+        static_cast<std::size_t>(bytes));  // receiver opens
+    outcome.delivered = true;
+    break;
+  }
+  outcome.backoff_capped = backoff.times_capped();
+  return outcome;
+}
+
+Bytes provision_key(sgx::DataOwner& owner, sgx::EnclaveRuntime& joiner) {
+  sgx::EnclaveAttestationSession session(joiner);
+  const sgx::Nonce challenge = owner.make_challenge();
+  const sgx::Report report = session.respond(challenge);
+  const Bytes wrapped = owner.wrap_key_for(report);
+  return session.receive_wrapped_key(wrapped);
+}
+
+}  // namespace plinius::cluster

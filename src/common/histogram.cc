@@ -93,4 +93,10 @@ std::string LatencyHistogram::summary() const {
   return buf;
 }
 
+LatencyHistogram merge_histograms(std::span<const LatencyHistogram> parts) noexcept {
+  LatencyHistogram merged;
+  for (const LatencyHistogram& part : parts) merged.merge(part);
+  return merged;
+}
+
 }  // namespace plinius

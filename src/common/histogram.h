@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "common/clock.h"
@@ -64,5 +65,14 @@ class LatencyHistogram {
   sim::Nanos min_ = 0;
   sim::Nanos max_ = 0;
 };
+
+/// Cross-replica aggregation: merges per-replica recorders into one
+/// fleet-wide histogram (the router's SLO reports quote fleet p50/p95/p99
+/// from this). Bucket counts are additive, so the result is independent of
+/// merge order and of how the recordings were partitioned across replicas —
+/// merging a 10-sample replica into a 10^6-sample one is exact, not an
+/// approximation (tests/common_test.cpp asserts both properties).
+[[nodiscard]] LatencyHistogram merge_histograms(
+    std::span<const LatencyHistogram> parts) noexcept;
 
 }  // namespace plinius

@@ -8,6 +8,9 @@
 #include "plinius/scrub.h"
 #include "plinius/trainer.h"
 #include "pm/device.h"
+#include "serve/fleet/fleet_server.h"
+#include "serve/fleet/registry.h"
+#include "serve/fleet/router.h"
 #include "serve/server.h"
 #include "sgx/enclave.h"
 
@@ -180,6 +183,53 @@ void publish(Registry& reg, const serve::ServerStats& s, const Labels& labels) {
   reg.merge_histogram("serve.latency.forward", s.forward_hist, labels);
   reg.merge_histogram("serve.latency.seal", s.seal_hist, labels);
   reg.merge_histogram("serve.batch_size", s.batch_hist, labels);
+}
+
+void publish(Registry& reg, const serve::fleet::RouterStats& s, const Labels& labels) {
+  reg.set_counter("router.routed", s.routed, labels);
+  reg.set_counter("router.shed", s.shed, labels);
+  for (std::size_t c = 0; c < serve::fleet::kSloClasses; ++c) {
+    Labels cl = labels;
+    cl.emplace_back("class",
+                    serve::fleet::to_string(static_cast<serve::fleet::SloClass>(c)));
+    reg.set_counter("router.routed_by_class", s.routed_by_class[c], cl);
+    reg.set_counter("router.shed_by_class", s.shed_by_class[c], cl);
+  }
+}
+
+void publish(Registry& reg, const serve::fleet::RegistryStats& s, const Labels& labels) {
+  reg.set_gauge("registry.versions", static_cast<double>(s.versions), labels);
+  reg.set_gauge("registry.serving_version",
+                static_cast<double>(s.serving_version), labels);
+  reg.set_gauge("registry.sealed_bytes", static_cast<double>(s.sealed_bytes),
+                labels);
+  reg.set_counter("registry.publishes", s.publishes, labels);
+  reg.set_counter("registry.loads", s.loads, labels);
+  reg.set_counter("registry.load_failures", s.load_failures, labels);
+  // Gauge mirror so CI can pin the failure series with --require-gauge.
+  reg.set_gauge("registry.load_failures", static_cast<double>(s.load_failures),
+                labels);
+}
+
+void publish(Registry& reg, const serve::fleet::FleetServeStats& s, const Labels& labels) {
+  reg.set_counter("router.windows", s.windows, labels);
+  reg.set_counter("router.offered", s.offered, labels);
+  reg.set_counter("router.served", s.served, labels);
+  reg.set_counter("router.router_shed", s.router_shed, labels);
+  reg.set_counter("router.auth_failed", s.auth_failed, labels);
+  reg.set_counter("router.expired", s.expired, labels);
+  reg.set_counter("router.rollouts", s.rollouts, labels);
+  reg.set_counter("router.promotions", s.promotions, labels);
+  reg.set_counter("router.rollbacks", s.rollbacks, labels);
+  reg.set_counter("router.reloads", s.reloads, labels);
+  reg.set_counter("router.reload_failures", s.reload_failures, labels);
+  reg.set_counter("router.scale_ups", s.scale_ups, labels);
+  reg.set_counter("router.scale_downs", s.scale_downs, labels);
+  reg.set_counter("router.provisions", s.provisions, labels);
+  reg.set_counter("router.transfer_drops", s.transfer_drops, labels);
+  // Gauge mirrors of the rollout outcomes for --require-gauge pins.
+  reg.set_gauge("router.rollbacks", static_cast<double>(s.rollbacks), labels);
+  reg.set_gauge("router.promotions", static_cast<double>(s.promotions), labels);
 }
 
 }  // namespace plinius::obs

@@ -27,6 +27,11 @@ struct ClusterStats;
 namespace plinius::serve {
 struct ServerStats;
 }
+namespace plinius::serve::fleet {
+struct RouterStats;
+struct RegistryStats;
+struct FleetServeStats;
+}
 namespace plinius::fleet {
 struct FleetReport;
 }
@@ -43,6 +48,9 @@ void publish(Registry& reg, const ScrubReport& s, const Labels& labels = {});
 void publish(Registry& reg, const RecoveryReport& s, const Labels& labels = {});
 void publish(Registry& reg, const ClusterStats& s, const Labels& labels = {});
 void publish(Registry& reg, const serve::ServerStats& s, const Labels& labels = {});
+void publish(Registry& reg, const serve::fleet::RouterStats& s, const Labels& labels = {});
+void publish(Registry& reg, const serve::fleet::RegistryStats& s, const Labels& labels = {});
+void publish(Registry& reg, const serve::fleet::FleetServeStats& s, const Labels& labels = {});
 void publish(Registry& reg, const fleet::FleetReport& s, const Labels& labels = {});
 
 }  // namespace plinius::obs

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstring>
 
-#include "common/backoff.h"
 #include "common/error.h"
 
 namespace plinius {
@@ -83,36 +82,17 @@ bool DistributedTrainer::reprovision_from_peer(std::size_t w) {
   if (peer == w || best_iter == 0) return false;
 
   // Sealed parameter transfer over the attested enclave-to-enclave channel
-  // (established as in Fig. 5), with seeded loss and capped, jittered
-  // exponential backoff. Each worker jitters from its own seeded stream so
-  // simultaneous rejoiners don't retry in lockstep.
+  // (established as in Fig. 5), via the shared cluster fabric: seeded loss,
+  // capped jittered backoff, each worker jittering from its own stream.
   const auto param_bytes = static_cast<double>(network(w).parameter_bytes());
-  BackoffPolicy bp;
-  bp.initial_ns = options_.peer_backoff_ns;
-  bp.cap_ns = options_.peer_backoff_cap_ns;
-  bp.jitter = options_.peer_backoff_jitter;
-  BackoffSchedule backoff(bp, options_.peer_net_seed ^
-                                  (0x9E3779B97F4A7C15ULL * (w + 1)));
-  bool delivered = false;
-  for (std::size_t attempt = 0; attempt <= options_.peer_retries; ++attempt) {
-    platforms_[peer]->enclave().charge_crypto(
-        static_cast<std::size_t>(param_bytes));  // peer seals
-    const sim::Nanos wire =
-        sim::bandwidth_ns(param_bytes, options_.network_gib_s) + options_.rtt_ns;
-    platforms_[peer]->clock().advance(wire);
-    platforms_[w]->clock().advance(wire);
-    if (net_rng_.uniform() < options_.peer_loss_rate) {
-      ++stats_.peer_retries;
-      platforms_[w]->clock().advance(backoff.next());
-      continue;
-    }
-    platforms_[w]->enclave().charge_crypto(
-        static_cast<std::size_t>(param_bytes));  // worker opens
-    delivered = true;
-    break;
-  }
-  stats_.peer_backoff_capped += backoff.times_capped();
-  if (!delivered) {
+  const cluster::LinkOptions link = options_.peer_link();
+  const cluster::TransferOutcome outcome = cluster::transfer_sealed(
+      {&platforms_[peer]->enclave(), &platforms_[peer]->clock()},
+      {&platforms_[w]->enclave(), &platforms_[w]->clock()}, param_bytes, link,
+      net_rng_, cluster::member_backoff_seed(link.net_seed, w));
+  stats_.peer_retries += outcome.drops;
+  stats_.peer_backoff_capped += outcome.backoff_capped;
+  if (!outcome.delivered) {
     ++stats_.peer_provision_failures;
     return false;
   }

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/backoff.h"
 #include "common/error.h"
 #include "obs/stats_bridge.h"
 
@@ -203,31 +202,14 @@ bool ElasticTrainer::reprovision_from_peer(std::size_t w) {
   ClusterStats& stats = report_.cluster;
   const auto param_bytes =
       static_cast<double>(trainers_[w]->network().parameter_bytes());
-  BackoffPolicy bp;
-  bp.initial_ns = options_.peer_backoff_ns;
-  bp.cap_ns = options_.peer_backoff_cap_ns;
-  bp.jitter = options_.peer_backoff_jitter;
-  BackoffSchedule backoff(bp, options_.peer_net_seed ^ (kGold * (w + 1)));
-  bool delivered = false;
-  for (std::size_t attempt = 0; attempt <= options_.peer_retries; ++attempt) {
-    platforms_[peer]->enclave().charge_crypto(
-        static_cast<std::size_t>(param_bytes));  // peer seals
-    const sim::Nanos wire =
-        sim::bandwidth_ns(param_bytes, options_.network_gib_s) + options_.rtt_ns;
-    platforms_[peer]->clock().advance(wire);
-    platforms_[w]->clock().advance(wire);
-    if (net_rng_.uniform() < options_.peer_loss_rate) {
-      ++stats.peer_retries;
-      platforms_[w]->clock().advance(backoff.next());
-      continue;
-    }
-    platforms_[w]->enclave().charge_crypto(
-        static_cast<std::size_t>(param_bytes));  // worker opens
-    delivered = true;
-    break;
-  }
-  stats.peer_backoff_capped += backoff.times_capped();
-  if (!delivered) {
+  const cluster::LinkOptions link = options_.peer_link();
+  const cluster::TransferOutcome outcome = cluster::transfer_sealed(
+      {&platforms_[peer]->enclave(), &platforms_[peer]->clock()},
+      {&platforms_[w]->enclave(), &platforms_[w]->clock()}, param_bytes, link,
+      net_rng_, cluster::member_backoff_seed(link.net_seed, w));
+  stats.peer_retries += outcome.drops;
+  stats.peer_backoff_capped += outcome.backoff_capped;
+  if (!outcome.delivered) {
     ++stats.peer_provision_failures;
     return false;
   }

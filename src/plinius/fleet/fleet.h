@@ -40,6 +40,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/fabric.h"
 #include "ml/config.h"
 #include "ml/data.h"
 #include "obs/registry.h"
@@ -98,6 +99,20 @@ struct FleetOptions {
   sim::Nanos peer_backoff_cap_ns = 1.0e9;
   double peer_backoff_jitter = 0.1;
   std::uint64_t peer_net_seed = 0x9E77;
+
+  /// The peer-provision knobs as a cluster-fabric link (cluster/fabric.h).
+  [[nodiscard]] cluster::LinkOptions peer_link() const {
+    cluster::LinkOptions link;
+    link.network_gib_s = network_gib_s;
+    link.rtt_ns = rtt_ns;
+    link.loss_rate = peer_loss_rate;
+    link.retries = peer_retries;
+    link.backoff.initial_ns = peer_backoff_ns;
+    link.backoff.cap_ns = peer_backoff_cap_ns;
+    link.backoff.jitter = peer_backoff_jitter;
+    link.net_seed = peer_net_seed;
+    return link;
+  }
 };
 
 /// One averaging round's structured log line.

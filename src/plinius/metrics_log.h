@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "pm/root_slots.h"
 #include "romulus/romulus.h"
 #include "sgx/enclave.h"
 
@@ -29,7 +30,7 @@ struct MetricsEntry {
 
 class MetricsLog {
  public:
-  static constexpr int kRootSlot = 3;
+  static constexpr int kRootSlot = pm::kMetricsLogRootSlot;
 
   MetricsLog(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave);
 
@@ -86,7 +87,7 @@ struct RecoveryRecord {
 /// machinery as MetricsLog, separate root slot.
 class RecoveryLog {
  public:
-  static constexpr int kRootSlot = 4;
+  static constexpr int kRootSlot = pm::kRecoveryLogRootSlot;
 
   RecoveryLog(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave);
 
@@ -136,7 +137,7 @@ struct ServeWindowRecord {
 /// is dropped — the serving path must never stall on its own telemetry.
 class ServeLog {
  public:
-  static constexpr int kRootSlot = 5;
+  static constexpr int kRootSlot = pm::kServeLogRootSlot;
 
   ServeLog(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave);
 

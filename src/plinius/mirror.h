@@ -23,6 +23,7 @@
 #include "crypto/envelope.h"
 #include "crypto/gcm.h"
 #include "ml/network.h"
+#include "pm/root_slots.h"
 #include "romulus/romulus.h"
 #include "sgx/enclave.h"
 
@@ -70,7 +71,7 @@ struct MirrorScrubReport {
 
 class MirrorModel {
  public:
-  static constexpr int kRootSlot = 0;
+  static constexpr int kRootSlot = pm::kMirrorRootSlot;
   static constexpr std::size_t kMaxBuffersPerLayer = 8;
 
   MirrorModel(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave, crypto::AesGcm gcm,

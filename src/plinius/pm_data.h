@@ -17,6 +17,7 @@
 #include "crypto/envelope.h"
 #include "crypto/gcm.h"
 #include "ml/data.h"
+#include "pm/root_slots.h"
 #include "romulus/romulus.h"
 #include "sgx/enclave.h"
 
@@ -40,7 +41,7 @@ enum class CorruptRecordPolicy {
 
 class PmDataStore {
  public:
-  static constexpr int kRootSlot = 1;
+  static constexpr int kRootSlot = pm::kPmDataRootSlot;
 
   PmDataStore(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave, crypto::AesGcm gcm,
               bool encrypted = true);

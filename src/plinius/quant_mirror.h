@@ -14,13 +14,14 @@
 #include <cstdint>
 
 #include "ml/quant.h"
+#include "pm/root_slots.h"
 #include "plinius/tensor_mirror.h"
 
 namespace plinius {
 
 class QuantMirror {
  public:
-  static constexpr int kRootSlot = 6;
+  static constexpr int kRootSlot = pm::kQuantMirrorRootSlot;
 
   QuantMirror(romulus::Romulus& rom, sgx::EnclaveRuntime& enclave, crypto::AesGcm gcm);
 

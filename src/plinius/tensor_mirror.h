@@ -23,6 +23,7 @@
 
 #include "crypto/envelope.h"
 #include "crypto/gcm.h"
+#include "pm/root_slots.h"
 #include "romulus/romulus.h"
 #include "sgx/enclave.h"
 
@@ -41,7 +42,7 @@ struct NamedBlob {
 
 class TensorMirror {
  public:
-  static constexpr int kRootSlot = 2;
+  static constexpr int kRootSlot = pm::kTensorMirrorRootSlot;
   static constexpr std::size_t kMaxNameLen = 47;
 
   /// `root_slot` selects the Romulus root the mirror lives under (default:

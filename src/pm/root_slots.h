@@ -1,0 +1,67 @@
+// Central registry of Romulus root-object slots.
+//
+// Every persistent structure in the repo anchors itself at one root slot of
+// its Romulus region (romulus/romulus.h), and for a long time each structure
+// declared its slot as a private magic number — a collision between two of
+// them would silently alias two unrelated persistent objects and corrupt
+// both. This header is the single source of truth: every slot in use has a
+// named constant here, the owners' `kRootSlot` members alias these names,
+// and a compile-time check rejects duplicates or out-of-capacity slots the
+// moment a new one is added. tests/route_test.cpp asserts that every owner
+// class agrees with this registry.
+//
+// The registry lives in pm/ (below romulus/) so romulus.h itself can size
+// its persistent root array from kRootSlotCapacity.
+#pragma once
+
+namespace plinius::pm {
+
+/// plinius::MirrorModel — the float model mirror (A/B sealed replicas).
+inline constexpr int kMirrorRootSlot = 0;
+/// plinius::PmDataStore — the encrypted training dataset resident in PM.
+inline constexpr int kPmDataRootSlot = 1;
+/// plinius::TensorMirror — named-blob tensor mirrors (TF integration).
+inline constexpr int kTensorMirrorRootSlot = 2;
+/// plinius::MetricsLog — crash-consistent (iteration, loss, lr) log.
+inline constexpr int kMetricsLogRootSlot = 3;
+/// plinius::RecoveryLog — append-only trail of recovery episodes.
+inline constexpr int kRecoveryLogRootSlot = 4;
+/// plinius::ServeLog — per-window serving SLO records.
+inline constexpr int kServeLogRootSlot = 5;
+/// plinius::QuantMirror — the int8 serving snapshot (TensorMirror blobs).
+inline constexpr int kQuantMirrorRootSlot = 6;
+/// romulus SPS benchmark array (romulus/sps.cc).
+inline constexpr int kSpsArrayRootSlot = 7;
+/// serve::fleet::ModelRegistry — sealed versioned model records.
+inline constexpr int kModelRegistryRootSlot = 8;
+
+/// Slots available per region. Headroom beyond the slots in use is cheap
+/// (8 bytes of persistent header each) and regions are formatted fresh per
+/// simulation, so growing this is safe.
+inline constexpr int kRootSlotCapacity = 16;
+
+namespace detail {
+inline constexpr int kAssignedRootSlots[] = {
+    kMirrorRootSlot,      kPmDataRootSlot,      kTensorMirrorRootSlot,
+    kMetricsLogRootSlot,  kRecoveryLogRootSlot, kServeLogRootSlot,
+    kQuantMirrorRootSlot, kSpsArrayRootSlot,    kModelRegistryRootSlot,
+};
+
+constexpr bool root_slots_unique_and_in_range() {
+  constexpr int n = sizeof(kAssignedRootSlots) / sizeof(kAssignedRootSlots[0]);
+  for (int i = 0; i < n; ++i) {
+    if (kAssignedRootSlots[i] < 0 || kAssignedRootSlots[i] >= kRootSlotCapacity) {
+      return false;
+    }
+    for (int j = i + 1; j < n; ++j) {
+      if (kAssignedRootSlots[i] == kAssignedRootSlots[j]) return false;
+    }
+  }
+  return true;
+}
+}  // namespace detail
+
+static_assert(detail::root_slots_unique_and_in_range(),
+              "pm/root_slots.h: root slots must be unique and < kRootSlotCapacity");
+
+}  // namespace plinius::pm

@@ -37,6 +37,7 @@
 #include "common/bytes.h"
 #include "common/error.h"
 #include "pm/device.h"
+#include "pm/root_slots.h"
 #include "romulus/execution.h"
 
 namespace plinius::romulus {
@@ -59,8 +60,10 @@ struct PwbPolicy {
 };
 
 /// Number of root-object slots (Romulus' "array of persistent memory
-/// objects" referenced from the persistent header).
-inline constexpr int kRootSlots = 8;
+/// objects" referenced from the persistent header). Slot assignments are
+/// centralized in pm/root_slots.h; the capacity lives there too so the
+/// registry's compile-time range check and this array can never disagree.
+inline constexpr int kRootSlots = pm::kRootSlotCapacity;
 
 class Romulus {
  public:

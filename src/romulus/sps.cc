@@ -2,12 +2,13 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "pm/root_slots.h"
 #include "romulus/persist.h"
 
 namespace plinius::romulus {
 
 namespace {
-constexpr int kArrayRootSlot = 7;
+constexpr int kArrayRootSlot = pm::kSpsArrayRootSlot;
 }
 
 SpsResult run_sps(Romulus& rom, const SpsConfig& config) {

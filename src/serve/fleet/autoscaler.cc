@@ -1,0 +1,49 @@
+#include "serve/fleet/autoscaler.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace plinius::serve::fleet {
+
+Autoscaler::Autoscaler(AutoscalerOptions options) : options_(options) {
+  expects(options_.min_replicas >= 1, "Autoscaler: min_replicas must be >= 1");
+  expects(options_.max_replicas >= options_.min_replicas,
+          "Autoscaler: max_replicas must be >= min_replicas");
+  expects(options_.step >= 1, "Autoscaler: step must be >= 1");
+}
+
+int Autoscaler::decide(const obs::Registry& registry, std::size_t current) {
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    ++stats_.holds;
+    return 0;
+  }
+
+  const double p99_us = registry.gauge("router.p99_us");
+  const double queue = registry.gauge("router.queue_depth");
+  const double util = registry.gauge("router.utilization");
+
+  if (p99_us > options_.p99_high_us || queue > options_.queue_high) {
+    const std::size_t target =
+        std::min(current + options_.step, options_.max_replicas);
+    if (target > current) {
+      ++stats_.scale_ups;
+      cooldown_left_ = options_.cooldown_windows;
+      return static_cast<int>(target - current);
+    }
+    ++stats_.holds;  // pressure but already at max
+    return 0;
+  }
+
+  if (util < options_.util_low && current > options_.min_replicas) {
+    ++stats_.scale_downs;
+    cooldown_left_ = options_.cooldown_windows;
+    return -1;
+  }
+
+  ++stats_.holds;
+  return 0;
+}
+
+}  // namespace plinius::serve::fleet

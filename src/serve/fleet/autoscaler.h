@@ -1,0 +1,67 @@
+// Metrics-driven replica autoscaler.
+//
+// The autoscaler closes the loop between the obs registry and the replica
+// set: after each serving window the fleet publishes router.p99_us,
+// router.queue_depth and router.utilization gauges, and the autoscaler reads
+// those *published* series — not private fleet state — to decide a scale
+// delta. Reading through the registry keeps the policy honest (it sees
+// exactly what an operator's dashboard sees) and makes it trivially testable
+// against synthetic gauge values.
+//
+// Policy: scale up by `step` when latency or queue pressure breaches the
+// high watermarks; scale down by one when utilization sits below the low
+// watermark. A cooldown suppresses decisions for a few windows after any
+// scale action so the fleet observes the new capacity before reacting again
+// (classic control-loop damping against oscillation).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/registry.h"
+
+namespace plinius::serve::fleet {
+
+struct AutoscalerOptions {
+  std::size_t min_replicas = 1;
+  std::size_t max_replicas = 8;
+  /// Scale up when router.p99_us exceeds this (microseconds).
+  double p99_high_us = 5000.0;
+  /// Scale up when router.queue_depth (mean estimated backlog per replica)
+  /// exceeds this.
+  double queue_high = 16.0;
+  /// Scale down when router.utilization falls below this.
+  double util_low = 0.30;
+  /// Windows to hold after a scale action before deciding again.
+  std::uint64_t cooldown_windows = 2;
+  /// Replicas added per scale-up decision (scale-down is always one).
+  std::size_t step = 1;
+};
+
+struct AutoscalerStats {
+  std::uint64_t scale_ups = 0;
+  std::uint64_t scale_downs = 0;
+  std::uint64_t holds = 0;  // no-op decisions (cooldown or in-band signals)
+};
+
+class Autoscaler {
+ public:
+  explicit Autoscaler(AutoscalerOptions options);
+
+  /// One control decision: reads router.* gauges from `registry` and returns
+  /// the signed replica delta (clamped so current + delta stays within
+  /// [min_replicas, max_replicas]). Call once per serving window.
+  [[nodiscard]] int decide(const obs::Registry& registry, std::size_t current);
+
+  [[nodiscard]] const AutoscalerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const AutoscalerOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  AutoscalerOptions options_;
+  AutoscalerStats stats_;
+  std::uint64_t cooldown_left_ = 0;
+};
+
+}  // namespace plinius::serve::fleet

@@ -1,0 +1,126 @@
+#include "serve/fleet/router.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace plinius::serve::fleet {
+namespace {
+
+/// splitmix64 finalizer — the same mix the framework uses wherever it needs
+/// a cheap, well-distributed 64-bit hash of a counter-like key.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Router::Router(RouterOptions options, std::size_t replicas)
+    : options_(std::move(options)) {
+  expects(replicas >= 1, "Router: need at least one replica");
+  expects(options_.vnodes >= 1, "Router: vnodes must be >= 1");
+  expects(options_.service_estimate_ns > 0,
+          "Router: service_estimate_ns must be positive");
+  expects(!options_.tenant_class.empty(),
+          "Router: tenant_class map must not be empty");
+  est_free_ns_.assign(replicas, 0.0);
+  rebuild_ring();
+}
+
+SloClass Router::class_of(std::uint64_t tenant) const noexcept {
+  return options_.tenant_class[tenant % options_.tenant_class.size()];
+}
+
+double Router::estimated_backlog(std::size_t replica, sim::Nanos now) const {
+  expects(replica < est_free_ns_.size(), "Router: replica index out of range");
+  const sim::Nanos pending = est_free_ns_[replica] - now;
+  if (pending <= 0) return 0.0;
+  return pending / options_.service_estimate_ns;
+}
+
+std::size_t Router::pick_least_loaded() const {
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < est_free_ns_.size(); ++r) {
+    if (est_free_ns_[r] < est_free_ns_[best]) best = r;
+  }
+  return best;
+}
+
+std::size_t Router::pick_hashed(std::uint64_t tenant) const {
+  // Salt the tenant key away from the vnode key domain: mix64 is a bijection,
+  // so without the salt mix64(tenant) for small tenants lands *exactly* on
+  // replica 0's vnode hashes mix64(0..vnodes-1) and the whole population
+  // collapses onto replica 0.
+  constexpr std::uint64_t kTenantSalt = 0xC6A4A7935BD1E995ULL;
+  const std::uint64_t h = mix64(tenant ^ kTenantSalt);
+  // First vnode clockwise of the key; wrap to the ring start past the end.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const std::pair<std::uint64_t, std::size_t>& node, std::uint64_t key) {
+        return node.first < key;
+      });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+void Router::rebuild_ring() {
+  ring_.clear();
+  ring_.reserve(est_free_ns_.size() * options_.vnodes);
+  for (std::size_t r = 0; r < est_free_ns_.size(); ++r) {
+    for (std::size_t v = 0; v < options_.vnodes; ++v) {
+      // Vnode identity depends only on (replica, vnode) — growing the set
+      // adds arcs without moving any existing vnode, which is the whole
+      // point of consistent hashing.
+      ring_.emplace_back(mix64((static_cast<std::uint64_t>(r) << 20) | v), r);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+void Router::set_replica_count(std::size_t replicas) {
+  expects(replicas >= 1, "Router: need at least one replica");
+  est_free_ns_.resize(replicas, 0.0);
+  rebuild_ring();
+}
+
+std::vector<RouteDecision> Router::route(std::span<Request> requests) {
+  std::vector<RouteDecision> out;
+  out.reserve(requests.size());
+  for (Request& req : requests) {
+    const SloClass cls = class_of(req.tenant);
+    const SloClassPolicy& policy = options_.classes[static_cast<std::size_t>(cls)];
+    if (policy.relative_deadline_ns != kNoDeadline) {
+      req.deadline_ns = req.arrival_ns + policy.relative_deadline_ns;
+    }
+
+    const sim::Nanos now = req.arrival_ns;
+    RouteDecision d;
+    d.replica = options_.policy == RoutePolicy::kConsistentHash
+                    ? pick_hashed(req.tenant)
+                    : pick_least_loaded();
+
+    if (options_.max_outstanding > 0) {
+      const double bound =
+          static_cast<double>(options_.max_outstanding) * policy.shed_fraction;
+      if (estimated_backlog(d.replica, now) >= bound) d.shed = true;
+    }
+
+    if (d.shed) {
+      ++stats_.shed;
+      ++stats_.shed_by_class[static_cast<std::size_t>(cls)];
+    } else {
+      ++stats_.routed;
+      ++stats_.routed_by_class[static_cast<std::size_t>(cls)];
+      sim::Nanos& free_ns = est_free_ns_[d.replica];
+      free_ns = std::max(free_ns, now) + options_.service_estimate_ns;
+    }
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace plinius::serve::fleet

@@ -1,0 +1,150 @@
+// Front-end request router for the serving fleet.
+//
+// The router is the fleet's admission and placement layer: it stamps each
+// request's SLO class (derived from its tenant), applies per-class admission
+// control, and places admitted requests onto replicas under one of two
+// pluggable policies:
+//
+//   kLeastLoaded      — pick the replica with the smallest estimated backlog
+//                       (a per-replica est-free-time tracker advanced by a
+//                       configured mean service estimate). Best latency under
+//                       uneven load; no session affinity.
+//   kConsistentHash   — splitmix64 vnode ring keyed on the tenant. Tenant
+//                       affinity is stable under replica-set resizes: only
+//                       the ring arcs owned by joining/leaving replicas move,
+//                       which is what makes autoscaling cheap for per-tenant
+//                       caches downstream.
+//
+// SLO classes tighten deadlines and sheds at admission — an interactive
+// tenant gets a short relative deadline and an aggressive shed threshold, a
+// batch tenant tolerates deep queues. The router itself never touches sealed
+// payloads: routing keys are plaintext envelope metadata (tenant, arrival),
+// never the query contents.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "serve/request.h"
+
+namespace plinius::serve::fleet {
+
+enum class RoutePolicy : std::uint8_t {
+  kLeastLoaded = 0,
+  kConsistentHash = 1,
+};
+
+// Inline so header-only consumers (obs/stats_bridge reads stats structs
+// without linking this library) can name classes in metric labels.
+[[nodiscard]] inline const char* to_string(RoutePolicy policy) noexcept {
+  switch (policy) {
+    case RoutePolicy::kLeastLoaded: return "least-loaded";
+    case RoutePolicy::kConsistentHash: return "consistent-hash";
+  }
+  return "?";
+}
+
+/// Admission SLO tiers. A request's class is derived from its tenant via
+/// RouterOptions::tenant_class.
+enum class SloClass : std::uint8_t {
+  kInteractive = 0,
+  kStandard = 1,
+  kBatch = 2,
+};
+inline constexpr std::size_t kSloClasses = 3;
+
+[[nodiscard]] inline const char* to_string(SloClass cls) noexcept {
+  switch (cls) {
+    case SloClass::kInteractive: return "interactive";
+    case SloClass::kStandard: return "standard";
+    case SloClass::kBatch: return "batch";
+  }
+  return "?";
+}
+
+/// Per-class admission policy. `relative_deadline_ns` overrides the
+/// request's deadline at admission (kNoDeadline = leave untouched);
+/// `shed_fraction` scales the router's max_outstanding bound — a class with
+/// shed_fraction 0.25 is shed once the target replica's estimated backlog
+/// exceeds a quarter of the bound.
+struct SloClassPolicy {
+  sim::Nanos relative_deadline_ns = kNoDeadline;
+  double shed_fraction = 1.0;
+};
+
+struct RouterOptions {
+  RoutePolicy policy = RoutePolicy::kLeastLoaded;
+  /// Virtual nodes per replica on the consistent-hash ring.
+  std::size_t vnodes = 64;
+  /// Estimated backlog bound per replica (requests). 0 disables shedding.
+  std::size_t max_outstanding = 64;
+  /// Mean per-request service estimate used by the backlog tracker.
+  sim::Nanos service_estimate_ns = 250e3;
+  /// Admission policy per SLO class, indexed by SloClass.
+  std::array<SloClassPolicy, kSloClasses> classes{
+      SloClassPolicy{2e6, 0.25},         // interactive: 2 ms, shallow queue
+      SloClassPolicy{10e6, 0.75},        // standard: 10 ms
+      SloClassPolicy{kNoDeadline, 1.0},  // batch: no deadline, full queue
+  };
+  /// Tenant -> class map: tenant t gets tenant_class[t % size]. The default
+  /// cycles all three classes across the tenant population.
+  std::vector<SloClass> tenant_class{SloClass::kInteractive, SloClass::kStandard,
+                                     SloClass::kBatch};
+};
+
+struct RouteDecision {
+  std::size_t replica = 0;
+  bool shed = false;  // rejected at admission (router-level queue-full)
+};
+
+struct RouterStats {
+  std::uint64_t routed = 0;  // placed onto a replica
+  std::uint64_t shed = 0;    // rejected at admission
+  std::array<std::uint64_t, kSloClasses> routed_by_class{};
+  std::array<std::uint64_t, kSloClasses> shed_by_class{};
+};
+
+class Router {
+ public:
+  Router(RouterOptions options, std::size_t replicas);
+
+  /// Routes a batch of requests (ascending arrival order). Stamps each
+  /// request's deadline from its SLO class and returns one decision per
+  /// request. Mutates `requests` in place (deadline stamping) — callers
+  /// route the workload once, before serving.
+  std::vector<RouteDecision> route(std::span<Request> requests);
+
+  /// Resizes the replica set (autoscaler). Backlog estimates of surviving
+  /// replicas are preserved; the hash ring is rebuilt.
+  void set_replica_count(std::size_t replicas);
+  [[nodiscard]] std::size_t replica_count() const noexcept {
+    return est_free_ns_.size();
+  }
+
+  /// Estimated outstanding requests on `replica` at simulated time `now`.
+  [[nodiscard]] double estimated_backlog(std::size_t replica,
+                                         sim::Nanos now) const;
+
+  [[nodiscard]] SloClass class_of(std::uint64_t tenant) const noexcept;
+
+  [[nodiscard]] const RouterStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const RouterOptions& options() const noexcept { return options_; }
+
+ private:
+  [[nodiscard]] std::size_t pick_least_loaded() const;
+  [[nodiscard]] std::size_t pick_hashed(std::uint64_t tenant) const;
+  void rebuild_ring();
+
+  RouterOptions options_;
+  /// Per-replica estimated time the replica drains its backlog.
+  std::vector<sim::Nanos> est_free_ns_;
+  /// Consistent-hash ring: (hash, replica), sorted by hash.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+  RouterStats stats_;
+};
+
+}  // namespace plinius::serve::fleet

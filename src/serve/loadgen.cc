@@ -40,6 +40,7 @@ std::vector<Request> poisson_workload(const ml::Dataset& data,
 
     Request r;
     r.id = i;
+    if (options.tenants > 1) r.tenant = rng.below(options.tenants);
     r.arrival_ns = t;
     r.deadline_ns = options.relative_deadline_ns == kNoDeadline
                         ? kNoDeadline

@@ -40,6 +40,11 @@ struct LoadGenOptions {
   sim::Nanos relative_deadline_ns = kNoDeadline;
   /// Workload seed: arrival process and row selection.
   std::uint64_t seed = 1;
+  /// Distinct client tenants; each request draws one uniformly. The single-
+  /// tenant default draws nothing, so existing seeds generate byte-identical
+  /// workloads. The fleet router keys SLO classes and consistent hashing off
+  /// the tenant.
+  std::size_t tenants = 1;
 };
 
 /// Generates a sorted Poisson arrival schedule over rows of `data`, each

@@ -24,6 +24,7 @@ inline constexpr sim::Nanos kNoDeadline = std::numeric_limits<sim::Nanos>::infin
 
 struct Request {
   std::uint64_t id = 0;
+  std::uint64_t tenant = 0;             // client identity: SLO class + hash key
   sim::Nanos arrival_ns = 0;            // absolute simulated arrival time
   sim::Nanos deadline_ns = kNoDeadline; // absolute; kNoDeadline = none
   Bytes sealed_query;

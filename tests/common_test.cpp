@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <span>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/clock.h"
@@ -338,6 +340,65 @@ TEST(LatencyHistogram, MergePercentileStability) {
   }
   // Repeated self-queries are stable (no internal mutation on read).
   EXPECT_DOUBLE_EQ(forward.percentile(99), forward.percentile(99));
+}
+
+TEST(LatencyHistogram, MergeHistogramsHelperOrderInvariant) {
+  // merge_histograms (the cross-replica cohort merge the serving fleet
+  // uses) is a pure fold over LatencyHistogram::merge: any permutation of
+  // the parts yields bitwise-identical bucket state, hence identical
+  // percentile queries.
+  Rng rng(41);
+  std::vector<LatencyHistogram> parts(4);
+  LatencyHistogram whole;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniform(10.0, 5e6);
+    parts[static_cast<std::size_t>(i) % parts.size()].record(v);
+    whole.record(v);
+  }
+
+  const LatencyHistogram forward =
+      merge_histograms(std::span<const LatencyHistogram>(parts));
+  std::vector<LatencyHistogram> reversed(parts.rbegin(), parts.rend());
+  const LatencyHistogram backward =
+      merge_histograms(std::span<const LatencyHistogram>(reversed));
+
+  EXPECT_EQ(forward.count(), whole.count());
+  EXPECT_EQ(backward.count(), whole.count());
+  EXPECT_DOUBLE_EQ(forward.min(), whole.min());
+  EXPECT_DOUBLE_EQ(forward.max(), whole.max());
+  for (double p : {5.0, 50.0, 95.0, 99.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(forward.percentile(p), whole.percentile(p)) << p;
+    EXPECT_DOUBLE_EQ(backward.percentile(p), whole.percentile(p)) << p;
+  }
+}
+
+TEST(LatencyHistogram, MergeHistogramsHelperMismatchedPopulations) {
+  // The fleet merges a busy baseline cohort with a nearly idle canary
+  // cohort: wildly mismatched counts and empty parts must not perturb the
+  // big population's body, and the totals must stay exact.
+  std::vector<LatencyHistogram> parts(4);
+  for (int i = 0; i < 50'000; ++i) parts[0].record(200.0 + (i % 11));
+  for (int i = 0; i < 5; ++i) parts[1].record(2e6);
+  // parts[2] stays empty; parts[3] has a single sample.
+  parts[3].record(50.0);
+
+  const LatencyHistogram merged =
+      merge_histograms(std::span<const LatencyHistogram>(parts));
+  EXPECT_EQ(merged.count(), 50'006u);
+  EXPECT_DOUBLE_EQ(merged.min(), 50.0);
+  EXPECT_DOUBLE_EQ(merged.max(), 2e6);
+  EXPECT_NEAR(merged.sum(),
+              parts[0].sum() + parts[1].sum() + parts[3].sum(),
+              1e-9 * parts[0].sum());
+  EXPECT_DOUBLE_EQ(merged.percentile(50), parts[0].percentile(50));
+  EXPECT_LT(merged.percentile(99), 300.0);     // 5/50006 beyond p99
+  EXPECT_NEAR(merged.percentile(99.999), 2e6,  // ...but inside the far tail
+              2e6 / LatencyHistogram::kSubBuckets);
+
+  // Degenerate inputs: no parts, or all-empty parts, give an empty result.
+  EXPECT_EQ(merge_histograms({}).count(), 0u);
+  const std::vector<LatencyHistogram> empties(3);
+  EXPECT_EQ(merge_histograms(std::span<const LatencyHistogram>(empties)).count(), 0u);
 }
 
 TEST(LatencyHistogram, ResetAndNegativeClamp) {
