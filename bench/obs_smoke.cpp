@@ -84,6 +84,7 @@ int main(int argc, char** argv) {
   obs::publish(registry, trainer.mirror().stats(), labels);
   obs::publish(registry, trainer.data().stats(), labels);
   obs::publish(registry, server.stats(), labels);
+  obs::publish(registry, tracer, labels);
   registry.set_gauge("train.accuracy", acc, labels);
   registry.set_counter("train.iterations", 24, labels);
   registry.set_gauge("serve.goodput_qps", rep.goodput_qps, labels);

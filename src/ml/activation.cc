@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "ml/oblivious.h"
+#include "obs/leakage.h"
 
 namespace plinius::ml {
 
@@ -36,13 +38,40 @@ const char* activation_name(Activation a) {
 }
 
 void activate(Activation a, float* x, std::size_t n) {
+  // Only the rectifiers have branchless rewrites; dispatching any other
+  // activation would bounce back here (oblivious_activate falls through to
+  // the baseline for the rest).
+  if (oblivious_options().branchless_activation &&
+      (a == Activation::kLeakyRelu || a == Activation::kRelu)) {
+    oblivious_activate(a, x, n);
+    return;
+  }
+  // Baseline: the sign test is a secret-dependent branch — report each
+  // outcome to the leakage observatory when one is recording.
+  obs::PageTraceRecorder* rec = obs::page_trace_recorder();
   switch (a) {
     case Activation::kLinear:
       return;
     case Activation::kLeakyRelu:
+      if (rec != nullptr) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const bool pos = x[i] > 0;
+          rec->branch("act.leaky", pos);
+          x[i] = pos ? x[i] : kLeakySlope * x[i];
+        }
+        return;
+      }
       for (std::size_t i = 0; i < n; ++i) x[i] = x[i] > 0 ? x[i] : kLeakySlope * x[i];
       return;
     case Activation::kRelu:
+      if (rec != nullptr) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const bool pos = x[i] > 0;
+          rec->branch("act.relu", pos);
+          x[i] = pos ? x[i] : 0;
+        }
+        return;
+      }
       for (std::size_t i = 0; i < n; ++i) x[i] = x[i] > 0 ? x[i] : 0;
       return;
     case Activation::kLogistic:
@@ -55,13 +84,35 @@ void activate(Activation a, float* x, std::size_t n) {
 }
 
 void gradient(Activation a, const float* y, float* delta, std::size_t n) {
+  if (oblivious_options().branchless_activation &&
+      (a == Activation::kLeakyRelu || a == Activation::kRelu)) {
+    oblivious_activation_gradient(a, y, delta, n);
+    return;
+  }
+  obs::PageTraceRecorder* rec = obs::page_trace_recorder();
   switch (a) {
     case Activation::kLinear:
       return;
     case Activation::kLeakyRelu:
+      if (rec != nullptr) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const bool pos = y[i] > 0;
+          rec->branch("act.grad", pos);
+          delta[i] *= pos ? 1.0f : kLeakySlope;
+        }
+        return;
+      }
       for (std::size_t i = 0; i < n; ++i) delta[i] *= y[i] > 0 ? 1.0f : kLeakySlope;
       return;
     case Activation::kRelu:
+      if (rec != nullptr) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const bool pos = y[i] > 0;
+          rec->branch("act.grad", pos);
+          delta[i] *= pos ? 1.0f : 0.0f;
+        }
+        return;
+      }
       for (std::size_t i = 0; i < n; ++i) delta[i] *= y[i] > 0 ? 1.0f : 0.0f;
       return;
     case Activation::kLogistic:

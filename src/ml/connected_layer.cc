@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "ml/gemm.h"
+#include "obs/leakage.h"
 
 namespace plinius::ml {
 
@@ -23,6 +24,8 @@ void ConnectedLayer::forward(const float* input, std::size_t batch, bool /*train
   const std::size_t inputs = in_shape_.size();
   const std::size_t outputs = out_shape_.size();
   std::fill(output_.begin(), output_.end(), 0.0f);
+  obs::touch_pages("fc.weights", 0, weights_.size() * sizeof(float));
+  obs::touch_pages("fc.in", 0, batch * inputs * sizeof(float));
 
   // output[batch x outputs] = input[batch x inputs] * W^T
   gemm_nt(batch, outputs, inputs, 1.0f, input, weights_.data(), output_.data());

@@ -5,6 +5,8 @@
 
 #include "ml/gemm.h"
 #include "ml/im2col.h"
+#include "ml/oblivious.h"
+#include "obs/leakage.h"
 
 namespace plinius::ml {
 
@@ -62,15 +64,24 @@ void ConvLayer::forward(const float* input, std::size_t batch, bool train) {
   const std::size_t n_spatial = spatial();
   workspace_.resize(k * n_spatial);
   std::fill(output_.begin(), output_.end(), 0.0f);
+  const bool fixed_cols = oblivious_options().fixed_im2col;
+  obs::touch_pages("conv.weights", 0, weights_.size() * sizeof(float));
 
   for (std::size_t b = 0; b < batch; ++b) {
     const float* im = input + b * in_shape_.size();
     float* out = output_.data() + b * out_shape_.size();
+    obs::touch_pages("conv.in", b * in_shape_.size() * sizeof(float),
+                     in_shape_.size() * sizeof(float));
     if (config_.ksize == 1 && config_.stride == 1 && config_.pad == 0) {
       gemm_nn(config_.filters, n_spatial, k, 1.0f, weights_.data(), im, out);
     } else {
-      im2col(im, in_shape_.c, in_shape_.h, in_shape_.w, config_.ksize, config_.stride,
-             config_.pad, workspace_.data());
+      if (fixed_cols) {
+        im2col_fixed(im, in_shape_.c, in_shape_.h, in_shape_.w, config_.ksize,
+                     config_.stride, config_.pad, workspace_.data());
+      } else {
+        im2col(im, in_shape_.c, in_shape_.h, in_shape_.w, config_.ksize,
+               config_.stride, config_.pad, workspace_.data());
+      }
       gemm_nn(config_.filters, n_spatial, k, 1.0f, weights_.data(), workspace_.data(),
               out);
     }
@@ -229,8 +240,13 @@ void ConvLayer::backward(const float* input, float* input_delta, std::size_t bat
     // Weight gradients: dW += delta_b x cols(im)^T.
     const float* cols = im;
     if (!(config_.ksize == 1 && config_.stride == 1 && config_.pad == 0)) {
-      im2col(im, in_shape_.c, in_shape_.h, in_shape_.w, config_.ksize, config_.stride,
-             config_.pad, workspace_.data());
+      if (oblivious_options().fixed_im2col) {
+        im2col_fixed(im, in_shape_.c, in_shape_.h, in_shape_.w, config_.ksize,
+                     config_.stride, config_.pad, workspace_.data());
+      } else {
+        im2col(im, in_shape_.c, in_shape_.h, in_shape_.w, config_.ksize,
+               config_.stride, config_.pad, workspace_.data());
+      }
       cols = workspace_.data();
     }
     gemm_nt(config_.filters, k, n_spatial, 1.0f, d, cols, weight_updates_.data());

@@ -1,6 +1,10 @@
 #include "ml/data.h"
 
+#include <algorithm>
 #include <cstring>
+
+#include "ml/oblivious.h"
+#include "obs/leakage.h"
 
 namespace plinius::ml {
 
@@ -12,6 +16,27 @@ void sample_batch(const Dataset& data, std::size_t batch, Rng& rng, float* x_out
     const std::size_t i = rng.below(data.size());
     std::memcpy(x_out + b * data.x.cols, data.x.row(i), data.x.cols * sizeof(float));
     std::memcpy(y_out + b * data.y.cols, data.y.row(i), data.y.cols * sizeof(float));
+  }
+}
+
+void shuffle_dataset(Dataset& data, std::uint64_t seed) {
+  if (oblivious_options().oblivious_shuffle) {
+    oblivious_shuffle_dataset(data, seed);
+    return;
+  }
+  data.validate();
+  const std::size_t n = data.size();
+  if (n < 2) return;
+  const std::size_t x_bytes = data.x.cols * sizeof(float);
+  Rng rng(seed);
+  // Fisher–Yates; the pair of rows touched at each step is the permutation.
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t j = rng.below(i + 1);
+    obs::touch_pages("data.shuffle", i * x_bytes, x_bytes);
+    obs::touch_pages("data.shuffle", j * x_bytes, x_bytes);
+    if (i == j) continue;
+    std::swap_ranges(data.x.row(i), data.x.row(i) + data.x.cols, data.x.row(j));
+    std::swap_ranges(data.y.row(i), data.y.row(i) + data.y.cols, data.y.row(j));
   }
 }
 

@@ -1,5 +1,7 @@
 #include "ml/im2col.h"
 
+#include "obs/leakage.h"
+
 namespace plinius::ml {
 
 void im2col(const float* data_im, std::size_t channels, std::size_t height,
@@ -18,7 +20,9 @@ void im2col(const float* data_im, std::size_t channels, std::size_t height,
       const long im_row =
           static_cast<long>(h * stride + h_offset) - static_cast<long>(pad);
       float* out_row = data_col + (c * out_h + h) * out_w;
-      if (im_row < 0 || im_row >= static_cast<long>(height)) {
+      const bool pad_row = im_row < 0 || im_row >= static_cast<long>(height);
+      obs::branch_event("im2col.pad_row", pad_row);
+      if (pad_row) {
         for (std::size_t w = 0; w < out_w; ++w) out_row[w] = 0;
         continue;
       }

@@ -2,6 +2,9 @@
 
 #include <limits>
 
+#include "ml/oblivious.h"
+#include "obs/leakage.h"
+
 namespace plinius::ml {
 
 namespace {
@@ -24,6 +27,10 @@ MaxPoolLayer::MaxPoolLayer(Shape in, const MaxPoolConfig& config)
 void MaxPoolLayer::forward(const float* input, std::size_t batch, bool /*train*/) {
   argmax_.resize(batch * out_shape_.size());
   const std::size_t in_hw = in_shape_.h * in_shape_.w;
+  const bool branchless = oblivious_options().branchless_maxpool;
+  obs::PageTraceRecorder* rec =
+      branchless ? nullptr : obs::page_trace_recorder();
+  obs::touch_pages("maxpool.in", 0, batch * in_shape_.size() * sizeof(float));
 
   for (std::size_t b = 0; b < batch; ++b) {
     for (std::size_t c = 0; c < in_shape_.c; ++c) {
@@ -32,15 +39,27 @@ void MaxPoolLayer::forward(const float* input, std::size_t batch, bool /*train*/
       for (std::size_t oh = 0; oh < out_shape_.h; ++oh) {
         for (std::size_t ow = 0; ow < out_shape_.w; ++ow) {
           float best = -std::numeric_limits<float>::infinity();
-          std::size_t best_idx = 0;
+          std::uint32_t best_idx = 0;
           for (std::size_t kh = 0; kh < config_.size; ++kh) {
             const std::size_t ih = oh * config_.stride + kh;
             for (std::size_t kw = 0; kw < config_.size; ++kw) {
               const std::size_t iw = ow * config_.stride + kw;
               const float v = in_plane[ih * in_shape_.w + iw];
-              if (v > best) {
-                best = v;
-                best_idx = ih * in_shape_.w + iw;
+              const std::uint32_t idx =
+                  static_cast<std::uint32_t>(ih * in_shape_.w + iw);
+              if (branchless) {
+                // Same strict compare, resolved by masked select instead of
+                // a data-dependent branch; bitwise-equal result.
+                const bool gt = v > best;
+                best = select_float(gt, v, best);
+                best_idx = select_u32(gt, idx, best_idx);
+              } else {
+                const bool gt = v > best;
+                if (rec != nullptr) rec->branch("maxpool.cmp", gt);
+                if (gt) {
+                  best = v;
+                  best_idx = idx;
+                }
               }
             }
           }
@@ -48,7 +67,7 @@ void MaxPoolLayer::forward(const float* input, std::size_t batch, bool /*train*/
               (b * in_shape_.c + c) * out_shape_.h * out_shape_.w +
               oh * out_shape_.w + ow;
           output_[out_idx] = best;
-          argmax_[out_idx] = static_cast<std::uint32_t>(plane_base + best_idx);
+          argmax_[out_idx] = static_cast<std::uint32_t>(plane_base) + best_idx;
         }
       }
     }

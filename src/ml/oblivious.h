@@ -1,0 +1,107 @@
+// Data-oblivious kernel variants.
+//
+// The baseline ml kernels branch on secret-derived values: (leaky-)ReLU takes
+// a different path per sign, maxpool's running-max compare depends on the
+// data, im2col skips padded rows, and a Fisher–Yates shuffle's swap pattern
+// is the permutation. All of that is visible to a controlled-channel
+// attacker (see obs/leakage.h). The variants here compute the *same bits*
+// through a fixed instruction/access schedule:
+//
+//   * branchless (leaky-)ReLU and gradient — bitmask arithmetic select,
+//   * branchless maxpool compare-exchange — masked select of value and index,
+//   * fixed-shape im2col — always-read with clamped index + masked select,
+//   * oblivious dataset shuffle — bitonic sorting network over random keys
+//     with masked row swaps (access schedule depends only on the row count).
+//
+// Every variant is bitwise-equivalent to its baseline (tests/leak_test.cpp
+// asserts it); the observatory asserts the trace collapses to
+// input-independence. Selection is a process-global ObliviousOptions so the
+// network/layer code dispatches without plumbing a flag through every call.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "ml/activation.h"
+#include "ml/data.h"
+
+namespace plinius::ml {
+
+/// Which kernels run in their data-oblivious variant.
+struct ObliviousOptions {
+  bool branchless_activation = false;
+  bool branchless_maxpool = false;
+  bool fixed_im2col = false;
+  bool oblivious_shuffle = false;
+
+  [[nodiscard]] bool any() const noexcept {
+    return branchless_activation || branchless_maxpool || fixed_im2col ||
+           oblivious_shuffle;
+  }
+  [[nodiscard]] static ObliviousOptions all() noexcept {
+    return ObliviousOptions{true, true, true, true};
+  }
+};
+
+[[nodiscard]] const ObliviousOptions& oblivious_options() noexcept;
+void set_oblivious_options(const ObliviousOptions& opts) noexcept;
+
+/// RAII: installs `opts` for the scope, restores the previous setting after.
+class ScopedObliviousOptions {
+ public:
+  explicit ScopedObliviousOptions(const ObliviousOptions& opts)
+      : previous_(oblivious_options()) {
+    set_oblivious_options(opts);
+  }
+  ~ScopedObliviousOptions() { set_oblivious_options(previous_); }
+  ScopedObliviousOptions(const ScopedObliviousOptions&) = delete;
+  ScopedObliviousOptions& operator=(const ScopedObliviousOptions&) = delete;
+
+ private:
+  ObliviousOptions previous_;
+};
+
+/// Constant-schedule select: returns `a` when cond, else `b`, via a bitmask
+/// (no data-dependent branch; bit-exact for NaN/-0.0 payloads).
+[[nodiscard]] inline float select_float(bool cond, float a, float b) noexcept {
+  const std::uint32_t mask = -static_cast<std::uint32_t>(cond);
+  return std::bit_cast<float>((std::bit_cast<std::uint32_t>(a) & mask) |
+                              (std::bit_cast<std::uint32_t>(b) & ~mask));
+}
+
+[[nodiscard]] inline std::uint32_t select_u32(bool cond, std::uint32_t a,
+                                              std::uint32_t b) noexcept {
+  const std::uint32_t mask = -static_cast<std::uint32_t>(cond);
+  return (a & mask) | (b & ~mask);
+}
+
+[[nodiscard]] inline std::uint64_t select_u64(bool cond, std::uint64_t a,
+                                              std::uint64_t b) noexcept {
+  const std::uint64_t mask = -static_cast<std::uint64_t>(cond);
+  return (a & mask) | (b & ~mask);
+}
+
+/// Branchless activations — bitwise-equal to activate()/gradient() for
+/// kRelu/kLeakyRelu; other activations fall through to the baseline (they
+/// are already fixed-schedule elementwise math).
+void oblivious_activate(Activation a, float* x, std::size_t n);
+void oblivious_activation_gradient(Activation a, const float* y, float* delta,
+                                   std::size_t n);
+
+/// Fixed-shape im2col: identical output to im2col(), but every (c, h, w)
+/// cell performs the same loads — out-of-bounds taps read a clamped safe
+/// index and the pad zero is selected by mask, so the access schedule is a
+/// pure function of the shape.
+void im2col_fixed(const float* data_im, std::size_t channels, std::size_t height,
+                  std::size_t width, std::size_t ksize, std::size_t stride,
+                  std::size_t pad, float* data_col);
+
+/// Oblivious in-place shuffle: sorts rows by per-row random keys drawn from
+/// `seed` through a bitonic network with masked compare-exchange swaps. The
+/// sequence of row pairs touched depends only on data.size(), never on the
+/// seed — the permutation is invisible in the access trace. Rows are padded
+/// to the next power of two internally (dummy keys sink to the end).
+void oblivious_shuffle_dataset(Dataset& data, std::uint64_t seed);
+
+}  // namespace plinius::ml

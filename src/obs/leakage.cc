@@ -1,0 +1,318 @@
+#include "obs/leakage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace plinius::obs {
+
+namespace detail {
+std::atomic<PageTraceRecorder*> g_leak_recorder{nullptr};
+}  // namespace detail
+
+const char* to_string(LeakKind k) noexcept {
+  switch (k) {
+    case LeakKind::kPage: return "page";
+    case LeakKind::kBranch: return "branch";
+    case LeakKind::kMark: return "mark";
+  }
+  return "?";
+}
+
+bool operator==(const LeakEvent& a, const LeakEvent& b) {
+  return a.kind == b.kind && a.value == b.value && a.count == b.count &&
+         std::strcmp(a.site, b.site) == 0;
+}
+
+PageTraceRecorder::PageTraceRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+void PageTraceRecorder::append(LeakEvent ev) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(ev);
+}
+
+void PageTraceRecorder::page_range(const char* site, std::uint64_t first_page,
+                                   std::uint64_t pages) {
+  if (pages == 0) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  raw_pages_ += pages;
+  if (!events_.empty()) {
+    LeakEvent& last = events_.back();
+    // Extend a run that continues exactly where the previous one ended in
+    // the same region — sequential sweeps compress to one event.
+    if (last.kind == LeakKind::kPage && std::strcmp(last.site, site) == 0 &&
+        static_cast<std::uint64_t>(last.value) + last.count == first_page) {
+      last.count += static_cast<std::uint32_t>(pages);
+      return;
+    }
+  }
+  append(LeakEvent{LeakKind::kPage, site, static_cast<std::uint32_t>(first_page),
+                   static_cast<std::uint32_t>(pages)});
+}
+
+void PageTraceRecorder::branch(const char* site, bool taken) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++raw_branches_;
+  if (!events_.empty()) {
+    LeakEvent& last = events_.back();
+    if (last.kind == LeakKind::kBranch && last.value == (taken ? 1u : 0u) &&
+        std::strcmp(last.site, site) == 0) {
+      ++last.count;
+      return;
+    }
+  }
+  append(LeakEvent{LeakKind::kBranch, site, taken ? 1u : 0u, 1});
+}
+
+void PageTraceRecorder::mark(const char* site) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  append(LeakEvent{LeakKind::kMark, site, 0, 1});
+}
+
+LeakTrace PageTraceRecorder::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t PageTraceRecorder::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::uint64_t PageTraceRecorder::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::uint64_t PageTraceRecorder::raw_page_events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return raw_pages_;
+}
+
+std::uint64_t PageTraceRecorder::raw_branch_events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return raw_branches_;
+}
+
+void PageTraceRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+  raw_pages_ = 0;
+  raw_branches_ = 0;
+}
+
+LeakTrace record_leak_trace(const std::function<void()>& fn, std::size_t capacity) {
+  ScopedLeakRecorder scope(capacity);
+  fn();
+  return scope.recorder().events();
+}
+
+// --------------------------------------------------------------- analyzer --
+
+bool traces_equal(const LeakTrace& a, const LeakTrace& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+std::uint64_t trace_fingerprint(const LeakTrace& trace) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  const auto mix = [&h](const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const LeakEvent& ev : trace) {
+    const auto kind = static_cast<std::uint8_t>(ev.kind);
+    mix(&kind, 1);
+    mix(ev.site, std::strlen(ev.site) + 1);
+    mix(&ev.value, sizeof(ev.value));
+    mix(&ev.count, sizeof(ev.count));
+  }
+  return h;
+}
+
+namespace {
+
+// Interns events to dense symbol ids so distance/entropy work on integer
+// sequences. Site identity is the string content.
+class SymbolTable {
+ public:
+  std::uint32_t intern(const LeakEvent& ev) {
+    const Key key{ev.kind, ev.site, ev.value, ev.count};
+    const auto [it, inserted] = ids_.try_emplace(key, next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+
+ private:
+  struct Key {
+    LeakKind kind;
+    const char* site;
+    std::uint32_t value;
+    std::uint32_t count;
+    bool operator<(const Key& o) const {
+      if (kind != o.kind) return kind < o.kind;
+      const int c = std::strcmp(site, o.site);
+      if (c != 0) return c < 0;
+      return std::tie(value, count) < std::tie(o.value, o.count);
+    }
+  };
+  std::map<Key, std::uint32_t> ids_;
+  std::uint32_t next_ = 0;
+};
+
+std::vector<std::uint32_t> to_symbols(const LeakTrace& trace, SymbolTable& table) {
+  std::vector<std::uint32_t> out;
+  out.reserve(trace.size());
+  for (const LeakEvent& ev : trace) out.push_back(table.intern(ev));
+  return out;
+}
+
+// Uniform subsample to at most `cap` symbols (keeps relative order).
+std::vector<std::uint32_t> subsample(const std::vector<std::uint32_t>& s,
+                                     std::size_t cap) {
+  if (s.size() <= cap) return s;
+  std::vector<std::uint32_t> out(cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    out[i] = s[i * s.size() / cap];
+  }
+  return out;
+}
+
+double levenshtein_normalized(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b) {
+  const std::size_t n = a.size(), m = b.size();
+  if (n == 0 && m == 0) return 0.0;
+  if (n == 0 || m == 0) return 1.0;
+  std::vector<std::size_t> prev(m + 1), cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return static_cast<double>(prev[m]) / static_cast<double>(std::max(n, m));
+}
+
+}  // namespace
+
+double trace_edit_distance(const LeakTrace& a, const LeakTrace& b,
+                           std::size_t max_symbols) {
+  SymbolTable table;
+  const auto sa = subsample(to_symbols(a, table), max_symbols);
+  const auto sb = subsample(to_symbols(b, table), max_symbols);
+  return levenshtein_normalized(sa, sb);
+}
+
+LeakageReport analyze_traces(std::span<const LeakTrace> traces,
+                             std::size_t max_edit_symbols) {
+  LeakageReport r;
+  r.traces = traces.size();
+  if (traces.empty()) return r;
+
+  SymbolTable table;
+  std::vector<std::vector<std::uint32_t>> symbols;
+  symbols.reserve(traces.size());
+  std::set<std::uint64_t> fingerprints;
+  r.min_events = traces[0].size();
+  for (const LeakTrace& t : traces) {
+    symbols.push_back(to_symbols(t, table));
+    fingerprints.insert(trace_fingerprint(t));
+    r.min_events = std::min(r.min_events, t.size());
+    r.max_events = std::max(r.max_events, t.size());
+    for (const LeakEvent& ev : t) {
+      if (ev.kind == LeakKind::kPage) ++r.page_events;
+      if (ev.kind == LeakKind::kBranch) ++r.branch_events;
+    }
+  }
+  r.distinct = fingerprints.size();
+
+  // Pairwise distinguishability + edit distance.
+  double sum_edit = 0;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    for (std::size_t j = i + 1; j < traces.size(); ++j) {
+      ++r.pairs;
+      const bool differ = !traces_equal(traces[i], traces[j]);
+      if (differ) ++r.distinguishable_pairs;
+      const double d =
+          differ ? levenshtein_normalized(subsample(symbols[i], max_edit_symbols),
+                                          subsample(symbols[j], max_edit_symbols))
+                 : 0.0;
+      sum_edit += d;
+      r.max_edit_distance = std::max(r.max_edit_distance, d);
+    }
+  }
+  if (r.pairs > 0) {
+    r.mean_edit_distance = sum_edit / static_cast<double>(r.pairs);
+    r.score = static_cast<double>(r.distinguishable_pairs) /
+              static_cast<double>(r.pairs);
+  }
+
+  // Per-position symbol entropy over the aligned prefix: with one trace per
+  // secret and a uniform secret prior, the empirical entropy of the symbol
+  // at position p is the mutual information (in bits) the attacker gains
+  // about the secret from observing that position.
+  const std::size_t prefix = std::min<std::size_t>(r.min_events, 1u << 16);
+  if (prefix > 0 && traces.size() > 1) {
+    double sum_bits = 0;
+    std::map<std::uint32_t, std::size_t> counts;
+    for (std::size_t p = 0; p < prefix; ++p) {
+      counts.clear();
+      for (const auto& s : symbols) ++counts[s[p]];
+      double bits = 0;
+      for (const auto& [sym, c] : counts) {
+        const double f = static_cast<double>(c) / static_cast<double>(symbols.size());
+        bits -= f * std::log2(f);
+      }
+      sum_bits += bits;
+    }
+    r.mean_position_entropy_bits = sum_bits / static_cast<double>(prefix);
+  }
+  return r;
+}
+
+std::string LeakageReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"traces\": " << traces << ", \"distinct\": " << distinct
+     << ", \"pairs\": " << pairs
+     << ", \"distinguishable_pairs\": " << distinguishable_pairs
+     << ", \"min_events\": " << min_events << ", \"max_events\": " << max_events
+     << ", \"page_events\": " << page_events
+     << ", \"branch_events\": " << branch_events << ", \"mean_edit_distance\": "
+     << mean_edit_distance << ", \"max_edit_distance\": " << max_edit_distance
+     << ", \"mean_position_entropy_bits\": " << mean_position_entropy_bits
+     << ", \"score\": " << score << "}";
+  return os.str();
+}
+
+void LeakageReport::publish(Registry& reg, const Labels& labels) const {
+  reg.set_gauge("leak.score", score, labels);
+  reg.set_gauge("leak.traces", static_cast<double>(traces), labels);
+  reg.set_gauge("leak.distinct_traces", static_cast<double>(distinct), labels);
+  reg.set_gauge("leak.distinguishable_pairs",
+                static_cast<double>(distinguishable_pairs), labels);
+  reg.set_gauge("leak.mean_edit_distance", mean_edit_distance, labels);
+  reg.set_gauge("leak.max_edit_distance", max_edit_distance, labels);
+  reg.set_gauge("leak.mi_bits", mean_position_entropy_bits, labels);
+  reg.set_gauge("leak.page_events", static_cast<double>(page_events), labels);
+  reg.set_gauge("leak.branch_events", static_cast<double>(branch_events), labels);
+}
+
+}  // namespace plinius::obs

@@ -12,9 +12,17 @@
 #include "serve/fleet/registry.h"
 #include "serve/fleet/router.h"
 #include "serve/server.h"
+#include "obs/trace.h"
 #include "sgx/enclave.h"
 
 namespace plinius::obs {
+
+void publish(Registry& reg, const Tracer& t, const Labels& labels) {
+  reg.set_gauge("obs.trace.recorded", static_cast<double>(t.total_recorded()),
+                labels);
+  reg.set_gauge("obs.trace.evicted", static_cast<double>(t.dropped()), labels);
+  reg.set_gauge("obs.trace.cancelled", static_cast<double>(t.cancelled()), labels);
+}
 
 void publish(Registry& reg, const sgx::EnclaveStats& s, const Labels& labels) {
   reg.set_counter("enclave.ecalls", s.ecalls, labels);

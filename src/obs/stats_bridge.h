@@ -38,6 +38,13 @@ struct FleetReport;
 
 namespace plinius::obs {
 
+class Tracer;
+
+/// Publishes the tracer's ring accounting (`obs.trace.recorded`,
+/// `obs.trace.evicted`, `obs.trace.cancelled`) so silent span truncation is
+/// visible in metrics artifacts.
+void publish(Registry& reg, const Tracer& t, const Labels& labels = {});
+
 void publish(Registry& reg, const sgx::EnclaveStats& s, const Labels& labels = {});
 void publish(Registry& reg, const pm::PmStats& s, const Labels& labels = {});
 void publish(Registry& reg, const MirrorStats& s, const Labels& labels = {});

@@ -89,7 +89,11 @@ void Tracer::close(std::uint64_t id, sim::Nanos now_ns, const Attr* attrs,
 
 void Tracer::cancel(std::uint64_t id) noexcept {
   ThreadStack& st = stack();
-  if (!st.open.empty() && st.open.back().id == id) st.open.pop_back();
+  if (!st.open.empty() && st.open.back().id == id) {
+    st.open.pop_back();
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++cancelled_;
+  }
 }
 
 std::uint64_t Tracer::complete(Category category, const char* name,
@@ -151,6 +155,11 @@ std::uint64_t Tracer::dropped() const {
   return dropped_;
 }
 
+std::uint64_t Tracer::cancelled() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return cancelled_;
+}
+
 std::uint64_t Tracer::total_recorded() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return dropped_ + ring_.size();
@@ -160,6 +169,7 @@ void Tracer::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   dropped_ = 0;
+  cancelled_ = 0;
 }
 
 }  // namespace plinius::obs

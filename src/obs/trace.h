@@ -146,6 +146,8 @@ class Tracer {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   /// Spans evicted from the ring since construction/clear.
   [[nodiscard]] std::uint64_t dropped() const;
+  /// Open spans discarded via cancel() since construction/clear.
+  [[nodiscard]] std::uint64_t cancelled() const;
   /// Total spans ever committed (ring + dropped).
   [[nodiscard]] std::uint64_t total_recorded() const;
 
@@ -166,6 +168,7 @@ class Tracer {
   std::deque<SpanRecord> ring_;
   std::uint64_t next_id_ = 1;
   std::uint64_t dropped_ = 0;
+  std::uint64_t cancelled_ = 0;
 };
 
 /// RAII span bound to a clock: timestamps are clock.now() at construction

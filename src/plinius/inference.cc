@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "crypto/envelope.h"
+#include "obs/leakage.h"
 
 namespace plinius {
 
@@ -22,6 +23,7 @@ std::size_t InferenceService::input_size() const {
 
 std::size_t InferenceService::classify_locked(std::span<const float> sample) {
   expects(sample.size() == input_size(), "InferenceService: wrong sample size");
+  obs::leak_mark("serve.request");
   sim::Stopwatch sw(platform_->clock());
 
   platform_->charge_compute(static_cast<double>(net_->forward_macs()));

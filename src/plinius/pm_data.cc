@@ -1,4 +1,5 @@
 #include "plinius/pm_data.h"
+#include "obs/leakage.h"
 #include "obs/trace.h"
 
 #include <cstring>
@@ -131,6 +132,9 @@ void PmDataStore::sample_batch(std::size_t batch, Rng& rng, float* x_out,
   scratch_.resize(batch * hdr.record_len);
   for (std::size_t b = 0; b < batch; ++b) {
     const std::size_t off = hdr.records_off + indices[b] * hdr.record_len;
+    // The PM offsets read here are the sampled record indices — exactly what
+    // a controlled-channel observer of the data region sees.
+    obs::touch_pages("pm.data", off, hdr.record_len);
     rom_->device().charge_read(hdr.record_len);
     if (enclave_->model().real_sgx) {
       enclave_->copy_into_enclave(hdr.record_len);

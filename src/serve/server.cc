@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "obs/leakage.h"
 #include "obs/trace.h"
 
 namespace plinius::serve {
@@ -141,6 +142,7 @@ InferenceServer::BatchCost InferenceServer::service_batch(
     std::size_t worker, std::vector<Completion>& out) {
   auto& enclave = platform_->enclave();
   const std::size_t b = batch.size();
+  obs::leak_mark("serve.batch");
   const std::size_t lanes = lanes_per_worker();
   const std::size_t in_floats = model_input_size();
   const std::size_t plain_len = in_floats * sizeof(float);

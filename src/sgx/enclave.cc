@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "crypto/envelope.h"
 #include "crypto/sha256.h"
+#include "obs/leakage.h"
 #include "obs/trace.h"
 
 namespace plinius::sgx {
@@ -52,6 +53,7 @@ sim::Nanos EnclaveRuntime::ecall_task_ns() {
 }
 
 void EnclaveRuntime::charge_ecall() {
+  obs::leak_mark("sgx.ecall");
   const sim::Nanos t0 = clock_->now();
   clock_->advance(ecall_task_ns());
   obs::trace_complete(*clock_, obs::Category::kEcall, "sgx.ecall", t0, clock_->now());
@@ -102,11 +104,19 @@ sim::Nanos EnclaveRuntime::touch_task_ns(std::size_t bytes) {
   if (p <= 0.0 || bytes == 0) return 0;
   const double pages = static_cast<double>((bytes + kEpcPage - 1) / kEpcPage);
   const double faults = pages * p;
-  stats_.epc_faults += static_cast<std::uint64_t>(std::llround(faults));
+  // Accumulate the fractional residual across calls instead of rounding each
+  // charge: per-call llround drops every sub-half-fault charge (or inflates
+  // every super-half one), biasing epc_faults by up to 0.5 per call over
+  // streams of small touches.
+  fault_residual_ += faults;
+  const auto whole = static_cast<std::uint64_t>(fault_residual_);
+  stats_.epc_faults += whole;
+  fault_residual_ -= static_cast<double>(whole);
   return faults * model_.page_fault_ns;
 }
 
 void EnclaveRuntime::touch_enclave(std::size_t bytes) {
+  obs::touch_pages("sgx.touch", 0, bytes);
   const sim::Nanos t0 = clock_->now();
   clock_->advance(touch_task_ns(bytes));
   const obs::Attr a[] = {{"bytes", static_cast<double>(bytes)}};
@@ -123,6 +133,7 @@ sim::Nanos EnclaveRuntime::copy_in_task_ns(std::size_t bytes) {
 void EnclaveRuntime::copy_into_enclave(std::size_t bytes) {
   // Mirrors copy_in_task_ns, but keeps the bandwidth and paging components
   // separate so the trace attributes each to its own category.
+  obs::touch_pages("sgx.copy_in", 0, bytes);
   stats_.bytes_copied_in += bytes;
   const sim::Nanos bw =
       sim::bandwidth_ns(static_cast<double>(bytes), model_.epc_copy_in_gib_s);
@@ -144,6 +155,7 @@ sim::Nanos EnclaveRuntime::copy_out_task_ns(std::size_t bytes) {
 }
 
 void EnclaveRuntime::copy_out_of_enclave(std::size_t bytes) {
+  obs::touch_pages("sgx.copy_out", 0, bytes);
   const sim::Nanos t0 = clock_->now();
   clock_->advance(copy_out_task_ns(bytes));
   const obs::Attr a[] = {{"bytes", static_cast<double>(bytes)}};
@@ -158,6 +170,7 @@ sim::Nanos EnclaveRuntime::crypto_task_ns(std::size_t bytes) {
 }
 
 void EnclaveRuntime::charge_crypto(std::size_t bytes) {
+  obs::touch_pages("sgx.gcm", 0, bytes);
   const sim::Nanos t0 = clock_->now();
   clock_->advance(crypto_task_ns(bytes));
   const obs::Attr a[] = {{"bytes", static_cast<double>(bytes)}};

@@ -176,7 +176,10 @@ class EnclaveRuntime {
   [[nodiscard]] const Measurement& signer() const noexcept { return signer_; }
   [[nodiscard]] const SgxCostModel& model() const noexcept { return model_; }
   [[nodiscard]] const EnclaveStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = EnclaveStats{}; }
+  void reset_stats() noexcept {
+    stats_ = EnclaveStats{};
+    fault_residual_ = 0.0;
+  }
   [[nodiscard]] sim::Clock& clock() noexcept { return *clock_; }
   [[nodiscard]] std::uint64_t platform_seed() const noexcept { return platform_seed_; }
 
@@ -194,6 +197,7 @@ class EnclaveRuntime {
   std::uint64_t platform_seed_;
   std::size_t heap_used_ = 0;
   std::size_t reserved_lanes_ = 0;  // background TCS lanes held by open streams
+  double fault_residual_ = 0.0;     // fractional EPC faults not yet counted
   Rng rng_;
   crypto::IvSequence seal_iv_;
   EnclaveStats stats_;

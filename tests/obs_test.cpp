@@ -139,6 +139,24 @@ TEST(Tracer, CancelDiscardsInnermostOpenSpan) {
   const auto spans = t.spans();
   ASSERT_EQ(spans.size(), 1u);
   EXPECT_STREQ(spans[0].name, "tx");
+  EXPECT_EQ(t.cancelled(), 1u);
+  t.clear();
+  EXPECT_EQ(t.cancelled(), 0u);
+}
+
+TEST(Tracer, RingAccountingPublishesAsGauges) {
+  obs::Tracer t(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    t.complete(obs::Category::kOther, "leaf", i, i + 1);
+  }
+  const std::uint64_t open = t.open(obs::Category::kGcm, "doomed", 10);
+  t.cancel(open);
+
+  obs::Registry reg;
+  obs::publish(reg, t, {{"platform", "test"}});
+  EXPECT_DOUBLE_EQ(reg.gauge("obs.trace.recorded", {{"platform", "test"}}), 10.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("obs.trace.evicted", {{"platform", "test"}}), 6.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("obs.trace.cancelled", {{"platform", "test"}}), 1.0);
 }
 
 // ------------------------------------------------------------- workloads --

@@ -90,6 +90,26 @@ TEST_F(EnclaveTest, TouchBeyondEpcChargesPageFaults) {
   EXPECT_GT(enclave_.stats().epc_faults, 0u);
 }
 
+TEST_F(EnclaveTest, SmallTouchFaultAccountingIsUnbiased) {
+  const std::size_t epc = SgxCostModel::hardware().epc_usable_bytes;
+  // 3% over the EPC: fault probability 0.2, so a single-page touch charges
+  // 0.2 faults — per-call rounding would either drop every one of them or
+  // count none at all. The residual must carry across calls instead.
+  enclave_.add_enclave_memory(epc + epc * 3 / 100);
+  ASSERT_NEAR(enclave_.fault_probability(), 0.2, 0.01);
+  enclave_.reset_stats();
+  for (int i = 0; i < 50; ++i) enclave_.touch_enclave(4096);
+  // 50 x ~0.2 = ~10 faults; allow one for the floor-with-carry boundary.
+  EXPECT_NEAR(static_cast<double>(enclave_.stats().epc_faults), 10.0, 1.0);
+  EXPECT_GT(enclave_.stats().epc_faults, 0u);
+
+  // reset_stats clears the fractional residual too: one small touch after a
+  // reset must not tick a fault carried over from before.
+  enclave_.reset_stats();
+  enclave_.touch_enclave(4096);
+  EXPECT_EQ(enclave_.stats().epc_faults, 0u);
+}
+
 TEST_F(EnclaveTest, SimulationModeNeverFaults) {
   sim::Clock clock;
   EnclaveRuntime sim_enclave(clock, SgxCostModel::simulation(), "sim");

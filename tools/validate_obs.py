@@ -8,11 +8,15 @@ Validates the two machine-readable artifacts the obs layer emits:
     ts/dur, integer pid/tid lanes, span id/parent args, and categories drawn
     from the cost-attribution taxonomy;
   * a registry snapshot (``obs::Registry::snapshot_json``) — counters,
-    gauges and histogram summaries as named, labelled series.
+    gauges and histogram summaries as named, labelled series;
+  * a leakage report (``bench/leak_sweep --report``) — panels of
+    attacker-view trace distinguishability scores (kernel baseline vs
+    oblivious, per secret model and platform) plus overhead entries.
 
 stdlib only; exits non-zero with a per-file error report on any violation.
 
 Usage: validate_obs.py --trace obs_trace.json --metrics obs_metrics.json
+       validate_obs.py --leak-report BENCH_leak_report.json
 """
 
 import argparse
@@ -142,12 +146,80 @@ def validate_metrics(path, errors):
     return gauge_names, labels
 
 
+LEAK_KERNELS = {"baseline", "oblivious"}
+LEAK_SECRETS = {"input", "weights", "shuffle"}
+LEAK_REPORT_FIELDS = (
+    "traces", "distinct", "pairs", "distinguishable_pairs", "min_events",
+    "max_events", "page_events", "branch_events", "mean_edit_distance",
+    "max_edit_distance", "mean_position_entropy_bits", "score",
+)
+
+
+def validate_leak_report(path, errors):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        errors.append(f"{path}: top level must be an object")
+        return
+    panels = doc.get("panels")
+    if not isinstance(panels, list) or not panels:
+        errors.append(f"{path}: panels must be a non-empty array")
+        return
+    for i, p in enumerate(panels):
+        where = f"{path}: panels[{i}]"
+        if not isinstance(p, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for field in ("name", "platform"):
+            if not isinstance(p.get(field), str) or not p[field]:
+                errors.append(f"{where}: missing string {field!r}")
+        if p.get("kernel") not in LEAK_KERNELS:
+            errors.append(f"{where}: kernel must be one of {sorted(LEAK_KERNELS)}")
+        if p.get("secret") not in LEAK_SECRETS:
+            errors.append(f"{where}: secret must be one of {sorted(LEAK_SECRETS)}")
+        rep = p.get("report")
+        if not isinstance(rep, dict):
+            errors.append(f"{where}: report must be an object")
+            continue
+        for field in LEAK_REPORT_FIELDS:
+            if not is_num(rep.get(field)):
+                errors.append(f"{where}: report missing numeric {field!r}")
+        score = rep.get("score")
+        if is_num(score) and not 0.0 <= score <= 1.0:
+            errors.append(f"{where}: score must be within [0, 1]")
+        if is_num(rep.get("distinct")) and is_num(rep.get("traces")):
+            if not 0 < rep["distinct"] <= rep["traces"]:
+                errors.append(f"{where}: need 0 < distinct <= traces")
+        # The headline contract the sweep asserts at runtime; re-checked here
+        # so a stale or hand-edited artifact can't pass CI.
+        if p.get("kernel") == "oblivious" and is_num(rep.get("distinct")):
+            if rep["distinct"] != 1 or rep.get("score") != 0:
+                errors.append(f"{where}: oblivious panel must have distinct == 1 "
+                              "and score == 0")
+    overhead = doc.get("overhead")
+    if not isinstance(overhead, list) or not overhead:
+        errors.append(f"{path}: overhead must be a non-empty array")
+    else:
+        for i, o in enumerate(overhead):
+            where = f"{path}: overhead[{i}]"
+            if not isinstance(o, dict) or not isinstance(o.get("platform"), str):
+                errors.append(f"{where}: needs a string 'platform'")
+                continue
+            for field in ("forward_wall_ratio", "shuffle_wall_ratio"):
+                if not is_num(o.get(field)) or o[field] < 0:
+                    errors.append(f"{where}: {field} must be a non-negative number")
+    print(f"{path}: {len(panels)} leakage panels, "
+          f"{len({p.get('platform') for p in panels if isinstance(p, dict)})} platforms")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", action="append", default=[],
                     help="Chrome trace-event JSON to validate (repeatable)")
     ap.add_argument("--metrics", action="append", default=[],
                     help="registry snapshot JSON to validate (repeatable)")
+    ap.add_argument("--leak-report", action="append", default=[],
+                    help="leak_sweep report JSON to validate (repeatable)")
     ap.add_argument("--require-gauge", action="append", default=[],
                     help="fail unless some --metrics file has a gauge whose "
                          "name starts with this prefix (repeatable)")
@@ -155,8 +227,8 @@ def main():
                     help="fail unless some --metrics file has a series with "
                          "this key=value label (repeatable)")
     args = ap.parse_args()
-    if not args.trace and not args.metrics:
-        ap.error("nothing to validate: pass --trace and/or --metrics")
+    if not args.trace and not args.metrics and not args.leak_report:
+        ap.error("nothing to validate: pass --trace, --metrics and/or --leak-report")
 
     errors = []
     for path in args.trace:
@@ -171,6 +243,11 @@ def main():
             if result is not None:
                 seen_gauges |= result[0]
                 seen_labels |= result[1]
+        except (OSError, json.JSONDecodeError) as e:
+            errors.append(f"{path}: {e}")
+    for path in args.leak_report:
+        try:
+            validate_leak_report(path, errors)
         except (OSError, json.JSONDecodeError) as e:
             errors.append(f"{path}: {e}")
 
